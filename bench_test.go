@@ -1,0 +1,96 @@
+// Benchmarks regenerating every table and figure of the paper
+// (Section VII), one testing.B target per exhibit, plus
+// micro-benchmarks of the nanosecond query path the paper headlines.
+//
+// The experiment benches run on CI-sized datasets (bench.QuickConfig);
+// run `go run ./cmd/rnebench -exp all` for full-scale tables. Each
+// experiment bench reports wall time per full regeneration.
+package rne
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func benchExperiment(b *testing.B, f func(io.Writer, bench.Config) error) {
+	b.Helper()
+	cfg := bench.QuickConfig()
+	for i := 0; i < b.N; i++ {
+		if err := f(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Datasets(b *testing.B)  { benchExperiment(b, bench.Table2) }
+func BenchmarkTable3QueryTime(b *testing.B) { benchExperiment(b, bench.Table3) }
+func BenchmarkTable4Build(b *testing.B)     { benchExperiment(b, bench.Table4) }
+func BenchmarkFig7Layout(b *testing.B)      { benchExperiment(b, bench.Fig7) }
+func BenchmarkFig8ErrorDist(b *testing.B)   { benchExperiment(b, bench.Fig8) }
+func BenchmarkFig9VaryLp(b *testing.B)      { benchExperiment(b, bench.Fig9) }
+func BenchmarkFig10VaryDim(b *testing.B)    { benchExperiment(b, bench.Fig10) }
+func BenchmarkFig11Hier(b *testing.B)       { benchExperiment(b, bench.Fig11) }
+func BenchmarkFig12Landmarks(b *testing.B)  { benchExperiment(b, bench.Fig12) }
+func BenchmarkFig13TimeByDist(b *testing.B) { benchExperiment(b, bench.Fig13) }
+func BenchmarkFig14DR(b *testing.B)         { benchExperiment(b, bench.Fig14) }
+func BenchmarkFig15CDF(b *testing.B)        { benchExperiment(b, bench.Fig15) }
+func BenchmarkFig16Range(b *testing.B)      { benchExperiment(b, bench.Fig16) }
+func BenchmarkFig17ErrByDist(b *testing.B)  { benchExperiment(b, bench.Fig17) }
+
+// queryModel caches one trained model for the micro-benchmarks.
+var queryModels = map[int]*core.Model{}
+
+func modelForDim(b *testing.B, dim int) *core.Model {
+	b.Helper()
+	if m, ok := queryModels[dim]; ok {
+		return m
+	}
+	g, err := gen.Grid(40, 40, gen.DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.DefaultOptions(1)
+	opt.Dim = dim
+	opt.Epochs = 2
+	opt.VertexSampleRatio = 10
+	opt.FineTuneRounds = 1
+	opt.HierSampleCap = 5000
+	opt.ValidationPairs = 100
+	m, _, err := core.Build(g, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queryModels[dim] = m
+	return m
+}
+
+// benchQuery measures the paper's headline metric: a single distance
+// estimate (two row reads + one L1 kernel).
+func benchQuery(b *testing.B, dim int) {
+	m := modelForDim(b, dim)
+	rng := rand.New(rand.NewSource(2))
+	n := m.NumVertices()
+	const nPairs = 4096
+	ss := make([]int32, nPairs)
+	ts := make([]int32, nPairs)
+	for i := range ss {
+		ss[i] = int32(rng.Intn(n))
+		ts[i] = int32(rng.Intn(n))
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		j := i & (nPairs - 1)
+		sink += m.EstimateL1(ss[j], ts[j])
+	}
+	_ = sink
+}
+
+func BenchmarkRNEQueryDim32(b *testing.B)  { benchQuery(b, 32) }
+func BenchmarkRNEQueryDim64(b *testing.B)  { benchQuery(b, 64) }
+func BenchmarkRNEQueryDim128(b *testing.B) { benchQuery(b, 128) }

@@ -1,0 +1,98 @@
+// Command rnebuild trains an RNE model over a road network and saves
+// it to disk.
+//
+// Usage:
+//
+//	rnebuild -graph bj.txt -o bj.rne
+//	rnebuild -preset bj-mini -dim 64 -o bj.rne
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	rne "repro"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "input graph in edge-list format")
+	preset := flag.String("preset", "", "built-in preset instead of -graph")
+	out := flag.String("o", "model.rne", "output model file")
+	dim := flag.Int("dim", 64, "embedding dimension d")
+	seed := flag.Int64("seed", 42, "training seed")
+	epochs := flag.Int("epochs", 0, "SGD epochs per phase (0 = default)")
+	naive := flag.Bool("naive", false, "flat vertex embedding instead of hierarchical")
+	noAFT := flag.Bool("no-finetune", false, "disable active fine-tuning")
+	indexOut := flag.String("index-out", "", "also build and save a spatial index here")
+	targetFrac := flag.Float64("target-frac", 0.1, "fraction of vertices indexed (with -index-out)")
+	flag.Parse()
+
+	var g *rne.Graph
+	var err error
+	switch {
+	case *graphPath != "":
+		g, err = rne.LoadGraph(*graphPath)
+	case *preset != "":
+		g, err = rne.Preset(*preset)
+	default:
+		err = fmt.Errorf("need -graph or -preset")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rnebuild:", err)
+		os.Exit(2)
+	}
+
+	opt := rne.DefaultOptions(*seed)
+	opt.Dim = *dim
+	if *epochs > 0 {
+		opt.Epochs = *epochs
+	}
+	opt.Hierarchical = !*naive
+	opt.ActiveFineTune = !*noAFT
+	if *naive {
+		opt.VertexStrategy = rne.VertexRandom
+	}
+
+	fmt.Fprintf(os.Stderr, "rnebuild: training d=%d over %d vertices...\n", opt.Dim, g.NumVertices())
+	model, stats, err := rne.Build(g, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rnebuild:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "rnebuild: built in %v (%d samples), validation %s\n",
+		stats.Total.Round(1e6), stats.SamplesUsed, stats.Validation)
+	if err := model.SaveFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "rnebuild:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "rnebuild: saved %s (%d bytes)\n", *out, model.IndexBytes())
+
+	if *indexOut != "" {
+		rng := rand.New(rand.NewSource(*seed + 1))
+		nTargets := int(*targetFrac * float64(g.NumVertices()))
+		if nTargets < 1 {
+			nTargets = 1
+		}
+		targets := make([]int32, 0, nTargets)
+		seen := make(map[int32]bool, nTargets)
+		for len(targets) < nTargets {
+			v := int32(rng.Intn(g.NumVertices()))
+			if !seen[v] {
+				seen[v] = true
+				targets = append(targets, v)
+			}
+		}
+		idx, err := rne.NewSpatialIndex(model, targets)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rnebuild:", err)
+			os.Exit(1)
+		}
+		if err := idx.SaveFile(*indexOut); err != nil {
+			fmt.Fprintln(os.Stderr, "rnebuild:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "rnebuild: saved spatial index %s over %d targets\n", *indexOut, idx.Size())
+	}
+}

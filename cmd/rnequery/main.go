@@ -1,0 +1,83 @@
+// Command rnequery answers shortest-path distance queries from a saved
+// RNE model. Queries are "s t" vertex-id pairs, one per line on stdin,
+// or a single pair via -s/-t flags.
+//
+// Usage:
+//
+//	rnequery -model bj.rne -s 17 -t 4242
+//	shuf pairs.txt | rnequery -model bj.rne
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	rne "repro"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "model file from rnebuild")
+	s := flag.Int("s", -1, "source vertex (with -t)")
+	t := flag.Int("t", -1, "target vertex")
+	flag.Parse()
+
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "rnequery: -model required")
+		os.Exit(2)
+	}
+	model, err := rne.LoadModel(*modelPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rnequery:", err)
+		os.Exit(1)
+	}
+	n := model.NumVertices()
+
+	answer := func(s, t int) error {
+		if s < 0 || s >= n || t < 0 || t >= n {
+			return fmt.Errorf("pair (%d,%d) outside [0,%d)", s, t, n)
+		}
+		fmt.Printf("%d %d %.2f\n", s, t, model.Estimate(int32(s), int32(t)))
+		return nil
+	}
+
+	if *s >= 0 && *t >= 0 {
+		if err := answer(*s, *t); err != nil {
+			fmt.Fprintln(os.Stderr, "rnequery:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			fmt.Fprintf(os.Stderr, "rnequery: line %d: want 's t', got %q\n", line, text)
+			os.Exit(1)
+		}
+		sv, err1 := strconv.Atoi(fields[0])
+		tv, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			fmt.Fprintf(os.Stderr, "rnequery: line %d: bad vertex ids %q\n", line, text)
+			os.Exit(1)
+		}
+		if err := answer(sv, tv); err != nil {
+			fmt.Fprintf(os.Stderr, "rnequery: line %d: %v\n", line, err)
+			os.Exit(1)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "rnequery:", err)
+		os.Exit(1)
+	}
+}

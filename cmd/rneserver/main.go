@@ -1,0 +1,108 @@
+// Command rneserver serves RNE distance queries over HTTP.
+//
+// With -graph (or -preset) it trains a model on startup and serves the
+// full API including /knn and /range over the given target vertices;
+// with -model it loads a pre-trained model and serves /distance and
+// /batch only (the partition tree is not persisted).
+//
+// Usage:
+//
+//	rneserver -preset bj-mini -addr :8080
+//	rneserver -model bj.rne -addr :8080
+//	curl 'localhost:8080/distance?s=17&t=4242'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"time"
+
+	rne "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelPath := flag.String("model", "", "pre-trained model (with -index, full API; else distance/batch only)")
+	indexPath := flag.String("index", "", "spatial index saved by rnebuild -index-out (requires -model)")
+	graphPath := flag.String("graph", "", "graph file: train on startup, full API")
+	preset := flag.String("preset", "", "built-in preset instead of -graph")
+	targetFrac := flag.Float64("target-frac", 0.1, "fraction of vertices indexed as spatial targets")
+	seed := flag.Int64("seed", 42, "training seed")
+	flag.Parse()
+
+	var model *rne.Model
+	var idx *rne.SpatialIndex
+	switch {
+	case *modelPath != "":
+		var err error
+		model, err = rne.LoadModel(*modelPath)
+		if err != nil {
+			log.Fatal("rneserver: ", err)
+		}
+		log.Printf("loaded model: %d vertices, d=%d", model.NumVertices(), model.Dim())
+		if *indexPath != "" {
+			idx, err = rne.LoadSpatialIndex(*indexPath, model)
+			if err != nil {
+				log.Fatal("rneserver: ", err)
+			}
+			log.Printf("loaded spatial index over %d targets", idx.Size())
+		}
+	case *graphPath != "" || *preset != "":
+		var g *rne.Graph
+		var err error
+		if *graphPath != "" {
+			g, err = rne.LoadGraph(*graphPath)
+		} else {
+			g, err = rne.Preset(*preset)
+		}
+		if err != nil {
+			log.Fatal("rneserver: ", err)
+		}
+		log.Printf("training over %d vertices...", g.NumVertices())
+		start := time.Now()
+		var stats rne.BuildStats
+		model, stats, err = rne.Build(g, rne.DefaultOptions(*seed))
+		if err != nil {
+			log.Fatal("rneserver: ", err)
+		}
+		log.Printf("trained in %v, validation %s", time.Since(start).Round(time.Millisecond), stats.Validation)
+
+		rng := rand.New(rand.NewSource(*seed))
+		nTargets := int(*targetFrac * float64(g.NumVertices()))
+		if nTargets < 1 {
+			nTargets = 1
+		}
+		targets := make([]int32, 0, nTargets)
+		seen := map[int32]bool{}
+		for len(targets) < nTargets {
+			v := int32(rng.Intn(g.NumVertices()))
+			if !seen[v] {
+				seen[v] = true
+				targets = append(targets, v)
+			}
+		}
+		idx, err = rne.NewSpatialIndex(model, targets)
+		if err != nil {
+			log.Fatal("rneserver: ", err)
+		}
+		log.Printf("spatial index over %d targets", idx.Size())
+	default:
+		log.Fatal("rneserver: need -model, -graph or -preset")
+	}
+
+	srv, err := server.New(model, idx)
+	if err != nil {
+		log.Fatal("rneserver: ", err)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("rneserver listening on %s\n", *addr)
+	log.Fatal(httpSrv.ListenAndServe())
+}

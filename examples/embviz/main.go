@@ -1,0 +1,72 @@
+// Embviz reproduces Figure 7's visual: it trains a 2-dimensional RNE
+// both flat (RNE-Naive) and hierarchically (RNE-Hier) over a city
+// network and writes three point files —
+//
+//	embviz_roads.xy   original vertex coordinates
+//	embviz_naive.xy   flat d=2 embedding (collapses into clumps)
+//	embviz_hier.xy    hierarchical d=2 embedding (preserves the layout)
+//
+// Each line is "x y", plottable with gnuplot: plot "embviz_hier.xy".
+//
+//	go run ./examples/embviz
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+
+	rne "repro"
+)
+
+func main() {
+	g, err := rne.Preset("bj-mini")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	writeXY := func(path string, x func(int32) float64, y func(int32) float64) {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			fmt.Fprintf(w, "%g %g\n", x(v), y(v))
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	writeXY("embviz_roads.xy", g.X, g.Y)
+
+	for _, hier := range []bool{false, true} {
+		opt := rne.DefaultOptions(3)
+		opt.Dim = 2
+		opt.Hierarchical = hier
+		opt.ActiveFineTune = false
+		opt.Epochs = 6
+		opt.VertexSampleRatio = 60
+		if !hier {
+			opt.VertexStrategy = rne.VertexRandom
+		}
+		model, stats, err := rne.Build(g, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := "embviz_naive.xy"
+		if hier {
+			name = "embviz_hier.xy"
+		}
+		fmt.Printf("%s: validation %s\n", name, stats.Validation)
+		writeXY(name,
+			func(v int32) float64 { return model.Vector(v)[0] },
+			func(v int32) float64 { return model.Vector(v)[1] })
+	}
+}

@@ -1,0 +1,78 @@
+// POI search: the paper's Yelp scenario. A set of points of interest
+// (restaurants) lives on the road network; users ask "everything within
+// 2 km of me" (range query) and "the 10 nearest" (kNN). The example
+// runs both against the RNE spatial index and scores them against the
+// exact network-distance answers.
+//
+//	go run ./examples/poisearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	rne "repro"
+	"repro/internal/metrics"
+	"repro/internal/sssp"
+)
+
+func main() {
+	g, err := rne.Preset("bj-mini")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+
+	// Sprinkle POIs over ~8% of the joints.
+	var pois []int32
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if rng.Intn(12) == 0 {
+			pois = append(pois, v)
+		}
+	}
+	fmt.Printf("network: %d vertices; POIs: %d\n", g.NumVertices(), len(pois))
+
+	opt := rne.DefaultOptions(11)
+	opt.Epochs = 6
+	opt.VertexSampleRatio = 80
+	opt.FineTuneRounds = 6
+	fmt.Println("training embedding...")
+	model, stats, err := rne.Build(g, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validation: %s\n\n", stats.Validation)
+
+	idx, err := rne.NewSpatialIndex(model, pois)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ws := sssp.NewWorkspace(g)
+
+	// Range queries at several radii (in network-distance units).
+	user := int32(rng.Intn(g.NumVertices()))
+	fmt.Printf("user standing at vertex %d\n", user)
+	exactDist := ws.FromSource(user, nil)
+	for _, radius := range []float64{1000, 2500, 5000} {
+		got := idx.Range(user, radius)
+		var want []int32
+		for _, p := range pois {
+			if exactDist[p] <= radius {
+				want = append(want, p)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		precision, recall, f1 := metrics.F1(got, want)
+		fmt.Printf("range %6.0f: %3d found / %3d exact  P %.3f R %.3f F1 %.3f\n",
+			radius, len(got), len(want), precision, recall, f1)
+	}
+
+	// kNN: the 10 closest restaurants.
+	fmt.Println("\n10 nearest POIs (RNE estimate vs exact distance):")
+	for _, p := range idx.KNN(user, 10) {
+		fmt.Printf("  poi %6d  est %8.1f  exact %8.1f\n",
+			p, model.Estimate(user, p), exactDist[p])
+	}
+}

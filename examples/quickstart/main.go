@@ -1,0 +1,77 @@
+// Quickstart: build an RNE over a synthetic city, compare a few
+// estimates against exact Dijkstra distances, and time the query path.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	rne "repro"
+	"repro/internal/sssp"
+)
+
+func main() {
+	// A small synthetic road network (the "bj-mini" preset scaled down
+	// keeps this example under a minute).
+	g, err := rne.Preset("bj-mini")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("road network: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	opt := rne.DefaultOptions(42)
+	opt.Dim = 64
+	opt.Epochs = 6 // trimmed for the example; defaults reach lower error
+	opt.VertexSampleRatio = 80
+	opt.FineTuneRounds = 6
+
+	start := time.Now()
+	model, stats, err := rne.Build(g, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %v over %d samples\n", time.Since(start).Round(time.Millisecond), stats.SamplesUsed)
+	fmt.Printf("held-out validation: %s\n", stats.Validation)
+
+	// Spot-check a few pairs against exact Dijkstra.
+	ws := sssp.NewWorkspace(g)
+	rng := rand.New(rand.NewSource(7))
+	fmt.Println("\n   s      t      exact     RNE      rel.err")
+	for i := 0; i < 5; i++ {
+		s := int32(rng.Intn(g.NumVertices()))
+		t := int32(rng.Intn(g.NumVertices()))
+		exact := ws.Distance(s, t)
+		approx := model.Estimate(s, t)
+		fmt.Printf("%6d %6d %9.1f %9.1f   %.2f%%\n", s, t, exact, approx,
+			100*abs(approx-exact)/exact)
+	}
+
+	// Time the query path: two row reads plus one L1 kernel.
+	const q = 1_000_000
+	pairsS := make([]int32, q)
+	pairsT := make([]int32, q)
+	for i := range pairsS {
+		pairsS[i] = int32(rng.Intn(g.NumVertices()))
+		pairsT[i] = int32(rng.Intn(g.NumVertices()))
+	}
+	start = time.Now()
+	var sink float64
+	for i := 0; i < q; i++ {
+		sink += model.Estimate(pairsS[i], pairsT[i])
+	}
+	elapsed := time.Since(start)
+	_ = sink
+	fmt.Printf("\n%d queries in %v (%.0f ns/query)\n", q, elapsed.Round(time.Millisecond),
+		float64(elapsed.Nanoseconds())/q)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

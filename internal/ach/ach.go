@@ -1,0 +1,32 @@
+// Package ach provides Approximate Contraction Hierarchies (Geisberger
+// & Schieferdecker), the paper's "ACH" comparator: a CH built with an
+// ε slack on witness acceptance. Any witness path at most (1+ε) times
+// the candidate shortcut suppresses the shortcut, so fewer shortcuts
+// are added and queries return distances within a bounded relative
+// error while searching the same upward structure.
+package ach
+
+import (
+	"fmt"
+
+	"repro/internal/ch"
+	"repro/internal/graph"
+)
+
+// Index is an approximate contraction hierarchy.
+type Index struct {
+	*ch.Index
+}
+
+// Build constructs an ACH with the given ε (the paper evaluates
+// ε = 0.1). ε must be positive; use package ch for exact hierarchies.
+func Build(g *graph.Graph, epsilon float64) (*Index, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("ach: epsilon must be positive (use ch for exact), got %v", epsilon)
+	}
+	idx, err := ch.Build(g, ch.Options{Epsilon: epsilon})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{Index: idx}, nil
+}

@@ -1,0 +1,52 @@
+package ach
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sssp"
+)
+
+func TestBuildValidatesEpsilon(t *testing.T) {
+	g, err := gen.Grid(6, 6, gen.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(g, 0); err == nil {
+		t.Error("epsilon 0 accepted (exact builds belong to package ch)")
+	}
+	if _, err := Build(g, -0.5); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+}
+
+func TestACHNeverUnderestimatesAndStaysClose(t *testing.T) {
+	g, err := gen.Grid(12, 12, gen.DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(g, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Epsilon() != 0.1 {
+		t.Fatalf("Epsilon = %v", idx.Epsilon())
+	}
+	q := idx.NewQuery()
+	ws := sssp.NewWorkspace(g)
+	rng := rand.New(rand.NewSource(3))
+	n := g.NumVertices()
+	for trial := 0; trial < 200; trial++ {
+		s := int32(rng.Intn(n))
+		u := int32(rng.Intn(n))
+		want := ws.Distance(s, u)
+		got := q.Distance(s, u)
+		if got < want-1e-9 {
+			t.Fatalf("(%d,%d): ACH %v below exact %v", s, u, got, want)
+		}
+		if want > 0 && (got-want)/want > 0.5 {
+			t.Fatalf("(%d,%d): ACH error %v far beyond eps", s, u, (got-want)/want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package alt implements the ALT machinery of Goldberg & Harrelson: a
+// landmark set U with a precomputed |U| x |V| distance label matrix.
+// Two query modes are provided:
+//
+//   - LT estimation (the paper's "LT" comparator): combine the
+//     triangle-inequality lower bound max_u |d(u,s)-d(u,t)| and the
+//     upper bound min_u d(u,s)+d(u,t) into an O(|U|) distance estimate
+//     with no graph search.
+//   - ALT A* search: exact point-to-point search guided by the landmark
+//     lower bound.
+package alt
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/sssp"
+)
+
+// Index holds the landmark label matrix.
+type Index struct {
+	g *graph.Graph
+	// labels is |U| x |V| row-major: labels[u*n+v] = d(U[u], v).
+	labels    []float64
+	landmarks []int32
+	n         int
+}
+
+// Build selects count landmarks by farthest selection and runs one
+// Dijkstra per landmark to fill the label matrix.
+func Build(g *graph.Graph, count int, seed int64) (*Index, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("alt: need at least one landmark, got %d", count)
+	}
+	lms, err := landmark.Farthest(g, count, seed)
+	if err != nil {
+		return nil, err
+	}
+	return BuildWithLandmarks(g, lms)
+}
+
+// BuildWithLandmarks builds the label matrix for a caller-chosen
+// landmark set.
+func BuildWithLandmarks(g *graph.Graph, landmarks []int32) (*Index, error) {
+	if len(landmarks) == 0 {
+		return nil, fmt.Errorf("alt: empty landmark set")
+	}
+	n := g.NumVertices()
+	idx := &Index{
+		g:         g,
+		labels:    make([]float64, len(landmarks)*n),
+		landmarks: append([]int32(nil), landmarks...),
+		n:         n,
+	}
+	ws := sssp.NewWorkspace(g)
+	for i, u := range landmarks {
+		row := idx.labels[i*n : (i+1)*n]
+		ws.FromSource(u, row)
+	}
+	return idx, nil
+}
+
+// NumLandmarks returns |U|.
+func (idx *Index) NumLandmarks() int { return len(idx.landmarks) }
+
+// Landmarks returns the landmark ids (aliasing internal storage).
+func (idx *Index) Landmarks() []int32 { return idx.landmarks }
+
+// IndexBytes reports the label matrix size in bytes (the Table IV
+// metric for LT).
+func (idx *Index) IndexBytes() int64 {
+	return int64(len(idx.labels)) * 8
+}
+
+// Bounds returns the landmark lower and upper bounds on d(s,t).
+func (idx *Index) Bounds(s, t int32) (lo, hi float64) {
+	hi = sssp.Inf
+	for i := 0; i < len(idx.landmarks); i++ {
+		ds := idx.labels[i*idx.n+int(s)]
+		dt := idx.labels[i*idx.n+int(t)]
+		if ds == sssp.Inf || dt == sssp.Inf {
+			continue
+		}
+		diff := ds - dt
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > lo {
+			lo = diff
+		}
+		if sum := ds + dt; sum < hi {
+			hi = sum
+		}
+	}
+	// When a landmark lies on the s-t shortest path lo equals hi
+	// mathematically; floating-point rounding can leave lo one ulp
+	// above. Keep the interval well-formed.
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// Estimate returns the LT distance estimate: the midpoint of the
+// landmark lower and upper bounds. The true distance always lies within
+// [lo, hi], so the midpoint's error is at most (hi-lo)/2.
+func (idx *Index) Estimate(s, t int32) float64 {
+	if s == t {
+		return 0
+	}
+	lo, hi := idx.Bounds(s, t)
+	if hi == sssp.Inf {
+		return lo
+	}
+	return (lo + hi) / 2
+}
+
+// LowerBound returns the admissible A* heuristic to target t at vertex v.
+func (idx *Index) LowerBound(v, t int32) float64 {
+	var lo float64
+	for i := 0; i < len(idx.landmarks); i++ {
+		dv := idx.labels[i*idx.n+int(v)]
+		dt := idx.labels[i*idx.n+int(t)]
+		if dv == sssp.Inf || dt == sssp.Inf {
+			continue
+		}
+		diff := dv - dt
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > lo {
+			lo = diff
+		}
+	}
+	return lo
+}
+
+// SearchDistance runs the exact ALT A* search from s to t using the
+// landmark heuristic, returning the distance and the number of settled
+// vertices.
+func (idx *Index) SearchDistance(ws *sssp.Workspace, s, t int32) (float64, int) {
+	return ws.AStarDistance(s, t, func(v int32) float64 { return idx.LowerBound(v, t) })
+}

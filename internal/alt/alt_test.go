@@ -1,0 +1,146 @@
+package alt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.Grid(14, 14, gen.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBoundsBracketTrueDistance(t *testing.T) {
+	g := testGraph(t)
+	idx, err := Build(g, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := sssp.NewWorkspace(g)
+	rng := rand.New(rand.NewSource(3))
+	n := g.NumVertices()
+	for trial := 0; trial < 200; trial++ {
+		s := int32(rng.Intn(n))
+		u := int32(rng.Intn(n))
+		want := ws.Distance(s, u)
+		lo, hi := idx.Bounds(s, u)
+		if lo > want+1e-9 {
+			t.Fatalf("(%d,%d): lower bound %v exceeds true %v", s, u, lo, want)
+		}
+		if hi < want-1e-9 {
+			t.Fatalf("(%d,%d): upper bound %v below true %v", s, u, hi, want)
+		}
+	}
+}
+
+func TestEstimateErrorBoundedByGap(t *testing.T) {
+	g := testGraph(t)
+	idx, err := Build(g, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := sssp.NewWorkspace(g)
+	rng := rand.New(rand.NewSource(4))
+	n := g.NumVertices()
+	for trial := 0; trial < 100; trial++ {
+		s := int32(rng.Intn(n))
+		u := int32(rng.Intn(n))
+		want := ws.Distance(s, u)
+		lo, hi := idx.Bounds(s, u)
+		got := idx.Estimate(s, u)
+		if err := math.Abs(got - want); err > (hi-lo)/2+1e-9 {
+			t.Fatalf("(%d,%d): estimate error %v exceeds half-gap %v", s, u, err, (hi-lo)/2)
+		}
+	}
+	if idx.Estimate(3, 3) != 0 {
+		t.Fatal("self estimate must be 0")
+	}
+}
+
+func TestMoreLandmarksTightenEstimates(t *testing.T) {
+	g := testGraph(t)
+	small, err := Build(g, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Build(g, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := sssp.NewWorkspace(g)
+	rng := rand.New(rand.NewSource(6))
+	n := g.NumVertices()
+	var errSmall, errLarge float64
+	count := 0
+	for trial := 0; trial < 300; trial++ {
+		s := int32(rng.Intn(n))
+		u := int32(rng.Intn(n))
+		want := ws.Distance(s, u)
+		if want <= 0 {
+			continue
+		}
+		errSmall += math.Abs(small.Estimate(s, u)-want) / want
+		errLarge += math.Abs(large.Estimate(s, u)-want) / want
+		count++
+	}
+	if errLarge >= errSmall {
+		t.Fatalf("32 landmarks (%v) not better than 4 (%v)", errLarge/float64(count), errSmall/float64(count))
+	}
+}
+
+func TestSearchDistanceExactAndFasterThanDijkstra(t *testing.T) {
+	g := testGraph(t)
+	idx, err := Build(g, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := sssp.NewWorkspace(g)
+	rng := rand.New(rand.NewSource(8))
+	n := g.NumVertices()
+	var altSettled, plainSettled int
+	for trial := 0; trial < 50; trial++ {
+		s := int32(rng.Intn(n))
+		u := int32(rng.Intn(n))
+		want := ws.Distance(s, u)
+		got, settled := idx.SearchDistance(ws, s, u)
+		if math.Abs(want-got) > 1e-9 {
+			t.Fatalf("(%d,%d): ALT %v, Dijkstra %v", s, u, got, want)
+		}
+		altSettled += settled
+		_, ds := ws.AStarDistance(s, u, nil)
+		plainSettled += ds
+	}
+	if altSettled >= plainSettled {
+		t.Fatalf("ALT settled %d vertices, plain Dijkstra %d: landmarks gave no pruning", altSettled, plainSettled)
+	}
+}
+
+func TestBuildWithLandmarksAndValidation(t *testing.T) {
+	g := testGraph(t)
+	if _, err := Build(g, 0, 1); err == nil {
+		t.Error("zero landmarks accepted")
+	}
+	if _, err := BuildWithLandmarks(g, nil); err == nil {
+		t.Error("empty landmark set accepted")
+	}
+	idx, err := BuildWithLandmarks(g, []int32{0, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.NumLandmarks() != 3 || len(idx.Landmarks()) != 3 {
+		t.Fatal("landmark count wrong")
+	}
+	wantBytes := int64(3*g.NumVertices()) * 8
+	if idx.IndexBytes() != wantBytes {
+		t.Fatalf("IndexBytes = %d, want %d", idx.IndexBytes(), wantBytes)
+	}
+}

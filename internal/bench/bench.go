@@ -1,0 +1,183 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section VII). Each experiment is a function writing a
+// paper-style table to an io.Writer; cmd/rnebench exposes them on the
+// command line and the repository-root benchmarks wrap them in
+// testing.B loops.
+//
+// Sizes are controlled by Config: Quick mode shrinks datasets and
+// query counts so the whole suite runs in CI time, while the defaults
+// mirror the paper's setup at the synthetic datasets' scale.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/sssp"
+)
+
+// Config controls experiment sizes.
+type Config struct {
+	// Scale multiplies preset dataset dimensions (1 = paper-mini scale).
+	Scale float64
+	// Queries is the per-measurement query count (paper: 10K).
+	Queries int
+	// Seed fixes workloads and builds.
+	Seed int64
+	// Quick shrinks training volumes for CI runs.
+	Quick bool
+}
+
+// DefaultConfig returns full-scale settings.
+func DefaultConfig() Config {
+	return Config{Scale: 1, Queries: 10000, Seed: 42}
+}
+
+// QuickConfig returns CI-friendly settings.
+func QuickConfig() Config {
+	return Config{Scale: 0.35, Queries: 1500, Seed: 42, Quick: true}
+}
+
+// dataset is a built graph plus its provenance.
+type dataset struct {
+	name   string
+	paper  string
+	g      *graph.Graph
+	groups int // distance-scale groups (paper: 5 small, 7 large)
+}
+
+// loadDatasets builds the preset stand-ins at the configured scale.
+func loadDatasets(cfg Config, names ...string) ([]dataset, error) {
+	if len(names) == 0 {
+		names = []string{"bj-mini", "fla-mini", "usw-mini"}
+	}
+	var out []dataset
+	for _, name := range names {
+		p, err := gen.PresetByName(name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := p.BuildScaled(cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		groups := 7
+		if name == "bj-mini" {
+			groups = 5
+		}
+		out = append(out, dataset{name: name, paper: p.PaperName, g: g, groups: groups})
+	}
+	return out, nil
+}
+
+// randomPairs draws n random vertex pairs with exact distances.
+func randomPairs(g *graph.Graph, n int, seed int64) []metrics.Pair {
+	rng := rand.New(rand.NewSource(seed))
+	ws := sssp.NewWorkspace(g)
+	nv := g.NumVertices()
+	out := make([]metrics.Pair, 0, n)
+	var dist []float64
+	for len(out) < n {
+		s := int32(rng.Intn(nv))
+		dist = ws.FromSource(s, dist)
+		for j := 0; j < 32 && len(out) < n; j++ {
+			t := int32(rng.Intn(nv))
+			if t != s && dist[t] < sssp.Inf {
+				out = append(out, metrics.Pair{S: s, T: t, Dist: dist[t]})
+			}
+		}
+	}
+	return out
+}
+
+// distanceGroups splits fresh random pairs into `groups` equal-width
+// distance intervals of [0, diameter], up to perGroup pairs each.
+// Groups that the random workload cannot fill (extreme distances are
+// rare) stay short.
+func distanceGroups(g *graph.Graph, groups, perGroup int, seed int64) ([][]metrics.Pair, float64) {
+	rng := rand.New(rand.NewSource(seed))
+	ws := sssp.NewWorkspace(g)
+	nv := g.NumVertices()
+
+	// Diameter estimate by double sweep.
+	dist := ws.FromSource(0, nil)
+	far, diam := int32(0), 0.0
+	for v, d := range dist {
+		if d < sssp.Inf && d > diam {
+			far, diam = int32(v), d
+		}
+	}
+	dist = ws.FromSource(far, dist)
+	for _, d := range dist {
+		if d < sssp.Inf && d > diam {
+			diam = d
+		}
+	}
+
+	out := make([][]metrics.Pair, groups)
+	width := diam / float64(groups)
+	filled := 0
+	maxSources := 40 * groups * perGroup / 32
+	for src := 0; src < maxSources && filled < groups; src++ {
+		s := int32(rng.Intn(nv))
+		dist = ws.FromSource(s, dist)
+		for j := 0; j < 64; j++ {
+			t := int32(rng.Intn(nv))
+			d := dist[t]
+			if t == s || d >= sssp.Inf || d <= 0 {
+				continue
+			}
+			gi := int(d / width)
+			if gi >= groups {
+				gi = groups - 1
+			}
+			if len(out[gi]) < perGroup {
+				out[gi] = append(out[gi], metrics.Pair{S: s, T: t, Dist: d})
+				if len(out[gi]) == perGroup {
+					filled++
+				}
+			}
+		}
+	}
+	return out, diam
+}
+
+// timeEstimator measures the mean wall time of one estimate call over
+// the pairs, returning nanoseconds per query.
+func timeEstimator(f func(s, t int32) float64, pairs []metrics.Pair) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	// Warm up.
+	var sink float64
+	for i := 0; i < len(pairs) && i < 64; i++ {
+		sink += f(pairs[i].S, pairs[i].T)
+	}
+	start := time.Now()
+	const reps = 3
+	for r := 0; r < reps; r++ {
+		for _, p := range pairs {
+			sink += f(p.S, p.T)
+		}
+	}
+	elapsed := time.Since(start)
+	_ = sink
+	return float64(elapsed.Nanoseconds()) / float64(reps*len(pairs))
+}
+
+// fmtBytes renders a byte count as MB with two decimals.
+func fmtBytes(b int64) string {
+	return fmt.Sprintf("%.2f", float64(b)/(1<<20))
+}
+
+// fmtNanos renders nanoseconds adaptively (ns or µs).
+func fmtNanos(ns float64) string {
+	if ns < 1000 {
+		return fmt.Sprintf("%.0fns", ns)
+	}
+	return fmt.Sprintf("%.2fµs", ns/1000)
+}

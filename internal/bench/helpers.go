@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/sssp"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// wsFrom wraps Workspace.FromSource for the kNN helpers.
+func wsFrom(ws *sssp.Workspace, s int32, scratch []float64) []float64 {
+	return ws.FromSource(s, scratch)
+}
+
+// exactKNN returns the k targets with the smallest exact distances
+// (distance array indexed by vertex id), ties broken by vertex id.
+func exactKNN(dist []float64, targets []int32, k int) []int32 {
+	order := append([]int32(nil), targets...)
+	sort.Slice(order, func(a, b int) bool {
+		da, db := dist[order[a]], dist[order[b]]
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	if k > len(order) {
+		k = len(order)
+	}
+	return order[:k]
+}
+
+// sortByKey orders the index slice ascending by its key, ties by index.
+func sortByKey(order []int32, keys []float64) {
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := keys[order[a]], keys[order[b]]
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b]
+	})
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Suite runs the comparison exhibits that share the comparator builds —
+// Table III (error + query time), Table IV (index size + build time),
+// Figure 13 (time by distance scale), Figure 15 (error CDF) and
+// Figure 17 (errors by distance scale) — building each dataset's
+// methods exactly once. This is the economical way to regenerate the
+// paper's headline comparison on a single core.
+func Suite(w io.Writer, cfg Config) error {
+	dss, err := loadDatasets(cfg)
+	if err != nil {
+		return err
+	}
+	thresholds := []float64{0.005, 0.01, 0.02, 0.05, 0.10, 0.20, 0.50}
+
+	for _, ds := range dss {
+		fmt.Fprintf(w, "######## dataset %s (%d vertices, %d edges)\n\n",
+			ds.name, ds.g.NumVertices(), ds.g.NumEdges())
+		suite, err := buildSuite(ds, cfg)
+		if err != nil {
+			return err
+		}
+		pairs := randomPairs(ds.g, cfg.Queries, cfg.Seed+int64(len(ds.name)))
+		perGroup := cfg.Queries / ds.groups
+		if perGroup < 50 {
+			perGroup = 50
+		}
+		groups, diam := distanceGroups(ds.g, ds.groups, perGroup, cfg.Seed)
+
+		// Table III + IV rows.
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "Method\tRel.err(%)\tQuery time\tIndex (MB)\tBuild time")
+		for _, m := range suite {
+			st := metrics.Evaluate(metrics.EstimatorFunc(m.estimate), pairs)
+			errStr := fmt.Sprintf("%.2f", st.MeanRel*100)
+			if m.exact {
+				errStr = "0 (exact)"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%v\n", m.name, errStr,
+				fmtNanos(timeEstimator(m.estimate, pairs)),
+				fmtBytes(m.indexBytes), m.buildTime.Round(time.Millisecond))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+
+		// Figure 13: query time by distance group.
+		fmt.Fprintf(w, "\nquery time by distance scale (diameter %.0f):\n", diam)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "Method\t")
+		for gi := range groups {
+			fmt.Fprintf(tw, "≤%.0f\t", diam*float64(gi+1)/float64(ds.groups))
+		}
+		fmt.Fprintln(tw)
+		for _, m := range suite {
+			fmt.Fprintf(tw, "%s\t", m.name)
+			for _, gp := range groups {
+				fmt.Fprintf(tw, "%s\t", fmtNanos(timeEstimator(m.estimate, gp)))
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+
+		// Figure 15: CDF of relative error.
+		fmt.Fprintln(w, "\ncumulative % of queries within error threshold:")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "Method\t")
+		for _, th := range thresholds {
+			fmt.Fprintf(tw, "≤%.1f%%\t", th*100)
+		}
+		fmt.Fprintln(tw)
+		for _, m := range suite {
+			if m.exact {
+				continue
+			}
+			cdf := metrics.CDF(metrics.EstimatorFunc(m.estimate), pairs, thresholds)
+			fmt.Fprintf(tw, "%s\t", m.name)
+			for _, c := range cdf {
+				fmt.Fprintf(tw, "%.1f%%\t", c*100)
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+
+		// Figure 17: rel (line) and abs (bar) errors by distance group.
+		fmt.Fprintln(w, "\nerrors by distance scale:")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		for _, m := range suite {
+			if m.exact {
+				continue
+			}
+			fmt.Fprintf(tw, "%s rel%%\t", m.name)
+			for _, gp := range groups {
+				st := metrics.Evaluate(metrics.EstimatorFunc(m.estimate), gp)
+				fmt.Fprintf(tw, "%.2f\t", st.MeanRel*100)
+			}
+			fmt.Fprintln(tw)
+			fmt.Fprintf(tw, "%s abs\t", m.name)
+			for _, gp := range groups {
+				st := metrics.Evaluate(metrics.EstimatorFunc(m.estimate), gp)
+				fmt.Fprintf(tw, "%.1f\t", st.MeanAbs)
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,377 @@
+// Package ch implements Contraction Hierarchies (Geisberger et al.):
+// vertices are contracted in importance order, shortcuts preserve
+// shortest distances among the remaining vertices, and queries run a
+// bidirectional upward Dijkstra over original edges plus shortcuts.
+//
+// The same builder covers the approximate variant ACH (Geisberger &
+// Schieferdecker) through Options.Epsilon: during contraction a witness
+// path up to (1+ε) times the shortcut length already suppresses the
+// shortcut, shrinking the index and build time at the price of a
+// bounded relative error.
+package ch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/pqueue"
+	"repro/internal/sssp"
+)
+
+// Options configures a hierarchy build.
+type Options struct {
+	// Epsilon is the ACH slack: 0 builds an exact CH; ε > 0 accepts
+	// witnesses up to (1+ε) times the shortcut length.
+	Epsilon float64
+	// WitnessHopLimit caps the vertices settled per witness search;
+	// hitting the cap conservatively adds the shortcut. Default 80.
+	WitnessHopLimit int
+}
+
+type edge struct {
+	to int32
+	w  float64
+}
+
+// Index is a built contraction hierarchy.
+type Index struct {
+	n       int
+	rank    []int32 // contraction order position of each vertex
+	up      [][]edge
+	eps     float64
+	nShort  int
+	nUpEdge int
+}
+
+// Build contracts g per opts.
+func Build(g *graph.Graph, opts Options) (*Index, error) {
+	if opts.Epsilon < 0 {
+		return nil, fmt.Errorf("ch: epsilon must be non-negative, got %v", opts.Epsilon)
+	}
+	if opts.WitnessHopLimit == 0 {
+		opts.WitnessHopLimit = 80
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("ch: empty graph")
+	}
+
+	// Mutable adjacency (original edges + shortcuts so far).
+	adj := make([][]edge, n)
+	for v := 0; v < n; v++ {
+		ts, ws := g.Neighbors(int32(v))
+		es := make([]edge, len(ts))
+		for i := range ts {
+			es[i] = edge{to: ts[i], w: ws[i]}
+		}
+		adj[v] = es
+	}
+	contracted := make([]bool, n)
+	deleted := make([]int32, n) // contracted-neighbor counters
+
+	b := &builder{
+		adj:        adj,
+		contracted: contracted,
+		dist:       make([]float64, n),
+		hops:       make([]int32, n),
+		heap:       pqueue.New(n),
+		limit:      opts.WitnessHopLimit,
+		eps:        opts.Epsilon,
+	}
+	for i := range b.dist {
+		b.dist[i] = sssp.Inf
+	}
+
+	// Priority queue of contraction priorities with lazy updates.
+	pq := pqueue.New(n)
+	for v := int32(0); v < int32(n); v++ {
+		pq.Push(v, b.priority(v, deleted[v]))
+	}
+
+	idx := &Index{n: n, rank: make([]int32, n), eps: opts.Epsilon, up: make([][]edge, n)}
+	nextRank := int32(0)
+	for pq.Len() > 0 {
+		v, key := pq.Pop()
+		// Lazy re-evaluation: if the recomputed priority is now worse
+		// than the next queued one, requeue.
+		if pq.Len() > 0 {
+			cur := b.priority(v, deleted[v])
+			if _, nextKey := pq.Peek(); cur > nextKey && cur > key {
+				pq.Push(v, cur)
+				continue
+			}
+		}
+		idx.rank[v] = nextRank
+		nextRank++
+		shortcuts := b.contract(v)
+		idx.nShort += shortcuts
+		// Bump deleted-neighbor counters; priorities refresh lazily on pop.
+		ns, _ := neighborsOf(b.adj[v], b.contracted)
+		for _, u := range ns {
+			deleted[u]++
+		}
+		contracted[v] = true
+	}
+
+	// Assemble upward adjacency from final edge set.
+	for v := int32(0); v < int32(n); v++ {
+		for _, e := range b.adj[v] {
+			if idx.rank[e.to] > idx.rank[v] {
+				idx.up[v] = append(idx.up[v], e)
+			}
+		}
+		list := idx.up[v]
+		sort.Slice(list, func(i, j int) bool { return list[i].to < list[j].to })
+		// Deduplicate keeping minimal weights (parallel shortcuts).
+		out := list[:0]
+		for _, e := range list {
+			if len(out) > 0 && out[len(out)-1].to == e.to {
+				if e.w < out[len(out)-1].w {
+					out[len(out)-1].w = e.w
+				}
+				continue
+			}
+			out = append(out, e)
+		}
+		idx.up[v] = out
+		idx.nUpEdge += len(out)
+	}
+	return idx, nil
+}
+
+// builder carries the witness-search scratch state.
+type builder struct {
+	adj        [][]edge
+	contracted []bool
+	dist       []float64
+	hops       []int32
+	touched    []int32
+	heap       *pqueue.IndexedHeap
+	limit      int
+	eps        float64
+}
+
+func neighborsOf(es []edge, contracted []bool) ([]int32, []float64) {
+	var ns []int32
+	var ws []float64
+	seen := map[int32]float64{}
+	for _, e := range es {
+		if contracted[e.to] {
+			continue
+		}
+		if w, ok := seen[e.to]; !ok || e.w < w {
+			seen[e.to] = e.w
+		}
+	}
+	for to, w := range seen {
+		ns = append(ns, to)
+		ws = append(ws, w)
+	}
+	// Deterministic order.
+	idx := make([]int, len(ns))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ns[idx[a]] < ns[idx[b]] })
+	outN := make([]int32, len(ns))
+	outW := make([]float64, len(ns))
+	for i, j := range idx {
+		outN[i] = ns[j]
+		outW[i] = ws[j]
+	}
+	return outN, outW
+}
+
+// priority is the standard edge-difference + deleted-neighbors heuristic.
+func (b *builder) priority(v int32, deletedNeighbors int32) float64 {
+	shortcuts := b.simulate(v)
+	ns, _ := neighborsOf(b.adj[v], b.contracted)
+	return float64(shortcuts-len(ns)) + 0.7*float64(deletedNeighbors)
+}
+
+// simulate counts the shortcuts contraction of v would add.
+func (b *builder) simulate(v int32) int {
+	return b.contractInternal(v, false)
+}
+
+// contract removes v, adding shortcuts among its uncontracted
+// neighbors, and returns the number added.
+func (b *builder) contract(v int32) int {
+	return b.contractInternal(v, true)
+}
+
+func (b *builder) contractInternal(v int32, apply bool) int {
+	ns, ws := neighborsOf(b.adj[v], b.contracted)
+	count := 0
+	for i := 0; i < len(ns); i++ {
+		for j := i + 1; j < len(ns); j++ {
+			need := ws[i] + ws[j]
+			// Witness search from ns[i] to ns[j] avoiding v, accepting a
+			// witness within (1+eps)*need.
+			if b.witness(ns[i], ns[j], v, need*(1+b.eps)) {
+				continue
+			}
+			count++
+			if apply {
+				b.adj[ns[i]] = append(b.adj[ns[i]], edge{to: ns[j], w: need})
+				b.adj[ns[j]] = append(b.adj[ns[j]], edge{to: ns[i], w: need})
+			}
+		}
+	}
+	return count
+}
+
+// witness reports whether a path from s to t avoiding via, of length at
+// most maxDist, exists among uncontracted vertices. Bounded effort:
+// hitting the settle cap reports false (conservative).
+func (b *builder) witness(s, t, via int32, maxDist float64) bool {
+	b.heap.Reset()
+	for _, u := range b.touched {
+		b.dist[u] = sssp.Inf
+	}
+	b.touched = b.touched[:0]
+	b.dist[s] = 0
+	b.touched = append(b.touched, s)
+	b.heap.Push(s, 0)
+	settled := 0
+	for b.heap.Len() > 0 && settled < b.limit {
+		v, d := b.heap.Pop()
+		if d > maxDist {
+			return false
+		}
+		if v == t {
+			return d <= maxDist
+		}
+		settled++
+		for _, e := range b.adj[v] {
+			if e.to == via || b.contracted[e.to] {
+				continue
+			}
+			nd := d + e.w
+			if nd < b.dist[e.to] && nd <= maxDist {
+				if b.dist[e.to] == sssp.Inf {
+					b.touched = append(b.touched, e.to)
+				}
+				b.dist[e.to] = nd
+				b.heap.Push(e.to, nd)
+			}
+		}
+	}
+	if b.heap.Contains(t) && b.heap.Key(t) <= maxDist {
+		return true
+	}
+	return false
+}
+
+// Shortcuts returns the number of shortcuts added during construction.
+func (idx *Index) Shortcuts() int { return idx.nShort }
+
+// Epsilon returns the build slack (0 for exact CH).
+func (idx *Index) Epsilon() float64 { return idx.eps }
+
+// IndexBytes reports the upward-graph size in bytes (Table IV metric):
+// 12 bytes per upward edge (target + weight) plus the rank array.
+func (idx *Index) IndexBytes() int64 {
+	return int64(idx.nUpEdge)*12 + int64(idx.n)*4
+}
+
+// Query is a reusable query context over one Index. Not safe for
+// concurrent use; create one per goroutine.
+type Query struct {
+	idx      *Index
+	dist     []float64
+	distB    []float64
+	touched  []int32
+	touchedB []int32
+	heap     *pqueue.IndexedHeap
+	heapB    *pqueue.IndexedHeap
+}
+
+// NewQuery returns a query context.
+func (idx *Index) NewQuery() *Query {
+	q := &Query{
+		idx:   idx,
+		dist:  make([]float64, idx.n),
+		distB: make([]float64, idx.n),
+		heap:  pqueue.New(idx.n),
+		heapB: pqueue.New(idx.n),
+	}
+	for i := 0; i < idx.n; i++ {
+		q.dist[i] = sssp.Inf
+		q.distB[i] = sssp.Inf
+	}
+	return q
+}
+
+// Distance returns the hierarchy distance from s to t: exact for ε = 0,
+// within the ACH error bound otherwise. It returns sssp.Inf when t is
+// unreachable.
+func (q *Query) Distance(s, t int32) float64 {
+	if s == t {
+		return 0
+	}
+	for _, v := range q.touched {
+		q.dist[v] = sssp.Inf
+	}
+	for _, v := range q.touchedB {
+		q.distB[v] = sssp.Inf
+	}
+	q.touched = q.touched[:0]
+	q.touchedB = q.touchedB[:0]
+	q.heap.Reset()
+	q.heapB.Reset()
+
+	q.dist[s] = 0
+	q.touched = append(q.touched, s)
+	q.heap.Push(s, 0)
+	q.distB[t] = 0
+	q.touchedB = append(q.touchedB, t)
+	q.heapB.Push(t, 0)
+
+	best := sssp.Inf
+	for q.heap.Len() > 0 || q.heapB.Len() > 0 {
+		var fKey, bKey float64 = sssp.Inf, sssp.Inf
+		if q.heap.Len() > 0 {
+			_, fKey = q.heap.Peek()
+		}
+		if q.heapB.Len() > 0 {
+			_, bKey = q.heapB.Peek()
+		}
+		if fKey >= best && bKey >= best {
+			break
+		}
+		if fKey <= bKey {
+			v, d := q.heap.Pop()
+			if db := q.distB[v]; db < sssp.Inf && d+db < best {
+				best = d + db
+			}
+			for _, e := range q.idx.up[v] {
+				nd := d + e.w
+				if nd < q.dist[e.to] {
+					if q.dist[e.to] == sssp.Inf {
+						q.touched = append(q.touched, e.to)
+					}
+					q.dist[e.to] = nd
+					q.heap.Push(e.to, nd)
+				}
+			}
+		} else {
+			v, d := q.heapB.Pop()
+			if df := q.dist[v]; df < sssp.Inf && d+df < best {
+				best = d + df
+			}
+			for _, e := range q.idx.up[v] {
+				nd := d + e.w
+				if nd < q.distB[e.to] {
+					if q.distB[e.to] == sssp.Inf {
+						q.touchedB = append(q.touchedB, e.to)
+					}
+					q.distB[e.to] = nd
+					q.heapB.Push(e.to, nd)
+				}
+			}
+		}
+	}
+	return best
+}

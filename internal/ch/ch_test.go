@@ -1,0 +1,164 @@
+package ch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+func testGraph(t *testing.T, seed int64, rows, cols int) *graph.Graph {
+	t.Helper()
+	g, err := gen.Grid(rows, cols, gen.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExactCHMatchesDijkstra(t *testing.T) {
+	g := testGraph(t, 1, 14, 14)
+	idx, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Epsilon() != 0 {
+		t.Fatal("exact build should report epsilon 0")
+	}
+	q := idx.NewQuery()
+	ws := sssp.NewWorkspace(g)
+	rng := rand.New(rand.NewSource(2))
+	n := g.NumVertices()
+	for trial := 0; trial < 300; trial++ {
+		s := int32(rng.Intn(n))
+		u := int32(rng.Intn(n))
+		want := ws.Distance(s, u)
+		got := q.Distance(s, u)
+		if math.Abs(want-got) > 1e-9 {
+			t.Fatalf("(%d,%d): CH %v, Dijkstra %v", s, u, got, want)
+		}
+	}
+}
+
+func TestCHSelfAndRepeatedQueries(t *testing.T) {
+	g := testGraph(t, 3, 8, 8)
+	idx, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := idx.NewQuery()
+	if d := q.Distance(5, 5); d != 0 {
+		t.Fatalf("self distance %v", d)
+	}
+	// Reuse across many queries must not corrupt state.
+	ws := sssp.NewWorkspace(g)
+	for trial := 0; trial < 100; trial++ {
+		s := int32(trial % g.NumVertices())
+		u := int32((trial*13 + 7) % g.NumVertices())
+		want := ws.Distance(s, u)
+		if got := q.Distance(s, u); math.Abs(want-got) > 1e-9 {
+			t.Fatalf("reuse trial %d: %v vs %v", trial, got, want)
+		}
+	}
+}
+
+func TestCHShortcutsReported(t *testing.T) {
+	g := testGraph(t, 4, 12, 12)
+	idx, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Shortcuts() <= 0 {
+		t.Fatal("a grid contraction should add shortcuts")
+	}
+	if idx.IndexBytes() <= 0 {
+		t.Fatal("IndexBytes must be positive")
+	}
+}
+
+func TestACHWithinErrorBound(t *testing.T) {
+	g := testGraph(t, 5, 14, 14)
+	eps := 0.1
+	idx, err := Build(g, Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := idx.NewQuery()
+	ws := sssp.NewWorkspace(g)
+	rng := rand.New(rand.NewSource(6))
+	n := g.NumVertices()
+	var worst float64
+	for trial := 0; trial < 300; trial++ {
+		s := int32(rng.Intn(n))
+		u := int32(rng.Intn(n))
+		if s == u {
+			continue
+		}
+		want := ws.Distance(s, u)
+		got := q.Distance(s, u)
+		if got < want-1e-9 {
+			t.Fatalf("(%d,%d): ACH %v below exact %v", s, u, got, want)
+		}
+		if want > 0 {
+			rel := (got - want) / want
+			if rel > worst {
+				worst = rel
+			}
+		}
+	}
+	// (1+eps) slack compounds along replaced paths; the contraction depth
+	// on these small grids keeps observed error well under 3*eps.
+	if worst > 3*eps {
+		t.Fatalf("ACH worst relative error %v exceeds 3*eps", worst)
+	}
+}
+
+func TestACHSmallerThanCH(t *testing.T) {
+	g := testGraph(t, 7, 14, 14)
+	exact, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := Build(g, Options{Epsilon: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Shortcuts() > exact.Shortcuts() {
+		t.Fatalf("ACH shortcuts %d exceed CH %d", approx.Shortcuts(), exact.Shortcuts())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := testGraph(t, 8, 5, 5)
+	if _, err := Build(g, Options{Epsilon: -1}); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	empty := graph.NewBuilder(0, 0).Build()
+	if _, err := Build(empty, Options{}); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestCHUnreachable(t *testing.T) {
+	b := graph.NewBuilder(4, 2)
+	for i := 0; i < 4; i++ {
+		b.AddVertex(float64(i), 0)
+	}
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(2, 3, 1)
+	g := b.Build()
+	idx, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := idx.NewQuery()
+	if d := q.Distance(0, 3); d != sssp.Inf {
+		t.Fatalf("unreachable distance %v, want Inf", d)
+	}
+	if d := q.Distance(0, 1); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("reachable distance %v, want 1", d)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/vecmath"
+)
+
+// EstimateBatch fills out[i] with the estimated distance of the pair
+// (ss[i], ts[i]) using up to workers goroutines (0 = GOMAXPROCS).
+// Model queries are read-only, so batching is embarrassingly parallel;
+// this is the serving shape of the paper's Uber motivation — 10M pair
+// estimates per second across requests.
+func (m *Model) EstimateBatch(ss, ts []int32, out []float64, workers int) error {
+	if len(ss) != len(ts) || len(ss) != len(out) {
+		return fmt.Errorf("core: batch slices must share a length, got %d/%d/%d",
+			len(ss), len(ts), len(out))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ss) {
+		workers = len(ss)
+	}
+	if workers <= 1 {
+		for i := range ss {
+			out[i] = m.Estimate(ss[i], ts[i])
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	chunk := (len(ss) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ss) {
+			hi = len(ss)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = vecmath.Lp(m.m.Row(ss[i]), m.m.Row(ts[i]), m.p) * m.scale
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nil
+}

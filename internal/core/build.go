@@ -1,0 +1,60 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// BuildStats records what Build did, mirroring the quantities of
+// Tables III/IV: wall-clock time per phase, total samples consumed and
+// the final validation error.
+type BuildStats struct {
+	// Setup covers hierarchy construction, landmark selection, grid and
+	// validation-set preparation.
+	Setup time.Duration
+	// HierPhase, VertexPhase and FineTune time phases ①–③.
+	HierPhase, VertexPhase, FineTune time.Duration
+	// Total is the end-to-end build time (the Table IV "building time").
+	Total time.Duration
+	// SamplesUsed counts SGD sample presentations across all epochs.
+	SamplesUsed int64
+	// Validation is the final held-out error.
+	Validation metrics.ErrorStats
+}
+
+// Build runs the full Algorithm 1 pipeline over g and returns the
+// query model together with build statistics.
+func Build(g *graph.Graph, opt Options) (*Model, BuildStats, error) {
+	var st BuildStats
+	start := time.Now()
+
+	t0 := time.Now()
+	tr, err := NewTrainer(g, opt)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Setup = time.Since(t0)
+
+	t0 = time.Now()
+	tr.RunHierPhase()
+	st.HierPhase = time.Since(t0)
+
+	t0 = time.Now()
+	tr.RunVertexPhase()
+	st.VertexPhase = time.Since(t0)
+
+	if tr.Options().ActiveFineTune {
+		t0 = time.Now()
+		for k := 0; k < tr.Options().FineTuneRounds; k++ {
+			tr.RunFineTuneRound(k)
+		}
+		st.FineTune = time.Since(t0)
+	}
+
+	st.Total = time.Since(start)
+	st.SamplesUsed = tr.SamplesUsed()
+	st.Validation = tr.Validate()
+	return tr.Finalize(), st, nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/emb"
+)
+
+// CompactModel is a float32 deployment variant of Model: half the index
+// size with a quantization error (~1e-7 relative) far below the
+// training error. An extension over the paper, whose index stores
+// float64; the compact-vs-full trade-off is measured by the
+// ablation-compact experiment.
+type CompactModel struct {
+	m     *emb.Matrix32
+	scale float64
+}
+
+// Compact converts a trained L1 model to float32 storage. Models with
+// p != 1 are rejected: the compact query path only implements the
+// paper's production metric.
+func (m *Model) Compact() (*CompactModel, error) {
+	if m.p != 1 {
+		return nil, fmt.Errorf("core: compact models support p=1 only, model has p=%v", m.p)
+	}
+	return &CompactModel{m: m.m.Compact(), scale: m.scale}, nil
+}
+
+// Estimate approximates the shortest-path distance between s and t.
+func (c *CompactModel) Estimate(s, t int32) float64 {
+	return c.m.L1(s, t) * c.scale
+}
+
+// NumVertices returns |V|.
+func (c *CompactModel) NumVertices() int { return c.m.Rows() }
+
+// Dim returns the embedding dimension.
+func (c *CompactModel) Dim() int { return c.m.Dim() }
+
+// Scale returns the distance normalizer.
+func (c *CompactModel) Scale() float64 { return c.scale }
+
+// IndexBytes reports the serialized size (half the float64 model's).
+func (c *CompactModel) IndexBytes() int64 {
+	return int64(c.m.Rows())*int64(c.m.Dim())*4 + 32
+}
+
+const compactMagic = "RNECOMPACT1\n"
+
+// Save serializes the compact model.
+func (c *CompactModel) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(compactMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, c.scale); err != nil {
+		return err
+	}
+	if _, err := c.m.WriteTo(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadCompact deserializes a compact model written by Save.
+func LoadCompact(r io.Reader) (*CompactModel, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(compactMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != compactMagic {
+		return nil, fmt.Errorf("core: bad compact-model magic %q", magic)
+	}
+	var scale float64
+	if err := binary.Read(br, binary.LittleEndian, &scale); err != nil {
+		return nil, err
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("core: implausible compact scale %v", scale)
+	}
+	mat, err := emb.ReadMatrix32(br)
+	if err != nil {
+		return nil, err
+	}
+	return &CompactModel{m: mat, scale: scale}, nil
+}
+
+// SaveFile writes the compact model to the named file.
+func (c *CompactModel) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCompactFile reads a compact model from the named file.
+func LoadCompactFile(path string) (*CompactModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCompact(f)
+}

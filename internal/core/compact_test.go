@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"testing"
+)
+
+func TestCompactMatchesFullModel(t *testing.T) {
+	g := testGraph(t, 12)
+	m, _, err := Build(g, fastOptions(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumVertices() != m.NumVertices() || c.Dim() != m.Dim() || c.Scale() != m.Scale() {
+		t.Fatal("compact metadata wrong")
+	}
+	for i := 0; i < 200; i++ {
+		s := int32(i % m.NumVertices())
+		u := int32((i*37 + 11) % m.NumVertices())
+		full := m.Estimate(s, u)
+		comp := c.Estimate(s, u)
+		// float32 quantization: relative error bounded well below 1e-4.
+		tol := 1e-4*full + 1e-6
+		if math.Abs(full-comp) > tol {
+			t.Fatalf("(%d,%d): compact %v vs full %v", s, u, comp, full)
+		}
+	}
+	if c.IndexBytes() >= m.IndexBytes() {
+		t.Fatalf("compact %d bytes not smaller than full %d", c.IndexBytes(), m.IndexBytes())
+	}
+}
+
+func TestCompactRejectsNonL1(t *testing.T) {
+	g := testGraph(t, 8)
+	opt := fastOptions(22)
+	opt.P = 2
+	m, _, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Compact(); err == nil {
+		t.Fatal("p=2 model compacted")
+	}
+}
+
+func TestCompactSaveLoadRoundTrip(t *testing.T) {
+	g := testGraph(t, 10)
+	m, _, err := Build(g, fastOptions(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := LoadCompact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s := int32(i % c.NumVertices())
+		u := int32((i*13 + 7) % c.NumVertices())
+		if c.Estimate(s, u) != c2.Estimate(s, u) {
+			t.Fatal("round trip changed estimates")
+		}
+	}
+	if _, err := LoadCompact(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestEstimateBatch(t *testing.T) {
+	g := testGraph(t, 12)
+	m, _, err := Build(g, fastOptions(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	ss := make([]int32, n)
+	ts := make([]int32, n)
+	for i := range ss {
+		ss[i] = int32(i % m.NumVertices())
+		ts[i] = int32((i*31 + 17) % m.NumVertices())
+	}
+	for _, workers := range []int{0, 1, 2, runtime.GOMAXPROCS(0) * 2, n + 5} {
+		out := make([]float64, n)
+		if err := m.EstimateBatch(ss, ts, out, workers); err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if want := m.Estimate(ss[i], ts[i]); out[i] != want {
+				t.Fatalf("workers=%d pair %d: %v vs %v", workers, i, out[i], want)
+			}
+		}
+	}
+	// Mismatched slice lengths rejected.
+	if err := m.EstimateBatch(ss, ts[:10], make([]float64, n), 2); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestAdamOptimizerConverges(t *testing.T) {
+	g := testGraph(t, 14)
+	sgdOpt := fastOptions(31)
+	adamOpt := sgdOpt
+	adamOpt.Optimizer = "adam"
+
+	_, stSGD, err := Build(g, sgdOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stAdam, err := Build(g, adamOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adam must converge to a comparable error (within 2x of SGD's) —
+	// the ablation-optimizer experiment quantifies which wins where.
+	if stAdam.Validation.MeanRel > 2*stSGD.Validation.MeanRel+0.01 {
+		t.Fatalf("adam %.2f%% far above sgd %.2f%%",
+			stAdam.Validation.MeanRel*100, stSGD.Validation.MeanRel*100)
+	}
+	t.Logf("sgd %.3f%% vs adam %.3f%%", stSGD.Validation.MeanRel*100, stAdam.Validation.MeanRel*100)
+}
+
+func TestOptimizerValidation(t *testing.T) {
+	g := testGraph(t, 8)
+	opt := fastOptions(32)
+	opt.Optimizer = "rmsprop"
+	if _, err := NewTrainer(g, opt); err == nil {
+		t.Fatal("unknown optimizer accepted")
+	}
+}

@@ -1,0 +1,12 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+func newOracle(g *graph.Graph) *sssp.TruthOracle { return sssp.NewTruthOracle(g, 64) }
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,170 @@
+// Package deepwalk implements DeepWalk (Perozzi et al., KDD 2014):
+// truncated random walks over the graph feed a skip-gram model trained
+// with negative sampling. It backs the paper's DR ablation baseline —
+// a social embedding whose cosine-style geometry captures neighborhood
+// similarity, which Section VII-B1 shows is insufficient for distance
+// regression without a downstream network.
+package deepwalk
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/emb"
+	"repro/internal/graph"
+)
+
+// Config controls DeepWalk training.
+type Config struct {
+	// Dim is the embedding dimension (paper baseline: 64).
+	Dim int
+	// WalksPerVertex and WalkLength shape the corpus (defaults 8, 40).
+	WalksPerVertex, WalkLength int
+	// Window is the skip-gram context radius (default 5).
+	Window int
+	// Negatives is the number of negative samples per pair (default 5).
+	Negatives int
+	// LR is the initial learning rate, linearly decayed (default 0.025).
+	LR float64
+	// Epochs is the number of passes over the walk corpus (default 2).
+	Epochs int
+	// Seed fixes corpus generation and initialization.
+	Seed int64
+}
+
+// DefaultConfig returns the standard DeepWalk hyper-parameters.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Dim: 64, WalksPerVertex: 8, WalkLength: 40,
+		Window: 5, Negatives: 5, LR: 0.025, Epochs: 2, Seed: seed,
+	}
+}
+
+// Train learns vertex embeddings for g and returns the input-side
+// embedding matrix.
+func Train(g *graph.Graph, cfg Config) (*emb.Matrix, error) {
+	n := g.NumVertices()
+	switch {
+	case n == 0:
+		return nil, fmt.Errorf("deepwalk: empty graph")
+	case cfg.Dim < 1:
+		return nil, fmt.Errorf("deepwalk: Dim must be >= 1, got %d", cfg.Dim)
+	case cfg.WalksPerVertex < 1 || cfg.WalkLength < 2:
+		return nil, fmt.Errorf("deepwalk: need WalksPerVertex >= 1 and WalkLength >= 2")
+	case cfg.Window < 1 || cfg.Negatives < 1 || cfg.LR <= 0 || cfg.Epochs < 1:
+		return nil, fmt.Errorf("deepwalk: invalid window/negatives/lr/epochs")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	in := emb.NewMatrix(n, cfg.Dim)
+	out := emb.NewMatrix(n, cfg.Dim)
+	in.RandomInit(rng, 0.5/float64(cfg.Dim))
+
+	// Unigram^0.75 negative-sampling table over vertex degrees.
+	table := buildUnigramTable(g, rng)
+
+	// Walk corpus.
+	walks := make([][]int32, 0, n*cfg.WalksPerVertex)
+	for w := 0; w < cfg.WalksPerVertex; w++ {
+		perm := rng.Perm(n)
+		for _, start := range perm {
+			walk := make([]int32, 0, cfg.WalkLength)
+			v := int32(start)
+			walk = append(walk, v)
+			for len(walk) < cfg.WalkLength {
+				ts, _ := g.Neighbors(v)
+				if len(ts) == 0 {
+					break
+				}
+				v = ts[rng.Intn(len(ts))]
+				walk = append(walk, v)
+			}
+			walks = append(walks, walk)
+		}
+	}
+
+	// Skip-gram with negative sampling.
+	totalSteps := cfg.Epochs * len(walks)
+	step := 0
+	gradC := make([]float64, cfg.Dim)
+	for e := 0; e < cfg.Epochs; e++ {
+		for _, walk := range walks {
+			lr := cfg.LR * (1 - float64(step)/float64(totalSteps+1))
+			if lr < cfg.LR*0.01 {
+				lr = cfg.LR * 0.01
+			}
+			step++
+			for i, center := range walk {
+				lo := i - cfg.Window
+				if lo < 0 {
+					lo = 0
+				}
+				hi := i + cfg.Window
+				if hi >= len(walk) {
+					hi = len(walk) - 1
+				}
+				vc := in.Row(center)
+				for j := lo; j <= hi; j++ {
+					if j == i {
+						continue
+					}
+					for k := range gradC {
+						gradC[k] = 0
+					}
+					// Positive pair.
+					sgdPair(vc, out.Row(walk[j]), 1, lr, gradC)
+					// Negatives.
+					for neg := 0; neg < cfg.Negatives; neg++ {
+						nv := table[rng.Intn(len(table))]
+						if nv == walk[j] {
+							continue
+						}
+						sgdPair(vc, out.Row(nv), 0, lr, gradC)
+					}
+					for k := range vc {
+						vc[k] += gradC[k]
+					}
+				}
+			}
+		}
+	}
+	return in, nil
+}
+
+// sgdPair applies one logistic SGD update for (center, context) with
+// label 1 (positive) or 0 (negative), accumulating the center gradient.
+func sgdPair(vc, uo []float64, label, lr float64, gradC []float64) {
+	var dot float64
+	for k := range vc {
+		dot += vc[k] * uo[k]
+	}
+	pred := 1 / (1 + math.Exp(-dot))
+	g := lr * (label - pred)
+	for k := range vc {
+		gradC[k] += g * uo[k]
+		uo[k] += g * vc[k]
+	}
+}
+
+func buildUnigramTable(g *graph.Graph, rng *rand.Rand) []int32 {
+	n := g.NumVertices()
+	const tableSize = 1 << 17
+	table := make([]int32, 0, tableSize)
+	var total float64
+	pow := make([]float64, n)
+	for v := 0; v < n; v++ {
+		pow[v] = math.Pow(float64(g.Degree(int32(v))+1), 0.75)
+		total += pow[v]
+	}
+	for v := 0; v < n; v++ {
+		count := int(pow[v] / total * tableSize)
+		if count < 1 {
+			count = 1
+		}
+		for i := 0; i < count; i++ {
+			table = append(table, int32(v))
+		}
+	}
+	return table
+}

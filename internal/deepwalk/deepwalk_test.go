@@ -1,0 +1,111 @@
+package deepwalk
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/vecmath"
+)
+
+func smallConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Dim = 16
+	cfg.WalksPerVertex = 4
+	cfg.WalkLength = 20
+	cfg.Epochs = 1
+	return cfg
+}
+
+func TestTrainProducesFiniteEmbeddings(t *testing.T) {
+	g, err := gen.Grid(10, 10, gen.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(g, smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != g.NumVertices() || m.Dim() != 16 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Dim())
+	}
+	for _, x := range m.Data() {
+		if x != x || x > 1e6 || x < -1e6 {
+			t.Fatalf("implausible embedding value %v", x)
+		}
+	}
+}
+
+// TestNeighborhoodSimilarity: DeepWalk embeds "social" proximity, so
+// adjacent vertices should have higher dot-product similarity than
+// far-apart vertices on average.
+func TestNeighborhoodSimilarity(t *testing.T) {
+	g, err := gen.Grid(12, 12, gen.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(g, smallConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int32(g.NumVertices())
+	var nearSim, farSim float64
+	var nearCnt, farCnt int
+	for v := int32(0); v < n; v += 3 {
+		ts, _ := g.Neighbors(v)
+		for _, u := range ts {
+			nearSim += vecmath.Dot(m.Row(v), m.Row(u))
+			nearCnt++
+		}
+		far := (v + n/2) % n
+		farSim += vecmath.Dot(m.Row(v), m.Row(far))
+		farCnt++
+	}
+	if nearSim/float64(nearCnt) <= farSim/float64(farCnt) {
+		t.Fatalf("adjacent similarity %.4f not above far similarity %.4f",
+			nearSim/float64(nearCnt), farSim/float64(farCnt))
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	g, err := gen.Grid(5, 5, gen.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Dim: 0, WalksPerVertex: 1, WalkLength: 10, Window: 2, Negatives: 1, LR: 0.01, Epochs: 1},
+		{Dim: 8, WalksPerVertex: 0, WalkLength: 10, Window: 2, Negatives: 1, LR: 0.01, Epochs: 1},
+		{Dim: 8, WalksPerVertex: 1, WalkLength: 1, Window: 2, Negatives: 1, LR: 0.01, Epochs: 1},
+		{Dim: 8, WalksPerVertex: 1, WalkLength: 10, Window: 0, Negatives: 1, LR: 0.01, Epochs: 1},
+		{Dim: 8, WalksPerVertex: 1, WalkLength: 10, Window: 2, Negatives: 1, LR: -1, Epochs: 1},
+	}
+	for i, cfg := range bad {
+		cfg.Seed = 1
+		if _, err := Train(g, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Train(graph.NewBuilder(0, 0).Build(), DefaultConfig(1)); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g, err := gen.Grid(8, 8, gen.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Train(g, smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(g, smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatal("same seed produced different embeddings")
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package dr implements the paper's DeepWalk-Regression ablation
+// baseline (Section VII-B1): a pretrained DeepWalk embedding is frozen,
+// each vertex's feature vector is its embedding concatenated with its
+// coordinates, and a small fully-connected network regresses the
+// shortest-path distance from [v_s, v_t, |v_s - v_t|]. The paper's
+// three variants DR-1K, DR-10K and DR-100K differ only in the hidden
+// width (≈1K, 10K, 100K parameters).
+package dr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/deepwalk"
+	"repro/internal/emb"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/sample"
+)
+
+// Config controls a DR build.
+type Config struct {
+	// EmbedDim is the DeepWalk dimension (paper: 64).
+	EmbedDim int
+	// Hidden is the regressor's hidden width; see Variant.
+	Hidden int
+	// LR is the Adam learning rate (default 1e-3).
+	LR float64
+	// Epochs is the number of passes over the training samples
+	// (default 4).
+	Epochs int
+	// Seed fixes DeepWalk and regressor initialization.
+	Seed int64
+}
+
+// Variant returns the paper's DR-1K / DR-10K / DR-100K configuration.
+// params must be one of 1000, 10000, 100000.
+func Variant(params int, seed int64) (Config, error) {
+	cfg := Config{EmbedDim: 64, LR: 1e-3, Epochs: 4, Seed: seed}
+	// Input width is 3*(EmbedDim+2) = 198; parameter count of one
+	// hidden layer is ~ (in+2)*h + 1.
+	switch params {
+	case 1000:
+		cfg.Hidden = 5
+	case 10000:
+		cfg.Hidden = 50
+	case 100000:
+		cfg.Hidden = 500
+	default:
+		return Config{}, fmt.Errorf("dr: unsupported variant %d (want 1000, 10000 or 100000)", params)
+	}
+	return cfg, nil
+}
+
+// Model is a trained DR distance estimator.
+type Model struct {
+	g     *graph.Graph
+	dw    *emb.Matrix
+	mlp   *nn.MLP
+	scale float64 // distance normalizer
+	// Cached bounding box for coordinate normalization.
+	minX, minY, spanX, spanY float64
+	// Feature scratch.
+	feat []float64
+}
+
+// Train fits a DR model on the given labeled samples, training a fresh
+// DeepWalk embedding. When fitting several regressors over the same
+// graph (the Figure 14 sweep), train DeepWalk once and use
+// TrainWithEmbedding instead — the embedding depends only on the graph
+// and seed, not on the samples.
+func Train(g *graph.Graph, samples []sample.Sample, cfg Config) (*Model, error) {
+	if cfg.EmbedDim == 0 {
+		cfg.EmbedDim = 64
+	}
+	dwCfg := deepwalk.DefaultConfig(cfg.Seed)
+	dwCfg.Dim = cfg.EmbedDim
+	dw, err := deepwalk.Train(g, dwCfg)
+	if err != nil {
+		return nil, err
+	}
+	return TrainWithEmbedding(g, dw, samples, cfg)
+}
+
+// TrainWithEmbedding fits the DR regressor over a pretrained (frozen)
+// DeepWalk embedding.
+func TrainWithEmbedding(g *graph.Graph, dw *emb.Matrix, samples []sample.Sample, cfg Config) (*Model, error) {
+	if cfg.EmbedDim == 0 {
+		cfg.EmbedDim = 64
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 1e-3
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 4
+	}
+	if cfg.Hidden < 1 {
+		return nil, fmt.Errorf("dr: Hidden must be >= 1, got %d", cfg.Hidden)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("dr: no training samples")
+	}
+	if dw == nil || dw.Rows() != g.NumVertices() || dw.Dim() != cfg.EmbedDim {
+		return nil, fmt.Errorf("dr: embedding shape mismatch")
+	}
+
+	featDim := 3 * (cfg.EmbedDim + 2)
+	mlp, err := nn.New([]int{featDim, cfg.Hidden, 1}, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+
+	var maxDist float64
+	for _, s := range samples {
+		if s.Dist > maxDist {
+			maxDist = s.Dist
+		}
+	}
+	if maxDist <= 0 {
+		return nil, fmt.Errorf("dr: all sample distances are zero")
+	}
+
+	m := &Model{g: g, dw: dw, mlp: mlp, scale: maxDist, feat: make([]float64, featDim)}
+	var maxX, maxY float64
+	m.minX, m.minY, maxX, maxY = g.BoundingBox()
+	m.spanX = maxX - m.minX
+	if m.spanX <= 0 {
+		m.spanX = 1
+	}
+	m.spanY = maxY - m.minY
+	if m.spanY <= 0 {
+		m.spanY = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	perm := make([]int, len(samples))
+	for i := range perm {
+		perm[i] = i
+	}
+	for e := 0; e < cfg.Epochs; e++ {
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for _, pi := range perm {
+			s := samples[pi]
+			m.features(s.S, s.T)
+			m.mlp.Step(m.feat, s.Dist/m.scale, cfg.LR)
+		}
+	}
+	return m, nil
+}
+
+// features fills m.feat with [v_s, v_t, |v_s - v_t|], each block being
+// the DeepWalk vector extended by normalized coordinates.
+func (m *Model) features(s, t int32) {
+	d := m.dw.Dim()
+	block := d + 2
+	vs := m.dw.Row(s)
+	vt := m.dw.Row(t)
+	for i := 0; i < d; i++ {
+		m.feat[i] = vs[i]
+		m.feat[block+i] = vt[i]
+		m.feat[2*block+i] = math.Abs(vs[i] - vt[i])
+	}
+	sx := (m.g.X(s) - m.minX) / m.spanX
+	sy := (m.g.Y(s) - m.minY) / m.spanY
+	tx := (m.g.X(t) - m.minX) / m.spanX
+	ty := (m.g.Y(t) - m.minY) / m.spanY
+	m.feat[d] = sx
+	m.feat[d+1] = sy
+	m.feat[block+d] = tx
+	m.feat[block+d+1] = ty
+	m.feat[2*block+d] = math.Abs(sx - tx)
+	m.feat[2*block+d+1] = math.Abs(sy - ty)
+}
+
+// Estimate returns the regressed distance for (s, t). Not safe for
+// concurrent use (shared feature scratch).
+func (m *Model) Estimate(s, t int32) float64 {
+	if s == t {
+		return 0
+	}
+	m.features(s, t)
+	out := m.mlp.Forward(m.feat) * m.scale
+	if out < 0 {
+		out = 0
+	}
+	return out
+}
+
+// NumParams returns the regressor's parameter count (the paper's
+// variant label).
+func (m *Model) NumParams() int { return m.mlp.NumParams() }

@@ -1,0 +1,230 @@
+package emb
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/vecmath"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(5, 3)
+	if m.Rows() != 5 || m.Dim() != 3 {
+		t.Fatalf("shape %dx%d, want 5x3", m.Rows(), m.Dim())
+	}
+	r := m.Row(2)
+	r[0], r[1], r[2] = 1, 2, 3
+	if m.Data()[6] != 1 || m.Data()[8] != 3 {
+		t.Fatal("Row does not alias storage")
+	}
+	if d := m.Distance(2, 0, 1); d != 6 {
+		t.Fatalf("Distance = %v, want 6", d)
+	}
+}
+
+func TestMatrixRandomInitBounds(t *testing.T) {
+	m := NewMatrix(10, 8)
+	rng := rand.New(rand.NewSource(1))
+	m.RandomInit(rng, 0.25)
+	nonzero := false
+	for _, x := range m.Data() {
+		if math.Abs(x) > 0.25 {
+			t.Fatalf("init value %v exceeds scale", x)
+		}
+		if x != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("init left matrix all zeros")
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Row(0)[0] = 7
+	c := m.Clone()
+	c.Row(0)[0] = 9
+	if m.Row(0)[0] != 7 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMatrixSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMatrix(17, 5)
+	m.RandomInit(rng, 1)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Rows() != m.Rows() || m2.Dim() != m.Dim() {
+		t.Fatalf("shape changed: %dx%d", m2.Rows(), m2.Dim())
+	}
+	for i := range m.Data() {
+		if m.Data()[i] != m2.Data()[i] {
+			t.Fatalf("data changed at %d", i)
+		}
+	}
+}
+
+func TestReadMatrixRejectsGarbage(t *testing.T) {
+	if _, err := ReadMatrix(bytes.NewReader([]byte("not a matrix at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadMatrix(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestHierGlobalIsAncestorSum(t *testing.T) {
+	g, err := gen.Grid(12, 12, gen.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := partition.BuildHierarchy(g, partition.DefaultHierConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh := NewHier(h, 4)
+	rng := rand.New(rand.NewSource(4))
+	hh.Local.RandomInit(rng, 1)
+
+	dst := make([]float64, 4)
+	for v := int32(0); v < int32(g.NumVertices()); v += 13 {
+		hh.GlobalInto(dst, v)
+		want := make([]float64, 4)
+		for _, node := range h.Ancestors(v) {
+			vecmath.Sum(want, hh.Local.Row(node))
+		}
+		for i := range dst {
+			if math.Abs(dst[i]-want[i]) > 1e-12 {
+				t.Fatalf("vertex %d dim %d: %v vs %v", v, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestHierNodeGlobalMatchesVertexGlobal(t *testing.T) {
+	g, err := gen.Grid(10, 10, gen.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := partition.BuildHierarchy(g, partition.DefaultHierConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh := NewHier(h, 3)
+	rng := rand.New(rand.NewSource(6))
+	hh.Local.RandomInit(rng, 1)
+
+	a := make([]float64, 3)
+	b := make([]float64, 3)
+	for v := int32(0); v < int32(g.NumVertices()); v += 7 {
+		hh.GlobalInto(a, v)
+		hh.NodeGlobalInto(b, h.VertexNode(v))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d: GlobalInto %v != NodeGlobalInto %v", v, a, b)
+			}
+		}
+	}
+}
+
+func TestHierFlatten(t *testing.T) {
+	g, err := gen.Grid(9, 9, gen.DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := partition.BuildHierarchy(g, partition.DefaultHierConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh := NewHier(h, 6)
+	rng := rand.New(rand.NewSource(8))
+	hh.Local.RandomInit(rng, 1)
+
+	flat := hh.Flatten()
+	if flat.Rows() != g.NumVertices() || flat.Dim() != 6 {
+		t.Fatalf("flatten shape %dx%d", flat.Rows(), flat.Dim())
+	}
+	dst := make([]float64, 6)
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		hh.GlobalInto(dst, v)
+		row := flat.Row(v)
+		for i := range dst {
+			if dst[i] != row[i] {
+				t.Fatalf("vertex %d flatten mismatch", v)
+			}
+		}
+	}
+
+	// Flattened L1 distances must equal on-the-fly hierarchical ones.
+	va := make([]float64, 6)
+	vb := make([]float64, 6)
+	for trial := 0; trial < 20; trial++ {
+		s := int32(rng.Intn(g.NumVertices()))
+		u := int32(rng.Intn(g.NumVertices()))
+		hh.GlobalInto(va, s)
+		hh.GlobalInto(vb, u)
+		want := vecmath.L1(va, vb)
+		got := vecmath.L1(flat.Row(s), flat.Row(u))
+		if math.Abs(want-got) > 1e-12 {
+			t.Fatalf("(%d,%d): flat %v hier %v", s, u, got, want)
+		}
+	}
+}
+
+func TestReadMatrixTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMatrix(8, 4)
+	m.RandomInit(rng, 1)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every truncation point must fail cleanly, never panic.
+	for _, cut := range []int{0, 3, len(matrixMagic), len(matrixMagic) + 8, len(full) - 9, len(full) - 1} {
+		if _, err := ReadMatrix(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadMatrix32Truncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMatrix(6, 3)
+	m.RandomInit(rng, 1)
+	c := m.Compact()
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 4, len(full) - 5, len(full) - 1} {
+		if _, err := ReadMatrix32(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Round trip agrees with the source.
+	c2, err := ReadMatrix32(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < int32(c.Rows()); i++ {
+		for j := int32(0); j < int32(c.Rows()); j++ {
+			if c.L1(i, j) != c2.L1(i, j) {
+				t.Fatal("round trip changed distances")
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package emb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Matrix32 is a float32 embedding matrix: half the memory of Matrix at
+// a quantization cost far below RNE's training error, so it is the
+// deployment-friendly index format (an extension over the paper, which
+// stores float64).
+type Matrix32 struct {
+	rows, d int
+	data    []float32
+}
+
+// Compact converts m to float32 storage.
+func (m *Matrix) Compact() *Matrix32 {
+	c := &Matrix32{rows: m.rows, d: m.d, data: make([]float32, len(m.data))}
+	for i, x := range m.data {
+		c.data[i] = float32(x)
+	}
+	return c
+}
+
+// Rows returns the number of rows.
+func (m *Matrix32) Rows() int { return m.rows }
+
+// Dim returns the embedding dimension d.
+func (m *Matrix32) Dim() int { return m.d }
+
+// Row returns row i, aliasing the matrix storage.
+func (m *Matrix32) Row(i int32) []float32 {
+	off := int(i) * m.d
+	return m.data[off : off+m.d]
+}
+
+// L1 returns the Manhattan distance between rows i and j.
+func (m *Matrix32) L1(i, j int32) float64 {
+	a := m.Row(i)
+	b := m.Row(j)
+	if len(a) == 0 {
+		return 0
+	}
+	b = b[:len(a)] // hoist the bounds check out of the loop
+	var s float32
+	for k, ak := range a {
+		s += abs32(ak - b[k])
+	}
+	return float64(s)
+}
+
+// abs32 clears the sign bit; branch-free so the L1 kernel vectorizes.
+func abs32(x float32) float32 {
+	return math.Float32frombits(math.Float32bits(x) &^ (1 << 31))
+}
+
+const matrix32Magic = "RNEM32\n"
+
+// WriteTo serializes the matrix in a compact binary format.
+func (m *Matrix32) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	n, err := bw.WriteString(matrix32Magic)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	hdr := []int64{int64(m.rows), int64(m.d)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return written, err
+	}
+	written += 16
+	if err := binary.Write(bw, binary.LittleEndian, m.data); err != nil {
+		return written, err
+	}
+	written += int64(4 * len(m.data))
+	return written, bw.Flush()
+}
+
+// ReadMatrix32 deserializes a matrix written by Matrix32.WriteTo.
+func ReadMatrix32(r io.Reader) (*Matrix32, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(matrix32Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != matrix32Magic {
+		return nil, fmt.Errorf("emb: bad magic %q", magic)
+	}
+	var hdr [2]int64
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, err
+	}
+	rows, d := int(hdr[0]), int(hdr[1])
+	if rows < 0 || d <= 0 || rows > 1<<31 || d > 1<<20 {
+		return nil, fmt.Errorf("emb: implausible matrix shape %dx%d", rows, d)
+	}
+	m := &Matrix32{rows: rows, d: d, data: make([]float32, rows*d)}
+	if err := binary.Read(br, binary.LittleEndian, m.data); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

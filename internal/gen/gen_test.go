@@ -1,0 +1,183 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGridDeterministic(t *testing.T) {
+	g1, err := Grid(12, 15, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Grid(12, 15, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumVertices() != g2.NumVertices() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed produced different sizes")
+	}
+	for v := int32(0); v < int32(g1.NumVertices()); v++ {
+		if g1.X(v) != g2.X(v) || g1.Y(v) != g2.Y(v) {
+			t.Fatalf("vertex %d coordinates differ between runs", v)
+		}
+		ts1, ws1 := g1.Neighbors(v)
+		ts2, ws2 := g2.Neighbors(v)
+		if len(ts1) != len(ts2) {
+			t.Fatalf("vertex %d degree differs", v)
+		}
+		for i := range ts1 {
+			if ts1[i] != ts2[i] || ws1[i] != ws2[i] {
+				t.Fatalf("vertex %d adjacency differs", v)
+			}
+		}
+	}
+}
+
+func TestGridSeedsDiffer(t *testing.T) {
+	g1, _ := Grid(10, 10, DefaultConfig(1))
+	g2, _ := Grid(10, 10, DefaultConfig(2))
+	same := g1.NumVertices() == g2.NumVertices() && g1.NumEdges() == g2.NumEdges()
+	if same {
+		// Sizes may coincide; coordinates must not.
+		diff := false
+		for v := int32(0); v < int32(g1.NumVertices()); v++ {
+			if g1.X(v) != g2.X(v) {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestGridConnectedAndValid(t *testing.T) {
+	g, err := Grid(20, 20, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() < 300 {
+		t.Fatalf("largest component too small: %d of 400", g.NumVertices())
+	}
+}
+
+func TestGridWeightsRespectDetour(t *testing.T) {
+	cfg := DefaultConfig(4)
+	g, err := Grid(15, 15, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		ts, ws := g.Neighbors(v)
+		for i, u := range ts {
+			if u < v {
+				continue
+			}
+			euclid := g.Euclidean(v, u)
+			if ws[i] < euclid*cfg.DetourLo-1e-9 {
+				t.Fatalf("edge (%d,%d) weight %v below Euclidean %v", v, u, ws[i], euclid)
+			}
+			if ws[i] > euclid*cfg.DetourHi+1e-9 {
+				t.Fatalf("edge (%d,%d) weight %v above max detour of %v", v, u, ws[i], euclid*cfg.DetourHi)
+			}
+		}
+	}
+}
+
+func TestGridRejectsBadArgs(t *testing.T) {
+	if _, err := Grid(1, 10, DefaultConfig(1)); err == nil {
+		t.Error("rows=1 accepted")
+	}
+	cfg := DefaultConfig(1)
+	cfg.DeleteFrac = 1.5
+	if _, err := Grid(5, 5, cfg); err == nil {
+		t.Error("DeleteFrac=1.5 accepted")
+	}
+	cfg = DefaultConfig(1)
+	cfg.DetourLo = 0.5
+	if _, err := Grid(5, 5, cfg); err == nil {
+		t.Error("DetourLo<1 accepted")
+	}
+	cfg = DefaultConfig(1)
+	cfg.Jitter = 0.9
+	if _, err := Grid(5, 5, cfg); err == nil {
+		t.Error("Jitter=0.9 accepted")
+	}
+	cfg = DefaultConfig(1)
+	cfg.CellSize = 0
+	if _, err := Grid(5, 5, cfg); err == nil {
+		t.Error("CellSize=0 accepted")
+	}
+}
+
+func TestRadial(t *testing.T) {
+	g, err := Radial(6, 12, DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	want := 6*12 + 1
+	if g.NumVertices() != want {
+		t.Fatalf("radial vertices = %d, want %d", g.NumVertices(), want)
+	}
+	if _, err := Radial(0, 12, DefaultConfig(1)); err == nil {
+		t.Error("rings=0 accepted")
+	}
+	if _, err := Radial(3, 2, DefaultConfig(1)); err == nil {
+		t.Error("spokes=2 accepted")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 3 {
+		t.Fatalf("want 3 presets, got %d", len(ps))
+	}
+	// Relative size ladder mirrors the paper: bj < fla < usw.
+	if !(ps[0].Rows*ps[0].Cols < ps[1].Rows*ps[1].Cols && ps[1].Rows*ps[1].Cols < ps[2].Rows*ps[2].Cols) {
+		t.Fatal("preset size ladder broken")
+	}
+	p, err := PresetByName("bj-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(g.NumVertices())-float64(p.Rows*p.Cols)) > 0.1*float64(p.Rows*p.Cols) {
+		t.Fatalf("preset size %d far from nominal %d", g.NumVertices(), p.Rows*p.Cols)
+	}
+	if _, err := PresetByName("nope"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestBuildScaled(t *testing.T) {
+	p, _ := PresetByName("bj-mini")
+	small, err := p.BuildScaled(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.NumVertices() >= p.Rows*p.Cols/4 {
+		t.Fatalf("scaled-down preset not smaller: %d", small.NumVertices())
+	}
+	if _, err := p.BuildScaled(0); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	if _, err := p.BuildScaled(0.001); err == nil {
+		t.Fatal("collapsing scale accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// HighwayConfig shapes a multi-city network: several dense urban grids
+// scattered over a large region, connected by sparse long highway
+// chains. State-scale road networks (the paper's FLA and US-W) have
+// exactly this two-level structure, which stresses long-range distance
+// estimation differently from a single grid.
+type HighwayConfig struct {
+	// Cities is the number of urban grids.
+	Cities int
+	// CityRows and CityCols shape each city's grid.
+	CityRows, CityCols int
+	// RegionSize is the side length of the square region the cities are
+	// scattered over, in weight units.
+	RegionSize float64
+	// HighwaySpacing is the distance between consecutive interchange
+	// vertices along a highway chain.
+	HighwaySpacing float64
+	// ExtraLinks adds this many redundant highway links beyond the
+	// spanning tree connecting the cities.
+	ExtraLinks int
+	// Grid configures the per-city street generator.
+	Grid Config
+}
+
+// DefaultHighwayConfig returns a five-city configuration.
+func DefaultHighwayConfig(seed int64) HighwayConfig {
+	cfg := DefaultConfig(seed)
+	return HighwayConfig{
+		Cities:         5,
+		CityRows:       24,
+		CityCols:       24,
+		RegionSize:     25000,
+		HighwaySpacing: 700,
+		ExtraLinks:     2,
+		Grid:           cfg,
+	}
+}
+
+// Highway generates the multi-city network.
+func Highway(cfg HighwayConfig) (*graph.Graph, error) {
+	switch {
+	case cfg.Cities < 2:
+		return nil, fmt.Errorf("gen: highway needs at least 2 cities, got %d", cfg.Cities)
+	case cfg.CityRows < 2 || cfg.CityCols < 2:
+		return nil, fmt.Errorf("gen: city grids need rows, cols >= 2")
+	case cfg.RegionSize <= 0 || cfg.HighwaySpacing <= 0:
+		return nil, fmt.Errorf("gen: region size and highway spacing must be positive")
+	case cfg.ExtraLinks < 0:
+		return nil, fmt.Errorf("gen: extra links must be non-negative")
+	}
+	if err := cfg.Grid.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Grid.Seed))
+
+	b := graph.NewBuilder(cfg.Cities*cfg.CityRows*cfg.CityCols, cfg.Cities*cfg.CityRows*cfg.CityCols*2)
+	// Coordinates tracked locally so edge lengths never need a
+	// provisional build.
+	var px, py []float64
+	addVertex := func(x, y float64) int32 {
+		px = append(px, x)
+		py = append(py, y)
+		return b.AddVertex(x, y)
+	}
+
+	// Scatter city centers with a minimum separation so grids do not
+	// overlap.
+	citySpan := float64(maxInt(cfg.CityRows, cfg.CityCols)) * cfg.Grid.CellSize
+	centers := make([][2]float64, 0, cfg.Cities)
+	for len(centers) < cfg.Cities {
+		cx := rng.Float64() * cfg.RegionSize
+		cy := rng.Float64() * cfg.RegionSize
+		ok := true
+		for _, c := range centers {
+			if math.Hypot(cx-c[0], cy-c[1]) < 1.5*citySpan {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			centers = append(centers, [2]float64{cx, cy})
+		}
+	}
+
+	// Build each city grid, offset to its center, remembering a gateway
+	// vertex (the one nearest the city center).
+	gateways := make([]int32, cfg.Cities)
+	for ci, center := range centers {
+		cityCfg := cfg.Grid
+		cityCfg.Seed = cfg.Grid.Seed + int64(ci) + 1
+		city, err := Grid(cfg.CityRows, cfg.CityCols, cityCfg)
+		if err != nil {
+			return nil, err
+		}
+		offX := center[0] - float64(cfg.CityCols)*cfg.Grid.CellSize/2
+		offY := center[1] - float64(cfg.CityRows)*cfg.Grid.CellSize/2
+		remap := make([]int32, city.NumVertices())
+		bestGate, bestDist := int32(0), math.Inf(1)
+		for v := int32(0); v < int32(city.NumVertices()); v++ {
+			x := city.X(v) + offX
+			y := city.Y(v) + offY
+			remap[v] = addVertex(x, y)
+			if d := math.Hypot(x-center[0], y-center[1]); d < bestDist {
+				bestGate, bestDist = remap[v], d
+			}
+		}
+		for v := int32(0); v < int32(city.NumVertices()); v++ {
+			ts, wts := city.Neighbors(v)
+			for i, u := range ts {
+				if u > v {
+					if err := b.AddEdge(remap[v], remap[u], wts[i]); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		gateways[ci] = bestGate
+	}
+
+	// Highways: a random spanning tree over cities plus extra links,
+	// each realized as a chain of interchange vertices.
+	type link struct{ a, b int }
+	var links []link
+	perm := rng.Perm(cfg.Cities)
+	for i := 1; i < cfg.Cities; i++ {
+		links = append(links, link{perm[i], perm[rng.Intn(i)]})
+	}
+	for i := 0; i < cfg.ExtraLinks; i++ {
+		a := rng.Intn(cfg.Cities)
+		c := rng.Intn(cfg.Cities)
+		if a != c {
+			links = append(links, link{a, c})
+		}
+	}
+	addHighwayEdge := func(u, v int32) error {
+		length := math.Hypot(px[u]-px[v], py[u]-py[v])
+		if length <= 0 {
+			length = cfg.Grid.CellSize
+		}
+		detour := 1 + rng.Float64()*0.05 // highways hug the straight line
+		return b.AddEdge(u, v, length*detour)
+	}
+	for _, l := range links {
+		ga, gb := gateways[l.a], gateways[l.b]
+		ax, ay := px[ga], py[ga]
+		bx, by := px[gb], py[gb]
+		total := math.Hypot(bx-ax, by-ay)
+		hops := int(total/cfg.HighwaySpacing) + 1
+		prev := ga
+		for h := 1; h < hops; h++ {
+			frac := float64(h) / float64(hops)
+			jx := (rng.Float64()*2 - 1) * cfg.HighwaySpacing * 0.1
+			jy := (rng.Float64()*2 - 1) * cfg.HighwaySpacing * 0.1
+			v := addVertex(ax+(bx-ax)*frac+jx, ay+(by-ay)*frac+jy)
+			if err := addHighwayEdge(prev, v); err != nil {
+				return nil, err
+			}
+			prev = v
+		}
+		if err := addHighwayEdge(prev, gb); err != nil {
+			return nil, err
+		}
+	}
+	g := b.Build()
+	g, _ = graph.LargestComponent(g)
+	return g, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

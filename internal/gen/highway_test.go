@@ -1,0 +1,101 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+func TestHighwayConnectedAndValid(t *testing.T) {
+	cfg := DefaultHighwayConfig(1)
+	cfg.Cities = 3
+	cfg.CityRows, cfg.CityCols = 10, 10
+	g, err := Highway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// All three city grids plus interchanges survive.
+	if g.NumVertices() < 3*10*10/2 {
+		t.Fatalf("only %d vertices survived", g.NumVertices())
+	}
+}
+
+func TestHighwayTwoLevelStructure(t *testing.T) {
+	// Long-range distances should track straight lines closely (highways
+	// hug the line) while intra-city distances carry grid detours.
+	cfg := DefaultHighwayConfig(2)
+	cfg.Cities = 3
+	cfg.CityRows, cfg.CityCols = 10, 10
+	cfg.ExtraLinks = 0
+	g, err := Highway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := sssp.NewWorkspace(g)
+
+	// Find a far pair (opposite corners of the bounding box region).
+	minX, minY, maxX, maxY := g.BoundingBox()
+	var a, b int32
+	bestA, bestB := math.Inf(1), math.Inf(1)
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if d := math.Hypot(g.X(v)-minX, g.Y(v)-minY); d < bestA {
+			a, bestA = v, d
+		}
+		if d := math.Hypot(g.X(v)-maxX, g.Y(v)-maxY); d < bestB {
+			b, bestB = v, d
+		}
+	}
+	network := ws.Distance(a, b)
+	euclid := g.Euclidean(a, b)
+	if network == sssp.Inf {
+		t.Fatal("far pair unreachable")
+	}
+	if ratio := network / euclid; ratio > 2.0 {
+		t.Fatalf("long-range detour ratio %.2f too high for a highway network", ratio)
+	}
+}
+
+func TestHighwayValidation(t *testing.T) {
+	bad := []func(*HighwayConfig){
+		func(c *HighwayConfig) { c.Cities = 1 },
+		func(c *HighwayConfig) { c.CityRows = 1 },
+		func(c *HighwayConfig) { c.RegionSize = 0 },
+		func(c *HighwayConfig) { c.HighwaySpacing = -1 },
+		func(c *HighwayConfig) { c.ExtraLinks = -1 },
+		func(c *HighwayConfig) { c.Grid.DetourLo = 0.5 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultHighwayConfig(1)
+		mutate(&cfg)
+		if _, err := Highway(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestHighwayDeterministic(t *testing.T) {
+	cfg := DefaultHighwayConfig(5)
+	cfg.Cities = 2
+	cfg.CityRows, cfg.CityCols = 6, 6
+	g1, err := Highway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Highway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumVertices() != g2.NumVertices() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed produced different highway networks")
+	}
+	for v := int32(0); v < int32(g1.NumVertices()); v++ {
+		if g1.X(v) != g2.X(v) || g1.Y(v) != g2.Y(v) {
+			t.Fatal("coordinates differ between runs")
+		}
+	}
+}

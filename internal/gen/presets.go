@@ -1,0 +1,72 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Preset identifies a synthetic stand-in for one of the paper's
+// datasets (Table II). The "-mini" suffix signals the deliberate
+// down-scaling documented in DESIGN.md: real BJ/FLA/US-W data is not
+// redistributable and pure-Go training of millions of vertices is out
+// of laptop scope, but the three presets preserve the paper's relative
+// size ladder (1x : ~2x : ~4x).
+type Preset struct {
+	// Name is the preset identifier, e.g. "bj-mini".
+	Name string
+	// PaperName is the dataset the preset stands in for.
+	PaperName string
+	// PaperVertices and PaperEdges are the sizes from Table II.
+	PaperVertices, PaperEdges int
+	// Rows and Cols shape the generated lattice.
+	Rows, Cols int
+	// Seed fixes the generated topology.
+	Seed int64
+}
+
+// Presets returns the three dataset stand-ins in the paper's order.
+func Presets() []Preset {
+	return []Preset{
+		{Name: "bj-mini", PaperName: "BJ (Beijing)", PaperVertices: 338024, PaperEdges: 881050, Rows: 90, Cols: 90, Seed: 1},
+		{Name: "fla-mini", PaperName: "FLA (Florida)", PaperVertices: 1070376, PaperEdges: 2687902, Rows: 127, Cols: 127, Seed: 2},
+		{Name: "usw-mini", PaperName: "US-W (Western USA)", PaperVertices: 6262104, PaperEdges: 15119284, Rows: 180, Cols: 180, Seed: 3},
+	}
+}
+
+// PresetByName looks a preset up by name.
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, 0, 3)
+	for _, p := range Presets() {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return Preset{}, fmt.Errorf("gen: unknown preset %q (have %v)", name, names)
+}
+
+// Build generates the preset's road network. The result is
+// deterministic for a given preset.
+func (p Preset) Build() (*graph.Graph, error) {
+	return Grid(p.Rows, p.Cols, DefaultConfig(p.Seed))
+}
+
+// BuildScaled generates the preset's topology scaled by the given
+// factor on each axis (factor 2 quadruples the vertex count). It lets
+// the benchmark harness stress scalability without new presets.
+func (p Preset) BuildScaled(factor float64) (*graph.Graph, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("gen: scale factor must be positive, got %v", factor)
+	}
+	rows := int(float64(p.Rows) * factor)
+	cols := int(float64(p.Cols) * factor)
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("gen: scale factor %v collapses preset %s below a 2x2 grid", factor, p.Name)
+	}
+	return Grid(rows, cols, DefaultConfig(p.Seed))
+}

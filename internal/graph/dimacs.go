@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// DIMACS support: the 9th DIMACS Implementation Challenge format that
+// the paper's FLA and US-W datasets ship in. A network is a pair of
+// files — a ".gr" graph file with "a <u> <v> <w>" arc lines and a ".co"
+// coordinate file with "v <id> <x> <y>" lines — using 1-based vertex
+// ids. Arcs appear in both directions; ReadDIMACS collapses them into
+// undirected edges keeping the smaller weight.
+
+// ReadDIMACS parses a DIMACS .gr/.co reader pair into a Graph.
+func ReadDIMACS(gr, co io.Reader) (*Graph, error) {
+	// Coordinates first: they declare the vertex count.
+	coSc := bufio.NewScanner(co)
+	coSc.Buffer(make([]byte, 1<<20), 1<<20)
+	var b *Builder
+	n := 0
+	line := 0
+	for coSc.Scan() {
+		line++
+		fields, skip := dimacsFields(coSc.Text())
+		if skip {
+			continue
+		}
+		switch fields[0] {
+		case "p":
+			// "p aux sp co <n>"
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("graph: co line %d: malformed problem line", line)
+			}
+			var err error
+			n, err = strconv.Atoi(fields[len(fields)-1])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("graph: co line %d: bad vertex count", line)
+			}
+			b = NewBuilder(n, n*2)
+		case "v":
+			if b == nil {
+				return nil, fmt.Errorf("graph: co line %d: vertex before problem line", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: co line %d: want 'v id x y'", line)
+			}
+			id, err0 := strconv.Atoi(fields[1])
+			x, err1 := strconv.ParseFloat(fields[2], 64)
+			y, err2 := strconv.ParseFloat(fields[3], 64)
+			if err0 != nil || err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: co line %d: malformed vertex", line)
+			}
+			if got := b.AddVertex(x, y); int(got) != id-1 {
+				return nil, fmt.Errorf("graph: co line %d: ids must be dense 1..n, got %d want %d", line, id, got+1)
+			}
+		default:
+			return nil, fmt.Errorf("graph: co line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := coSc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil || b.NumVertices() != n {
+		return nil, fmt.Errorf("graph: coordinate file declared %d vertices, found %d", n, bNumVertices(b))
+	}
+
+	grSc := bufio.NewScanner(gr)
+	grSc.Buffer(make([]byte, 1<<20), 1<<20)
+	line = 0
+	sawArc := false
+	for grSc.Scan() {
+		line++
+		fields, skip := dimacsFields(grSc.Text())
+		if skip {
+			continue
+		}
+		switch fields[0] {
+		case "p":
+			// "p sp <n> <m>" — trust the coordinate file's n.
+		case "a":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: gr line %d: want 'a u v w'", line)
+			}
+			u, err0 := strconv.Atoi(fields[1])
+			v, err1 := strconv.Atoi(fields[2])
+			w, err2 := strconv.ParseFloat(fields[3], 64)
+			if err0 != nil || err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: gr line %d: malformed arc", line)
+			}
+			if u == v {
+				continue // DIMACS data occasionally carries self loops; drop them
+			}
+			if err := b.AddEdge(int32(u-1), int32(v-1), w); err != nil {
+				return nil, fmt.Errorf("graph: gr line %d: %w", line, err)
+			}
+			sawArc = true
+		default:
+			return nil, fmt.Errorf("graph: gr line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := grSc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawArc {
+		return nil, fmt.Errorf("graph: gr file contains no arcs")
+	}
+	return b.Build(), nil
+}
+
+// ReadDIMACSFiles parses the named .gr/.co file pair.
+func ReadDIMACSFiles(grPath, coPath string) (*Graph, error) {
+	grF, err := os.Open(grPath)
+	if err != nil {
+		return nil, err
+	}
+	defer grF.Close()
+	coF, err := os.Open(coPath)
+	if err != nil {
+		return nil, err
+	}
+	defer coF.Close()
+	return ReadDIMACS(grF, coF)
+}
+
+// dimacsFields splits a line, reporting skip for blanks and "c" comment
+// lines.
+func dimacsFields(text string) ([]string, bool) {
+	text = strings.TrimSpace(text)
+	if text == "" || strings.HasPrefix(text, "c") {
+		return nil, true
+	}
+	return strings.Fields(text), false
+}
+
+func bNumVertices(b *Builder) int {
+	if b == nil {
+		return 0
+	}
+	return b.NumVertices()
+}

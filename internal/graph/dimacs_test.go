@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+const (
+	dimacsCo = `c coordinates
+p aux sp co 4
+v 1 0 0
+v 2 100 0
+v 3 0 100
+v 4 100 100
+`
+	dimacsGr = `c arcs
+p sp 4 10
+a 1 2 100
+a 2 1 100
+a 1 3 100
+a 3 1 100
+a 2 4 120
+a 4 2 110
+a 3 4 100
+a 4 3 100
+a 1 1 5
+`
+)
+
+func TestReadDIMACS(t *testing.T) {
+	g, err := ReadDIMACS(strings.NewReader(dimacsGr), strings.NewReader(dimacsCo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 {
+		t.Fatalf("vertices = %d, want 4", g.NumVertices())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4 (arcs collapsed, self-loop dropped)", g.NumEdges())
+	}
+	// Asymmetric arc weights collapse to the minimum.
+	if w, ok := g.EdgeWeight(1, 3); !ok || w != 110 {
+		t.Fatalf("edge (2,4) weight %v,%v want 110 (min of 120/110)", w, ok)
+	}
+	// 1-based ids shifted to 0-based, coordinates attached.
+	if g.X(3) != 100 || g.Y(3) != 100 {
+		t.Fatalf("vertex 4 coordinates (%v,%v)", g.X(3), g.Y(3))
+	}
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadDIMACSMalformed(t *testing.T) {
+	cases := []struct{ gr, co string }{
+		{dimacsGr, "v 1 0 0\n"},                         // vertex before problem line
+		{dimacsGr, "p aux sp co 2\nv 1 0 0\n"},          // undersized co file
+		{dimacsGr, "p aux sp co 2\nv 2 0 0\nv 1 0 0\n"}, // non-dense ids
+		{"p sp 4 1\na 1 9 5\n", dimacsCo},               // arc out of range
+		{"p sp 4 1\na 1 x 5\n", dimacsCo},               // bad arc field
+		{"p sp 4 0\n", dimacsCo},                        // no arcs at all
+		{"z 1 2 3\n", dimacsCo},                         // unknown gr record
+		{dimacsGr, "p aux sp co 4\nq 1 0 0\n"},          // unknown co record
+	}
+	for i, c := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(c.gr), strings.NewReader(c.co)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

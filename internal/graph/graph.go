@@ -1,0 +1,360 @@
+// Package graph provides the weighted road-network representation used
+// throughout the repository.
+//
+// A road network is modeled as in the paper: road joints are vertices,
+// road segments are edges, and each edge carries a positive weight (the
+// segment length). Edges are undirected — the paper's networks assign
+// the same weight in both directions — and are stored in compressed
+// sparse row (CSR) form so that neighbor scans are cache-friendly for
+// the many Dijkstra runs needed to label training samples.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Graph is an immutable weighted road network in CSR form.
+// Construct one with a Builder; the zero value is an empty graph.
+type Graph struct {
+	offsets []int32   // len NumVertices()+1; adjacency range of vertex v is [offsets[v], offsets[v+1])
+	targets []int32   // head vertex of each half-edge
+	weights []float64 // weight of each half-edge
+
+	// X and Y are planar coordinates of each vertex (longitude/latitude
+	// analogues). They drive the Euclidean/Manhattan baselines, the
+	// quadtree distance oracle, and the grid buckets of the active
+	// fine-tuning sampler.
+	x, y []float64
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.x) }
+
+// NumEdges returns |E| counting each undirected edge once.
+func (g *Graph) NumEdges() int { return len(g.targets) / 2 }
+
+// NumHalfEdges returns the number of directed half-edges (2|E|).
+func (g *Graph) NumHalfEdges() int { return len(g.targets) }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the adjacency of v as parallel slices of target
+// vertices and edge weights. The returned slices alias internal storage
+// and must not be modified.
+func (g *Graph) Neighbors(v int32) ([]int32, []float64) {
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	return g.targets[lo:hi], g.weights[lo:hi]
+}
+
+// X returns the x coordinate of vertex v.
+func (g *Graph) X(v int32) float64 { return g.x[v] }
+
+// Y returns the y coordinate of vertex v.
+func (g *Graph) Y(v int32) float64 { return g.y[v] }
+
+// Coords returns the coordinate slices for all vertices. The returned
+// slices alias internal storage and must not be modified.
+func (g *Graph) Coords() (xs, ys []float64) { return g.x, g.y }
+
+// EdgeWeight returns the weight of the edge (u,v) and whether it exists.
+func (g *Graph) EdgeWeight(u, v int32) (float64, bool) {
+	ts, ws := g.Neighbors(u)
+	for i, t := range ts {
+		if t == v {
+			return ws[i], true
+		}
+	}
+	return 0, false
+}
+
+// Euclidean returns the straight-line distance between vertices u and v.
+func (g *Graph) Euclidean(u, v int32) float64 {
+	dx := g.x[u] - g.x[v]
+	dy := g.y[u] - g.y[v]
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Manhattan returns the L1 coordinate distance between vertices u and v.
+func (g *Graph) Manhattan(u, v int32) float64 {
+	return math.Abs(g.x[u]-g.x[v]) + math.Abs(g.y[u]-g.y[v])
+}
+
+// BoundingBox returns the min/max coordinates over all vertices.
+// It returns zeros for an empty graph.
+func (g *Graph) BoundingBox() (minX, minY, maxX, maxY float64) {
+	if g.NumVertices() == 0 {
+		return 0, 0, 0, 0
+	}
+	minX, maxX = g.x[0], g.x[0]
+	minY, maxY = g.y[0], g.y[0]
+	for i := 1; i < len(g.x); i++ {
+		minX = math.Min(minX, g.x[i])
+		maxX = math.Max(maxX, g.x[i])
+		minY = math.Min(minY, g.y[i])
+		maxY = math.Max(maxY, g.y[i])
+	}
+	return minX, minY, maxX, maxY
+}
+
+// Builder accumulates vertices and undirected edges and produces a
+// Graph. Vertices are added implicitly by AddVertex and referenced by
+// the dense index it returns.
+type Builder struct {
+	xs, ys []float64
+	us, vs []int32
+	ws     []float64
+}
+
+// NewBuilder returns a Builder with capacity hints for n vertices and m
+// undirected edges.
+func NewBuilder(n, m int) *Builder {
+	return &Builder{
+		xs: make([]float64, 0, n),
+		ys: make([]float64, 0, n),
+		us: make([]int32, 0, m),
+		vs: make([]int32, 0, m),
+		ws: make([]float64, 0, m),
+	}
+}
+
+// AddVertex appends a vertex at (x, y) and returns its index.
+func (b *Builder) AddVertex(x, y float64) int32 {
+	b.xs = append(b.xs, x)
+	b.ys = append(b.ys, y)
+	return int32(len(b.xs) - 1)
+}
+
+// NumVertices returns the number of vertices added so far.
+func (b *Builder) NumVertices() int { return len(b.xs) }
+
+// AddEdge appends an undirected edge (u, v) with weight w.
+// It returns an error if either endpoint is out of range, u == v, or
+// the weight is not a positive finite number.
+func (b *Builder) AddEdge(u, v int32, w float64) error {
+	n := int32(len(b.xs))
+	switch {
+	case u < 0 || u >= n || v < 0 || v >= n:
+		return fmt.Errorf("graph: edge (%d,%d) references vertex outside [0,%d)", u, v, n)
+	case u == v:
+		return fmt.Errorf("graph: self-loop on vertex %d", u)
+	case !(w > 0) || math.IsInf(w, 0):
+		return fmt.Errorf("graph: edge (%d,%d) has non-positive or non-finite weight %v", u, v, w)
+	}
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+	b.ws = append(b.ws, w)
+	return nil
+}
+
+// Build finalizes the accumulated vertices and edges into a Graph.
+// Duplicate undirected edges are collapsed keeping the smallest weight.
+func (b *Builder) Build() *Graph {
+	n := len(b.xs)
+	g := &Graph{
+		x: append([]float64(nil), b.xs...),
+		y: append([]float64(nil), b.ys...),
+	}
+
+	// Deduplicate undirected edges, keeping the minimum weight.
+	type key struct{ u, v int32 }
+	best := make(map[key]float64, len(b.us))
+	for i := range b.us {
+		u, v := b.us[i], b.vs[i]
+		if u > v {
+			u, v = v, u
+		}
+		k := key{u, v}
+		if w, ok := best[k]; !ok || b.ws[i] < w {
+			best[k] = b.ws[i]
+		}
+	}
+
+	deg := make([]int32, n+1)
+	for k := range best {
+		deg[k.u+1]++
+		deg[k.v+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	g.offsets = deg
+	g.targets = make([]int32, g.offsets[n])
+	g.weights = make([]float64, g.offsets[n])
+
+	next := make([]int32, n)
+	copy(next, g.offsets[:n])
+	for k, w := range best {
+		g.targets[next[k.u]] = k.v
+		g.weights[next[k.u]] = w
+		next[k.u]++
+		g.targets[next[k.v]] = k.u
+		g.weights[next[k.v]] = w
+		next[k.v]++
+	}
+
+	// Sort each adjacency list by target for deterministic iteration.
+	for v := 0; v < n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = int(lo) + i
+		}
+		sort.Slice(idx, func(a, bIdx int) bool { return g.targets[idx[a]] < g.targets[idx[bIdx]] })
+		ts := make([]int32, hi-lo)
+		ws := make([]float64, hi-lo)
+		for i, j := range idx {
+			ts[i] = g.targets[j]
+			ws[i] = g.weights[j]
+		}
+		copy(g.targets[lo:hi], ts)
+		copy(g.weights[lo:hi], ws)
+	}
+	return g
+}
+
+// ErrDisconnected reports that a graph is not a single connected component.
+var ErrDisconnected = errors.New("graph: not connected")
+
+// ConnectedComponents labels each vertex with a component id in [0, k)
+// and returns the labels and the number of components k.
+func ConnectedComponents(g *Graph) (labels []int32, k int) {
+	n := g.NumVertices()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var stack []int32
+	for s := int32(0); s < int32(n); s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		labels[s] = int32(k)
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			ts, _ := g.Neighbors(v)
+			for _, t := range ts {
+				if labels[t] < 0 {
+					labels[t] = int32(k)
+					stack = append(stack, t)
+				}
+			}
+		}
+		k++
+	}
+	return labels, k
+}
+
+// LargestComponent returns the subgraph induced by the largest connected
+// component together with a mapping old→new vertex ids (-1 for dropped
+// vertices). If the graph is already connected it is returned unchanged
+// with an identity mapping.
+func LargestComponent(g *Graph) (*Graph, []int32) {
+	labels, k := ConnectedComponents(g)
+	n := g.NumVertices()
+	if k <= 1 {
+		id := make([]int32, n)
+		for i := range id {
+			id[i] = int32(i)
+		}
+		return g, id
+	}
+	counts := make([]int, k)
+	for _, l := range labels {
+		counts[l]++
+	}
+	bestLabel, bestCount := 0, -1
+	for l, c := range counts {
+		if c > bestCount {
+			bestLabel, bestCount = l, c
+		}
+	}
+	remap := make([]int32, n)
+	b := NewBuilder(bestCount, bestCount*2)
+	for v := 0; v < n; v++ {
+		if labels[v] == int32(bestLabel) {
+			remap[v] = b.AddVertex(g.x[v], g.y[v])
+		} else {
+			remap[v] = -1
+		}
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if remap[v] < 0 {
+			continue
+		}
+		ts, ws := g.Neighbors(v)
+		for i, t := range ts {
+			if t > v && remap[t] >= 0 {
+				// Builder validated these edges once already.
+				_ = b.AddEdge(remap[v], remap[t], ws[i])
+			}
+		}
+	}
+	return b.Build(), remap
+}
+
+// Validate checks structural invariants of the CSR representation and
+// that the graph forms a single connected component. It is intended for
+// tests and for data loaded from external files.
+func Validate(g *Graph) error {
+	n := g.NumVertices()
+	if len(g.offsets) != n+1 {
+		return fmt.Errorf("graph: offsets length %d want %d", len(g.offsets), n+1)
+	}
+	for v := 0; v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+		ts, ws := g.Neighbors(int32(v))
+		for i, t := range ts {
+			if t < 0 || int(t) >= n {
+				return fmt.Errorf("graph: vertex %d has neighbor %d outside [0,%d)", v, t, n)
+			}
+			if t == int32(v) {
+				return fmt.Errorf("graph: self-loop at vertex %d", v)
+			}
+			if !(ws[i] > 0) {
+				return fmt.Errorf("graph: edge (%d,%d) weight %v not positive", v, t, ws[i])
+			}
+			if w2, ok := g.EdgeWeight(t, int32(v)); !ok || w2 != ws[i] {
+				return fmt.Errorf("graph: edge (%d,%d) not symmetric", v, t)
+			}
+		}
+	}
+	if _, k := ConnectedComponents(g); k > 1 {
+		return fmt.Errorf("%w: %d components", ErrDisconnected, k)
+	}
+	return nil
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertex set
+// together with the old→new vertex mapping (-1 for excluded vertices).
+// Edges with exactly one endpoint inside the set are dropped, matching
+// the paper's definition of graph partitioning.
+func InducedSubgraph(g *Graph, vertices []int32) (*Graph, []int32) {
+	n := g.NumVertices()
+	remap := make([]int32, n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	b := NewBuilder(len(vertices), len(vertices)*2)
+	for _, v := range vertices {
+		remap[v] = b.AddVertex(g.x[v], g.y[v])
+	}
+	for _, v := range vertices {
+		ts, ws := g.Neighbors(v)
+		for i, t := range ts {
+			if t > v && remap[t] >= 0 {
+				_ = b.AddEdge(remap[v], remap[t], ws[i])
+			}
+		}
+	}
+	return b.Build(), remap
+}

@@ -1,0 +1,334 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildTriangle(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(3, 3)
+	b.AddVertex(0, 0)
+	b.AddVertex(1, 0)
+	b.AddVertex(0, 1)
+	for _, e := range [][3]float64{{0, 1, 1}, {1, 2, 2}, {0, 2, 2.5}} {
+		if err := b.AddEdge(int32(e[0]), int32(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := buildTriangle(t)
+	if g.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d, want 3", g.NumVertices())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if g.NumHalfEdges() != 6 {
+		t.Fatalf("NumHalfEdges = %d, want 6", g.NumHalfEdges())
+	}
+	if got := g.Degree(0); got != 2 {
+		t.Fatalf("Degree(0) = %d, want 2", got)
+	}
+	if w, ok := g.EdgeWeight(1, 2); !ok || w != 2 {
+		t.Fatalf("EdgeWeight(1,2) = %v,%v want 2,true", w, ok)
+	}
+	if w, ok := g.EdgeWeight(2, 1); !ok || w != 2 {
+		t.Fatalf("EdgeWeight(2,1) = %v,%v want 2,true (symmetry)", w, ok)
+	}
+	if _, ok := g.EdgeWeight(0, 0); ok {
+		t.Fatal("EdgeWeight(0,0) should not exist")
+	}
+	if err := Validate(g); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.AddVertex(0, 0)
+	b.AddVertex(1, 1)
+	cases := []struct {
+		u, v int32
+		w    float64
+	}{
+		{0, 0, 1},                 // self loop
+		{0, 2, 1},                 // out of range
+		{-1, 1, 1},                // negative id
+		{0, 1, 0},                 // zero weight
+		{0, 1, -3},                // negative weight
+		{0, 1, math.NaN()},        // NaN weight
+		{0, 1, math.Inf(1)},       // +Inf weight
+		{int32(5), int32(0), 1.0}, // out of range u
+	}
+	for _, c := range cases {
+		if err := b.AddEdge(c.u, c.v, c.w); err == nil {
+			t.Errorf("AddEdge(%d,%d,%v) accepted, want error", c.u, c.v, c.w)
+		}
+	}
+}
+
+func TestBuilderDeduplicatesKeepingMinWeight(t *testing.T) {
+	b := NewBuilder(2, 3)
+	b.AddVertex(0, 0)
+	b.AddVertex(1, 0)
+	for _, w := range []float64{5, 2, 9} {
+		if err := b.AddEdge(0, 1, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same edge in reverse orientation too.
+	if err := b.AddEdge(1, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 after dedup", g.NumEdges())
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 2 {
+		t.Fatalf("EdgeWeight = %v, want min weight 2", w)
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	b := NewBuilder(5, 6)
+	for i := 0; i < 5; i++ {
+		b.AddVertex(float64(i), 0)
+	}
+	for _, v := range []int32{4, 2, 1, 3} {
+		if err := b.AddEdge(0, v, float64(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	ts, ws := g.Neighbors(0)
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1] >= ts[i] {
+			t.Fatalf("neighbors of 0 not sorted: %v", ts)
+		}
+	}
+	for i, v := range ts {
+		if ws[i] != float64(v) {
+			t.Fatalf("weight misaligned after sort: target %d weight %v", v, ws[i])
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(5, 3)
+	for i := 0; i < 5; i++ {
+		b.AddVertex(float64(i), 0)
+	}
+	// Components: {0,1,2}, {3,4}
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(1, 2, 1)
+	_ = b.AddEdge(3, 4, 1)
+	g := b.Build()
+	labels, k := ConnectedComponents(g)
+	if k != 2 {
+		t.Fatalf("components = %d, want 2", k)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("vertices 0,1,2 should share a component: %v", labels)
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Fatalf("vertices 3,4 should form their own component: %v", labels)
+	}
+	if err := Validate(g); err == nil {
+		t.Fatal("Validate should reject a disconnected graph")
+	}
+
+	lg, remap := LargestComponent(g)
+	if lg.NumVertices() != 3 {
+		t.Fatalf("largest component has %d vertices, want 3", lg.NumVertices())
+	}
+	if remap[3] != -1 || remap[4] != -1 {
+		t.Fatalf("dropped vertices should map to -1: %v", remap)
+	}
+	if err := Validate(lg); err != nil {
+		t.Fatalf("Validate(largest): %v", err)
+	}
+}
+
+func TestLargestComponentIdentityWhenConnected(t *testing.T) {
+	g := buildTriangle(t)
+	lg, remap := LargestComponent(g)
+	if lg != g {
+		t.Fatal("connected graph should be returned unchanged")
+	}
+	for i, m := range remap {
+		if int(m) != i {
+			t.Fatalf("identity mapping expected, remap[%d]=%d", i, m)
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := buildTriangle(t)
+	sub, remap := InducedSubgraph(g, []int32{0, 1})
+	if sub.NumVertices() != 2 {
+		t.Fatalf("sub vertices = %d, want 2", sub.NumVertices())
+	}
+	if sub.NumEdges() != 1 {
+		t.Fatalf("sub edges = %d, want 1 (only 0-1 kept)", sub.NumEdges())
+	}
+	if remap[2] != -1 {
+		t.Fatalf("vertex 2 should be dropped, remap=%v", remap)
+	}
+	if w, ok := sub.EdgeWeight(remap[0], remap[1]); !ok || w != 1 {
+		t.Fatalf("kept edge weight %v,%v want 1,true", w, ok)
+	}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	g := buildTriangle(t)
+	if d := g.Euclidean(0, 1); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("Euclidean(0,1) = %v, want 1", d)
+	}
+	if d := g.Manhattan(1, 2); math.Abs(d-2) > 1e-12 {
+		t.Fatalf("Manhattan(1,2) = %v, want 2", d)
+	}
+	minX, minY, maxX, maxY := g.BoundingBox()
+	if minX != 0 || minY != 0 || maxX != 1 || maxY != 1 {
+		t.Fatalf("BoundingBox = %v %v %v %v, want 0 0 1 1", minX, minY, maxX, maxY)
+	}
+}
+
+func TestBoundingBoxEmpty(t *testing.T) {
+	g := NewBuilder(0, 0).Build()
+	minX, minY, maxX, maxY := g.BoundingBox()
+	if minX != 0 || minY != 0 || maxX != 0 || maxY != 0 {
+		t.Fatal("empty graph bounding box should be zeros")
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	g := buildTriangle(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed sizes: %d/%d vs %d/%d",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if g.X(v) != g2.X(v) || g.Y(v) != g2.Y(v) {
+			t.Fatalf("vertex %d coordinates changed", v)
+		}
+		ts, ws := g.Neighbors(v)
+		ts2, ws2 := g2.Neighbors(v)
+		if len(ts) != len(ts2) {
+			t.Fatalf("vertex %d degree changed", v)
+		}
+		for i := range ts {
+			if ts[i] != ts2[i] || ws[i] != ws2[i] {
+				t.Fatalf("vertex %d adjacency changed", v)
+			}
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",                                   // empty
+		"v 0 0 0\n",                          // vertex before header
+		"e 0 1 1\n",                          // edge before header
+		"p 1\n",                              // short header
+		"p 2 1\nv 1 0 0\n",                   // non-dense vertex id
+		"p 2 1\nv 0 0 0\nv 1 0 0\ne 0 1 x\n", // bad weight
+		"p 2 1\nv 0 0 0\nv 1 0 0\nq 1 2 3\n", // unknown record
+		"p 2 1\nv 0 0 0\nv 1 0 0\ne 0 5 1\n", // edge out of range
+	}
+	for _, s := range bad {
+		if _, err := Read(bytes.NewReader([]byte(s))); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlank(t *testing.T) {
+	src := "# header comment\n\np 2 1\nv 0 0 0\n# middle\nv 1 3 4\ne 0 1 5\n"
+	g, err := Read(bytes.NewReader([]byte(src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("parsed %d/%d, want 2/1", g.NumVertices(), g.NumEdges())
+	}
+	if d := g.Euclidean(0, 1); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("Euclidean = %v, want 5", d)
+	}
+}
+
+// randomConnectedGraph builds a random connected graph with n vertices:
+// a random spanning tree plus extra random edges.
+func randomConnectedGraph(rng *rand.Rand, n, extra int) *Graph {
+	b := NewBuilder(n, n+extra)
+	for i := 0; i < n; i++ {
+		b.AddVertex(rng.Float64()*100, rng.Float64()*100)
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u := int32(perm[i])
+		v := int32(perm[rng.Intn(i)])
+		_ = b.AddEdge(u, v, 0.1+rng.Float64()*10)
+	}
+	for i := 0; i < extra; i++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u != v {
+			_ = b.AddEdge(u, v, 0.1+rng.Float64()*10)
+		}
+	}
+	return b.Build()
+}
+
+func TestRandomGraphsValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(60)
+		g := randomConnectedGraph(rng, n, rng.Intn(3*n))
+		if err := Validate(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestComponentCountProperty(t *testing.T) {
+	// Property: dropping to the largest component always yields a graph
+	// with exactly one component, and never more vertices than before.
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw%40)
+		b := NewBuilder(n, n)
+		for i := 0; i < n; i++ {
+			b.AddVertex(rng.Float64(), rng.Float64())
+		}
+		// Sparse random edges: possibly disconnected.
+		for i := 0; i < n/2; i++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u != v {
+				_ = b.AddEdge(u, v, 1+rng.Float64())
+			}
+		}
+		g := b.Build()
+		lg, _ := LargestComponent(g)
+		_, k := ConnectedComponents(lg)
+		return k == 1 && lg.NumVertices() <= g.NumVertices() && lg.NumVertices() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The text format mirrors the DIMACS shortest-path challenge style the
+// paper's datasets ship in, extended with coordinates:
+//
+//	# comment
+//	p <numVertices> <numEdges>
+//	v <id> <x> <y>          (numVertices lines, ids 0..n-1)
+//	e <u> <v> <weight>      (numEdges lines, undirected)
+
+// Write serializes g in the text edge-list format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p %d %d\n", g.NumVertices(), g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		fmt.Fprintf(bw, "v %d %g %g\n", v, g.x[v], g.y[v])
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		ts, ws := g.Neighbors(v)
+		for i, t := range ts {
+			if t > v {
+				fmt.Fprintf(bw, "e %d %d %g\n", v, t, ws[i])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph from the text edge-list format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "p":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed problem line %q", line, text)
+			}
+			n, err1 := strconv.Atoi(fields[1])
+			m, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: malformed problem line %q", line, text)
+			}
+			b = NewBuilder(n, m)
+		case "v":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: vertex before problem line", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: malformed vertex line %q", line, text)
+			}
+			id, err0 := strconv.Atoi(fields[1])
+			x, err1 := strconv.ParseFloat(fields[2], 64)
+			y, err2 := strconv.ParseFloat(fields[3], 64)
+			if err0 != nil || err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: malformed vertex line %q", line, text)
+			}
+			if got := b.AddVertex(x, y); int(got) != id {
+				return nil, fmt.Errorf("graph: line %d: vertex ids must be dense and ordered, got %d want %d", line, id, got)
+			}
+		case "e":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before problem line", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: malformed edge line %q", line, text)
+			}
+			u, err0 := strconv.Atoi(fields[1])
+			v, err1 := strconv.Atoi(fields[2])
+			w, err2 := strconv.ParseFloat(fields[3], 64)
+			if err0 != nil || err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: malformed edge line %q", line, text)
+			}
+			if err := b.AddEdge(int32(u), int32(v), w); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	return b.Build(), nil
+}
+
+// WriteFile writes g to the named file in the text edge-list format.
+func WriteFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile parses the named file in the text edge-list format.
+func ReadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

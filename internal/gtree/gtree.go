@@ -1,0 +1,555 @@
+// Package gtree implements a G-tree-family index (Zhong et al.; the
+// V-tree of Shen et al. extends it with per-node object bookkeeping,
+// included here), the paper's kNN comparator.
+//
+// The index reuses the partition hierarchy. Every tree node X keeps
+//
+//   - B(X): its borders — vertices of X adjacent to vertices outside X
+//     (for a vertex node, the vertex itself);
+//   - union(X): the concatenation of its children's border lists;
+//   - a |union(X)|² matrix of exact global shortest-path distances.
+//
+// Matrices are built in two passes. Pass A assembles within-subgraph
+// distances bottom-up over border graphs (child matrices restricted to
+// child borders, plus the cut edges between children). Pass B runs
+// top-down and re-solves each node's border graph with extra complete
+// edges among B(X) weighted by the parent's already-global distances,
+// so every stored entry becomes a true global distance. Leaves need no
+// special handling: a leaf's children are vertex nodes, so its union is
+// its whole vertex set and its matrix an exact all-pairs table.
+//
+// Distance queries climb from both endpoints' vertex nodes to their
+// LCA and join through the LCA matrix. kNN and range queries over an
+// object set run best-first over exact subtree lower bounds, as in
+// V-tree.
+package gtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/pqueue"
+)
+
+// Index is a built G-tree with object bookkeeping.
+type Index struct {
+	g *graph.Graph
+	h *partition.Hierarchy
+
+	// Per hierarchy node; vertex nodes keep nil union/mat.
+	union    [][]int32       // concatenated children borders (vertex ids)
+	unionPos []map[int32]int // vertex -> index within union
+	childOff [][]int32       // child i occupies union[childOff[i]:childOff[i+1]]
+	borders  [][]int32       // positions of B(node) within union
+	bVerts   [][]int32       // B(node) as vertex ids (borderSet)
+	mat      [][]float64     // |union|² global distances, row-major
+
+	isObj    []bool
+	objCount []int32
+
+	matBytes int64
+}
+
+// Build constructs the index over g with the given partition hierarchy
+// and an initial object set (may be nil; see SetObjects).
+func Build(g *graph.Graph, h *partition.Hierarchy, objects []int32) (*Index, error) {
+	if h.Graph() != g {
+		return nil, fmt.Errorf("gtree: hierarchy was built for a different graph")
+	}
+	n := g.NumVertices()
+	nn := h.NumNodes()
+	idx := &Index{
+		g: g, h: h,
+		union:    make([][]int32, nn),
+		unionPos: make([]map[int32]int, nn),
+		childOff: make([][]int32, nn),
+		borders:  make([][]int32, nn),
+		bVerts:   make([][]int32, nn),
+		mat:      make([][]float64, nn),
+	}
+
+	// ---- Border sets. v is a border of its ancestors at path indices
+	// >= mc(v), the minimum common-prefix length with any neighbor.
+	for v := int32(0); v < int32(n); v++ {
+		anc := h.Ancestors(v)
+		mc := int32(len(anc) - 1) // the vertex node itself is always v's border
+		ts, _ := g.Neighbors(v)
+		for _, u := range ts {
+			if c := commonPrefix(anc, h.Ancestors(u)); c < mc {
+				mc = c
+			}
+		}
+		for d := mc; d < int32(len(anc)); d++ {
+			idx.bVerts[anc[d]] = append(idx.bVerts[anc[d]], v)
+		}
+	}
+
+	// ---- union(X), positions, and border positions per non-vertex node.
+	for node := int32(0); node < int32(nn); node++ {
+		if h.IsVertexNode(node) {
+			continue
+		}
+		kids := h.Children(node)
+		off := make([]int32, len(kids)+1)
+		var u []int32
+		for i, c := range kids {
+			off[i] = int32(len(u))
+			u = append(u, idx.bVerts[c]...)
+		}
+		off[len(kids)] = int32(len(u))
+		idx.union[node] = u
+		idx.childOff[node] = off
+		pos := make(map[int32]int, len(u))
+		for i, v := range u {
+			pos[v] = i
+		}
+		idx.unionPos[node] = pos
+		b := make([]int32, len(idx.bVerts[node]))
+		for i, v := range idx.bVerts[node] {
+			b[i] = int32(pos[v])
+		}
+		idx.borders[node] = b
+	}
+
+	// ---- Pass A: within-subgraph matrices, deepest nodes first.
+	order := nodesByDepthDesc(h)
+	within := make([][]float64, nn)
+	for _, node := range order {
+		within[node] = idx.solveNode(node, within, nil)
+	}
+
+	// ---- Pass B: global matrices, shallowest first, refining through
+	// the parent's (already global) matrix.
+	for i := len(order) - 1; i >= 0; i-- {
+		node := order[i]
+		idx.mat[node] = idx.solveNode(node, within, idx.mat)
+		idx.matBytes += int64(len(idx.mat[node])) * 8
+	}
+
+	idx.SetObjects(objects)
+	return idx, nil
+}
+
+// commonPrefix returns the shared-prefix length of two ancestor paths.
+func commonPrefix(a, b []int32) int32 {
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	var i int32
+	for int(i) < m && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// nodesByDepthDesc returns non-vertex hierarchy nodes deepest-first.
+func nodesByDepthDesc(h *partition.Hierarchy) []int32 {
+	var nodes []int32
+	for node := int32(0); node < int32(h.NumNodes()); node++ {
+		if !h.IsVertexNode(node) {
+			nodes = append(nodes, node)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		di, dj := h.Depth(nodes[i]), h.Depth(nodes[j])
+		if di != dj {
+			return di > dj
+		}
+		return nodes[i] < nodes[j]
+	})
+	return nodes
+}
+
+// solveNode computes the |union|² distance matrix of node by running
+// Dijkstra from every union member over the node's border graph. With
+// globalMats == nil it produces within-subgraph distances (pass A);
+// otherwise it adds complete edges among B(node) weighted by the
+// parent's global matrix (pass B).
+func (idx *Index) solveNode(node int32, within [][]float64, globalMats [][]float64) []float64 {
+	h := idx.h
+	u := idx.union[node]
+	m := len(u)
+	out := make([]float64, m*m)
+	for i := range out {
+		out[i] = math.Inf(1)
+	}
+	if m == 0 {
+		return out
+	}
+
+	type bedge struct {
+		to int32
+		w  float64
+	}
+	adj := make([][]bedge, m)
+	addEdge := func(a, b int, w float64) {
+		if a == b || math.IsInf(w, 1) {
+			return
+		}
+		adj[a] = append(adj[a], bedge{to: int32(b), w: w})
+		adj[b] = append(adj[b], bedge{to: int32(a), w: w})
+	}
+
+	// Within-child edges from each child's pass-A matrix restricted to
+	// its borders (the child's segment of union).
+	kids := h.Children(node)
+	off := idx.childOff[node]
+	for ci, c := range kids {
+		lo, hi := int(off[ci]), int(off[ci+1])
+		if h.IsVertexNode(c) || hi-lo <= 1 {
+			continue
+		}
+		cm := within[c]
+		cPos := idx.unionPos[c]
+		cu := len(idx.union[c])
+		for i := lo; i < hi; i++ {
+			pi := cPos[u[i]]
+			for j := i + 1; j < hi; j++ {
+				addEdge(i, j, cm[pi*cu+cPos[u[j]]])
+			}
+		}
+	}
+
+	// Cut edges: original graph edges between different children of
+	// node (common ancestor prefix exactly depth(node)+1). Both
+	// endpoints are borders of their children, hence in union.
+	depth := h.Depth(node)
+	pos := idx.unionPos[node]
+	for i := 0; i < m; i++ {
+		v := u[i]
+		ancV := h.Ancestors(v)
+		ts, ws := idx.g.Neighbors(v)
+		for ei, nb := range ts {
+			if nb <= v {
+				continue // add each edge once
+			}
+			if commonPrefix(ancV, h.Ancestors(nb)) == depth+1 {
+				if j, ok := pos[nb]; ok {
+					addEdge(i, j, ws[ei])
+				}
+			}
+		}
+	}
+
+	// Parent refinement: global distances between node's own borders.
+	if globalMats != nil {
+		if parent := h.Parent(node); parent >= 0 {
+			pMat := globalMats[parent]
+			pPos := idx.unionPos[parent]
+			pm := len(idx.union[parent])
+			bs := idx.bVerts[node]
+			for i := 0; i < len(bs); i++ {
+				pi := pPos[bs[i]]
+				for j := i + 1; j < len(bs); j++ {
+					w := pMat[pi*pm+pPos[bs[j]]]
+					addEdge(int(idx.borders[node][i]), int(idx.borders[node][j]), w)
+				}
+			}
+		}
+	}
+
+	// Dijkstra from every union member.
+	heap := pqueue.New(m)
+	dist := make([]float64, m)
+	for src := 0; src < m; src++ {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		dist[src] = 0
+		heap.Reset()
+		heap.Push(int32(src), 0)
+		for heap.Len() > 0 {
+			v, d := heap.Pop()
+			for _, e := range adj[v] {
+				if nd := d + e.w; nd < dist[e.to] {
+					dist[e.to] = nd
+					heap.Push(e.to, nd)
+				}
+			}
+		}
+		copy(out[src*m:(src+1)*m], dist)
+	}
+	return out
+}
+
+// SetObjects replaces the object set used by KNN and Range.
+func (idx *Index) SetObjects(objects []int32) {
+	n := idx.g.NumVertices()
+	idx.isObj = make([]bool, n)
+	idx.objCount = make([]int32, idx.h.NumNodes())
+	for _, o := range objects {
+		if o < 0 || int(o) >= n || idx.isObj[o] {
+			continue
+		}
+		idx.isObj[o] = true
+		for _, a := range idx.h.Ancestors(o) {
+			idx.objCount[a]++
+		}
+	}
+}
+
+// AddObject inserts a vertex into the object set (idempotent). This is
+// the V-tree update path: object churn only touches ancestor counters,
+// never the distance matrices.
+func (idx *Index) AddObject(v int32) bool {
+	if v < 0 || int(v) >= idx.g.NumVertices() || idx.isObj[v] {
+		return false
+	}
+	idx.isObj[v] = true
+	for _, a := range idx.h.Ancestors(v) {
+		idx.objCount[a]++
+	}
+	return true
+}
+
+// RemoveObject deletes a vertex from the object set (idempotent).
+func (idx *Index) RemoveObject(v int32) bool {
+	if v < 0 || int(v) >= idx.g.NumVertices() || !idx.isObj[v] {
+		return false
+	}
+	idx.isObj[v] = false
+	for _, a := range idx.h.Ancestors(v) {
+		idx.objCount[a]--
+	}
+	return true
+}
+
+// MoveObject relocates an object from one vertex to another — the
+// V-tree moving-taxi update. It reports whether the move applied (the
+// source must be an object and the destination must not already be).
+func (idx *Index) MoveObject(from, to int32) bool {
+	if from == to {
+		return idx.isObj[from]
+	}
+	if to < 0 || int(to) >= idx.g.NumVertices() || idx.isObj[to] {
+		return false
+	}
+	if !idx.RemoveObject(from) {
+		return false
+	}
+	idx.AddObject(to)
+	return true
+}
+
+// NumObjects returns the current object count.
+func (idx *Index) NumObjects() int {
+	if len(idx.objCount) == 0 {
+		return 0
+	}
+	return int(idx.objCount[0])
+}
+
+// childIndex finds the slot of child within parent's child list.
+func (idx *Index) childIndex(parent, child int32) int {
+	for i, c := range idx.h.Children(parent) {
+		if c == child {
+			return i
+		}
+	}
+	return -1
+}
+
+// climbStep lifts a distance vector over B(cur) (cur = anc[d]) to a
+// vector over B(parent) using the parent's global matrix.
+func (idx *Index) climbStep(parent, cur int32, vec []float64) []float64 {
+	m := len(idx.union[parent])
+	ci := idx.childIndex(parent, cur)
+	lo := int(idx.childOff[parent][ci])
+	bs := idx.borders[parent]
+	out := make([]float64, len(bs))
+	mat := idx.mat[parent]
+	for k, bp := range bs {
+		best := math.Inf(1)
+		for j := range vec {
+			if c := vec[j] + mat[(lo+j)*m+int(bp)]; c < best {
+				best = c
+			}
+		}
+		out[k] = best
+	}
+	return out
+}
+
+// Distance returns the exact shortest-path distance between s and t
+// (+Inf when disconnected).
+func (idx *Index) Distance(s, t int32) float64 {
+	if s == t {
+		return 0
+	}
+	h := idx.h
+	ancS := h.Ancestors(s)
+	ancT := h.Ancestors(t)
+	c := int(commonPrefix(ancS, ancT))
+	if c == 0 {
+		return math.Inf(1) // different hierarchy roots cannot happen, defensive
+	}
+	lca := ancS[c-1]
+
+	climb := func(anc []int32) []float64 {
+		vec := []float64{0} // over B(vertex node) = {vertex}
+		for d := len(anc) - 1; d > c; d-- {
+			vec = idx.climbStep(anc[d-1], anc[d], vec)
+		}
+		return vec
+	}
+	sVec := climb(ancS)
+	tVec := climb(ancT)
+
+	m := len(idx.union[lca])
+	mat := idx.mat[lca]
+	sLo := int(idx.childOff[lca][idx.childIndex(lca, ancS[c])])
+	tLo := int(idx.childOff[lca][idx.childIndex(lca, ancT[c])])
+	best := math.Inf(1)
+	for j := range sVec {
+		for k := range tVec {
+			if d := sVec[j] + mat[(sLo+j)*m+(tLo+k)] + tVec[k]; d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// frontierEntry is a best-first traversal item.
+type frontierEntry struct {
+	node int32
+	vec  []float64 // distances from the query source to B(node)
+}
+
+// traverse runs the best-first exploration shared by KNN and Range.
+// emit receives (object, exact distance) in non-decreasing distance
+// order when ordered is true; expand decides whether a subtree with the
+// given lower bound should be explored. It stops when emit returns
+// false.
+func (idx *Index) traverse(s int32, expand func(bound float64) bool, emit func(obj int32, d float64) bool) {
+	h := idx.h
+	ancS := h.Ancestors(s)
+	var pq pqueue.FloatHeap
+	arena := make([]frontierEntry, 0, 64)
+	push := func(node int32, vec []float64) {
+		if idx.objCount[node] == 0 {
+			return
+		}
+		bound := math.Inf(1)
+		for _, v := range vec {
+			if v < bound {
+				bound = v
+			}
+		}
+		if !expand(bound) {
+			return
+		}
+		arena = append(arena, frontierEntry{node: node, vec: vec})
+		pq.Push(bound, int64(len(arena)-1))
+	}
+
+	// Seed: the source's own vertex node, then every sibling subtree on
+	// the way up, lifting the border vector level by level.
+	push(ancS[len(ancS)-1], []float64{0})
+	vec := []float64{0}
+	cur := ancS[len(ancS)-1]
+	for d := len(ancS) - 2; d >= 0; d-- {
+		parent := ancS[d]
+		m := len(idx.union[parent])
+		mat := idx.mat[parent]
+		ciCur := idx.childIndex(parent, cur)
+		loCur := int(idx.childOff[parent][ciCur])
+		for ci, child := range h.Children(parent) {
+			if child == cur || idx.objCount[child] == 0 {
+				continue
+			}
+			lo, hi := int(idx.childOff[parent][ci]), int(idx.childOff[parent][ci+1])
+			cvec := make([]float64, hi-lo)
+			for k := range cvec {
+				best := math.Inf(1)
+				for j := range vec {
+					if c := vec[j] + mat[(loCur+j)*m+(lo+k)]; c < best {
+						best = c
+					}
+				}
+				cvec[k] = best
+			}
+			push(child, cvec)
+		}
+		vec = idx.climbStep(parent, cur, vec)
+		cur = parent
+	}
+
+	// Best-first expansion.
+	for pq.Len() > 0 {
+		_, ai := pq.Pop()
+		e := arena[ai]
+		if idx.h.IsVertexNode(e.node) {
+			v := idx.h.VertexID(e.node)
+			if idx.isObj[v] {
+				if !emit(v, e.vec[0]) {
+					return
+				}
+			}
+			continue
+		}
+		m := len(idx.union[e.node])
+		mat := idx.mat[e.node]
+		bs := idx.borders[e.node]
+		for ci, child := range h.Children(e.node) {
+			if idx.objCount[child] == 0 {
+				continue
+			}
+			lo, hi := int(idx.childOff[e.node][ci]), int(idx.childOff[e.node][ci+1])
+			cvec := make([]float64, hi-lo)
+			for k := range cvec {
+				best := math.Inf(1)
+				for j, bp := range bs {
+					if c := e.vec[j] + mat[int(bp)*m+(lo+k)]; c < best {
+						best = c
+					}
+				}
+				cvec[k] = best
+			}
+			push(child, cvec)
+		}
+	}
+}
+
+// KNN returns up to k objects nearest to s by exact network distance,
+// nearest first.
+func (idx *Index) KNN(s int32, k int) []int32 {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]int32, 0, k)
+	idx.traverse(s,
+		func(bound float64) bool { return !math.IsInf(bound, 1) },
+		func(obj int32, d float64) bool {
+			out = append(out, obj)
+			return len(out) < k
+		})
+	return out
+}
+
+// Range returns all objects within network distance tau of s, sorted by
+// vertex id.
+func (idx *Index) Range(s int32, tau float64) []int32 {
+	if tau < 0 {
+		return nil
+	}
+	var out []int32
+	idx.traverse(s,
+		func(bound float64) bool { return bound <= tau },
+		func(obj int32, d float64) bool {
+			if d <= tau {
+				out = append(out, obj)
+			}
+			return true
+		})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IndexBytes reports the distance-matrix storage in bytes (the
+// dominating cost, mirroring how Table IV accounts V-tree).
+func (idx *Index) IndexBytes() int64 { return idx.matBytes }

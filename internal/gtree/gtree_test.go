@@ -1,0 +1,325 @@
+package gtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/sssp"
+)
+
+func testSetup(t *testing.T, rows int, fanout, leaf int) (*graph.Graph, *Index) {
+	t.Helper()
+	g, err := gen.Grid(rows, rows, gen.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := partition.BuildHierarchy(g, partition.HierConfig{Fanout: fanout, Leaf: leaf, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(g, h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, idx
+}
+
+func TestDistanceMatchesDijkstra(t *testing.T) {
+	g, idx := testSetup(t, 13, 4, 24)
+	ws := sssp.NewWorkspace(g)
+	rng := rand.New(rand.NewSource(2))
+	n := g.NumVertices()
+	for trial := 0; trial < 400; trial++ {
+		s := int32(rng.Intn(n))
+		u := int32(rng.Intn(n))
+		want := ws.Distance(s, u)
+		got := idx.Distance(s, u)
+		if math.Abs(want-got) > 1e-9 {
+			t.Fatalf("(%d,%d): gtree %v, Dijkstra %v", s, u, got, want)
+		}
+	}
+}
+
+func TestDistanceAllPairsTiny(t *testing.T) {
+	g, idx := testSetup(t, 6, 2, 6)
+	ws := sssp.NewWorkspace(g)
+	n := int32(g.NumVertices())
+	dist := make([]float64, n)
+	for s := int32(0); s < n; s++ {
+		dist = ws.FromSource(s, dist)
+		for u := int32(0); u < n; u++ {
+			if got := idx.Distance(s, u); math.Abs(dist[u]-got) > 1e-9 {
+				t.Fatalf("(%d,%d): gtree %v, exact %v", s, u, got, dist[u])
+			}
+		}
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	g, idx := testSetup(t, 12, 4, 24)
+	rng := rand.New(rand.NewSource(3))
+	n := g.NumVertices()
+	var objects []int32
+	for v := int32(0); v < int32(n); v++ {
+		if rng.Intn(4) == 0 {
+			objects = append(objects, v)
+		}
+	}
+	idx.SetObjects(objects)
+	ws := sssp.NewWorkspace(g)
+	for trial := 0; trial < 40; trial++ {
+		s := int32(rng.Intn(n))
+		k := 1 + rng.Intn(8)
+		got := idx.KNN(s, k)
+
+		dist := ws.FromSource(s, nil)
+		ds := make([]float64, len(objects))
+		for i, o := range objects {
+			ds[i] = dist[o]
+		}
+		sort.Float64s(ds)
+		want := ds[:min(k, len(ds))]
+
+		if len(got) != len(want) {
+			t.Fatalf("src %d k %d: got %d, want %d", s, k, len(got), len(want))
+		}
+		prev := -1.0
+		for i, o := range got {
+			d := dist[o]
+			if d < prev-1e-9 {
+				t.Fatalf("kNN not sorted at %d", i)
+			}
+			prev = d
+			if math.Abs(d-want[i]) > 1e-9 {
+				t.Fatalf("src %d k %d pos %d: dist %v, want %v", s, k, i, d, want[i])
+			}
+		}
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	g, idx := testSetup(t, 12, 4, 24)
+	rng := rand.New(rand.NewSource(4))
+	n := g.NumVertices()
+	var objects []int32
+	for v := int32(0); v < int32(n); v++ {
+		if rng.Intn(3) == 0 {
+			objects = append(objects, v)
+		}
+	}
+	idx.SetObjects(objects)
+	ws := sssp.NewWorkspace(g)
+	for trial := 0; trial < 40; trial++ {
+		s := int32(rng.Intn(n))
+		dist := ws.FromSource(s, nil)
+		tau := (0.05 + rng.Float64()*0.4) * maxFinite(dist)
+		got := idx.Range(s, tau)
+		var want []int32
+		for _, o := range objects {
+			if dist[o] <= tau {
+				want = append(want, o)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("src %d tau %v: got %d, want %d", s, tau, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("src %d pos %d: %d vs %d", s, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func maxFinite(ds []float64) float64 {
+	m := 0.0
+	for _, d := range ds {
+		if !math.IsInf(d, 1) && d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestObjectEdgeCases(t *testing.T) {
+	g, idx := testSetup(t, 8, 4, 16)
+	idx.SetObjects([]int32{5})
+	if got := idx.KNN(5, 1); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("KNN(5,1) with self as only object = %v", got)
+	}
+	if got := idx.KNN(0, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	if got := idx.KNN(0, 10); len(got) != 1 {
+		t.Fatalf("k>|objects| returned %d results", len(got))
+	}
+	if got := idx.Range(0, -1); got != nil {
+		t.Fatalf("negative tau returned %v", got)
+	}
+	// No objects at all.
+	idx.SetObjects(nil)
+	if got := idx.KNN(0, 3); len(got) != 0 {
+		t.Fatalf("empty object set returned %v", got)
+	}
+	// Duplicate and out-of-range objects are ignored.
+	idx.SetObjects([]int32{1, 1, -5, int32(g.NumVertices() + 10)})
+	if got := idx.KNN(0, 5); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("dedup/bounds handling: %v", got)
+	}
+}
+
+func TestMismatchedHierarchyRejected(t *testing.T) {
+	g1, err := gen.Grid(6, 6, gen.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := gen.Grid(6, 6, gen.DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := partition.BuildHierarchy(g1, partition.DefaultHierConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(g2, h, nil); err == nil {
+		t.Fatal("foreign hierarchy accepted")
+	}
+}
+
+func TestIndexBytes(t *testing.T) {
+	_, idx := testSetup(t, 8, 4, 16)
+	if idx.IndexBytes() <= 0 {
+		t.Fatal("IndexBytes must be positive")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestDynamicObjectUpdates(t *testing.T) {
+	g, idx := testSetup(t, 10, 4, 16)
+	rng := rand.New(rand.NewSource(9))
+	idx.SetObjects([]int32{3, 7, 11})
+	if idx.NumObjects() != 3 {
+		t.Fatalf("NumObjects = %d, want 3", idx.NumObjects())
+	}
+	if idx.AddObject(3) {
+		t.Fatal("duplicate add should report false")
+	}
+	if !idx.AddObject(20) || idx.NumObjects() != 4 {
+		t.Fatal("add failed")
+	}
+	if !idx.RemoveObject(7) || idx.NumObjects() != 3 {
+		t.Fatal("remove failed")
+	}
+	if idx.RemoveObject(7) {
+		t.Fatal("double remove should report false")
+	}
+	if !idx.MoveObject(11, 30) {
+		t.Fatal("move failed")
+	}
+	if idx.MoveObject(99, 100) {
+		t.Fatal("moving a non-object should fail")
+	}
+	if idx.MoveObject(3, 20) {
+		t.Fatal("moving onto an existing object should fail")
+	}
+	if !idx.MoveObject(3, 3) {
+		t.Fatal("self-move of an object should be a no-op success")
+	}
+
+	// After a burst of random moves, kNN must still agree with brute
+	// force over the live object set.
+	ws := sssp.NewWorkspace(g)
+	for i := 0; i < 200; i++ {
+		from := int32(rng.Intn(g.NumVertices()))
+		to := int32(rng.Intn(g.NumVertices()))
+		idx.MoveObject(from, to)
+	}
+	var live []int32
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if idx.isObj[v] {
+			live = append(live, v)
+		}
+	}
+	if len(live) != idx.NumObjects() {
+		t.Fatalf("counter drift: %d live vs %d counted", len(live), idx.NumObjects())
+	}
+	for trial := 0; trial < 20; trial++ {
+		s := int32(rng.Intn(g.NumVertices()))
+		got := idx.KNN(s, 3)
+		dist := ws.FromSource(s, nil)
+		ds := make([]float64, len(live))
+		for i, o := range live {
+			ds[i] = dist[o]
+		}
+		sort.Float64s(ds)
+		want := ds[:min(3, len(ds))]
+		if len(got) != len(want) {
+			t.Fatalf("got %d results, want %d", len(got), len(want))
+		}
+		for i, o := range got {
+			if math.Abs(dist[o]-want[i]) > 1e-9 {
+				t.Fatalf("post-move kNN pos %d: %v vs %v", i, dist[o], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkGtreeDistance(b *testing.B) {
+	g, err := gen.Grid(30, 30, gen.DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := partition.BuildHierarchy(g, partition.DefaultHierConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := Build(g, h, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Distance(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+}
+
+func BenchmarkGtreeKNN(b *testing.B) {
+	g, err := gen.Grid(30, 30, gen.DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := partition.BuildHierarchy(g, partition.DefaultHierConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var objects []int32
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if rng.Intn(10) == 0 {
+			objects = append(objects, v)
+		}
+	}
+	idx, err := Build(g, h, objects)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.KNN(int32(rng.Intn(n)), 5)
+	}
+}

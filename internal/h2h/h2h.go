@@ -1,0 +1,352 @@
+// Package h2h implements H2H (Ouyang et al., SIGMOD 2018), the paper's
+// fast exact comparator: a tree decomposition obtained by minimum-degree
+// elimination, per-vertex distance labels to all decomposition-tree
+// ancestors, and O(treewidth) queries that scan the LCA's bag after an
+// O(1) Euler-tour LCA lookup.
+package h2h
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/pqueue"
+	"repro/internal/sssp"
+)
+
+// Index is a built H2H structure.
+type Index struct {
+	n     int
+	depth []int32 // decomposition-tree depth of each vertex (root = 0)
+
+	// labels[labelOff[v]+j] = network distance from v to its depth-j
+	// ancestor; entry at depth[v] is 0.
+	labelOff []int64
+	labels   []float64
+
+	// bag lists, per vertex, the depths of its elimination neighbors
+	// X(v) plus its own depth (the candidate meeting depths of a query
+	// whose LCA is v).
+	bagOff []int32
+	bags   []int32
+
+	// Euler tour + sparse table for LCA.
+	euler    []int32 // vertex at each tour position
+	eulerPos []int32 // first tour position of each vertex
+	sparse   [][]int32
+	treeID   []int32 // decomposition-tree (component) id per vertex
+}
+
+// Build constructs the H2H index for g.
+func Build(g *graph.Graph) (*Index, error) {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("h2h: empty graph")
+	}
+
+	// ---- Phase 1: minimum-degree elimination with shortcut weights.
+	adj := make([]map[int32]float64, n)
+	for v := 0; v < n; v++ {
+		ts, ws := g.Neighbors(int32(v))
+		m := make(map[int32]float64, len(ts))
+		for i, t := range ts {
+			m[t] = ws[i]
+		}
+		adj[v] = m
+	}
+	eliminated := make([]bool, n)
+	orderPos := make([]int32, n) // elimination position per vertex
+	order := make([]int32, 0, n)
+	// X(v): elimination-time neighbors and via-shortcut weights.
+	bagIDs := make([][]int32, n)
+	bagWts := make([][]float64, n)
+
+	pq := pqueue.New(n)
+	for v := int32(0); v < int32(n); v++ {
+		pq.Push(v, float64(len(adj[v])))
+	}
+	for pq.Len() > 0 {
+		v, key := pq.Pop()
+		if eliminated[v] {
+			continue
+		}
+		if cur := float64(len(adj[v])); cur > key {
+			// Lazy degree update.
+			if pq.Len() > 0 {
+				if _, nextKey := pq.Peek(); cur > nextKey {
+					pq.Push(v, cur)
+					continue
+				}
+			}
+		}
+		orderPos[v] = int32(len(order))
+		order = append(order, v)
+		eliminated[v] = true
+
+		ids := make([]int32, 0, len(adj[v]))
+		for u := range adj[v] {
+			ids = append(ids, u)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		wts := make([]float64, len(ids))
+		for i, u := range ids {
+			wts[i] = adj[v][u]
+		}
+		bagIDs[v] = ids
+		bagWts[v] = wts
+
+		// Add fill-in shortcuts among remaining neighbors.
+		for i := 0; i < len(ids); i++ {
+			u := ids[i]
+			delete(adj[u], v)
+			for j := i + 1; j < len(ids); j++ {
+				w := ids[j]
+				nw := wts[i] + wts[j]
+				if old, ok := adj[u][w]; !ok || nw < old {
+					adj[u][w] = nw
+					adj[w][u] = nw
+				}
+			}
+		}
+		for _, u := range ids {
+			pq.Push(u, float64(len(adj[u]))) // decrease-only; lazy check fixes increases
+		}
+		adj[v] = nil
+	}
+
+	// ---- Phase 2: decomposition tree. parent(v) = member of X(v)
+	// eliminated earliest after v.
+	idx := &Index{n: n, depth: make([]int32, n)}
+	parent := make([]int32, n)
+	for v := int32(0); v < int32(n); v++ {
+		parent[v] = -1
+		best := int32(-1)
+		bestPos := int32(n)
+		for _, u := range bagIDs[v] {
+			if orderPos[u] < bestPos && orderPos[u] > orderPos[v] {
+				best, bestPos = u, orderPos[u]
+			}
+		}
+		parent[v] = best
+	}
+	// Depths, walking vertices in reverse elimination order (root last
+	// eliminated, processed first).
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		if parent[v] < 0 {
+			idx.depth[v] = 0
+		} else {
+			idx.depth[v] = idx.depth[parent[v]] + 1
+		}
+	}
+
+	// ---- Phase 3: ancestor id arrays and distance labels, top-down.
+	idx.labelOff = make([]int64, n+1)
+	ancIDs := make([][]int32, n) // root-first ancestor ids incl. self
+	var totalLabels int64
+	for _, v := range order {
+		totalLabels += int64(idx.depth[v]) + 1
+	}
+	idx.labels = make([]float64, totalLabels)
+	// Assign offsets in vertex-id order for locality.
+	var off int64
+	for v := 0; v < n; v++ {
+		idx.labelOff[v] = off
+		off += int64(idx.depth[v]) + 1
+	}
+	idx.labelOff[n] = off
+
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		d := int(idx.depth[v])
+		if parent[v] < 0 {
+			ancIDs[v] = []int32{v}
+			idx.labels[idx.labelOff[v]] = 0
+			continue
+		}
+		pAnc := ancIDs[parent[v]]
+		anc := make([]int32, d+1)
+		copy(anc, pAnc)
+		anc[d] = v
+		ancIDs[v] = anc
+
+		lv := idx.labels[idx.labelOff[v] : idx.labelOff[v]+int64(d)+1]
+		for j := 0; j < d; j++ {
+			best := sssp.Inf
+			aj := anc[j]
+			for bi, u := range bagIDs[v] {
+				du := int(idx.depth[u])
+				var duAj float64
+				if j <= du {
+					duAj = idx.labels[idx.labelOff[u]+int64(j)]
+				} else {
+					duAj = idx.labels[idx.labelOff[aj]+int64(du)]
+				}
+				if c := bagWts[v][bi] + duAj; c < best {
+					best = c
+				}
+			}
+			lv[j] = best
+		}
+		lv[d] = 0
+	}
+
+	// ---- Phase 4: bag depth lists for queries.
+	idx.bagOff = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		idx.bagOff[v+1] = idx.bagOff[v] + int32(len(bagIDs[v])) + 1
+	}
+	idx.bags = make([]int32, idx.bagOff[n])
+	for v := 0; v < n; v++ {
+		o := idx.bagOff[v]
+		for bi, u := range bagIDs[int32(v)] {
+			idx.bags[o+int32(bi)] = idx.depth[u]
+		}
+		idx.bags[idx.bagOff[v+1]-1] = idx.depth[v]
+	}
+
+	// ---- Phase 5: Euler tour + sparse table for LCA. Forests (from
+	// disconnected inputs) get one tour per root.
+	children := make([][]int32, n)
+	var roots []int32
+	for v := int32(0); v < int32(n); v++ {
+		if parent[v] < 0 {
+			roots = append(roots, v)
+		} else {
+			children[parent[v]] = append(children[parent[v]], v)
+		}
+	}
+	idx.eulerPos = make([]int32, n)
+	idx.treeID = make([]int32, n)
+	for i := range idx.eulerPos {
+		idx.eulerPos[i] = -1
+	}
+	type frame struct {
+		v    int32
+		next int
+	}
+	for ti, root := range roots {
+		stack := []frame{{v: root}}
+		idx.eulerPos[root] = int32(len(idx.euler))
+		idx.treeID[root] = int32(ti)
+		idx.euler = append(idx.euler, root)
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(children[f.v]) {
+				c := children[f.v][f.next]
+				f.next++
+				idx.eulerPos[c] = int32(len(idx.euler))
+				idx.treeID[c] = int32(ti)
+				idx.euler = append(idx.euler, c)
+				stack = append(stack, frame{v: c})
+			} else {
+				stack = stack[:len(stack)-1]
+				if len(stack) > 0 {
+					idx.euler = append(idx.euler, stack[len(stack)-1].v)
+				}
+			}
+		}
+	}
+	idx.buildSparse()
+	return idx, nil
+}
+
+// buildSparse precomputes the min-depth sparse table over the Euler
+// tour.
+func (idx *Index) buildSparse() {
+	m := len(idx.euler)
+	levels := 1
+	for 1<<levels <= m {
+		levels++
+	}
+	idx.sparse = make([][]int32, levels)
+	idx.sparse[0] = idx.euler
+	for k := 1; k < levels; k++ {
+		span := 1 << k
+		prev := idx.sparse[k-1]
+		cur := make([]int32, m-span+1)
+		for i := range cur {
+			a, b := prev[i], prev[i+span/2]
+			if idx.depth[a] <= idx.depth[b] {
+				cur[i] = a
+			} else {
+				cur[i] = b
+			}
+		}
+		idx.sparse[k] = cur
+	}
+}
+
+// lca returns the lowest common ancestor of s and t in the
+// decomposition tree, or -1 when they are in different trees.
+func (idx *Index) lca(s, t int32) int32 {
+	a, b := idx.eulerPos[s], idx.eulerPos[t]
+	if a > b {
+		a, b = b, a
+	}
+	k := bits.Len(uint(b-a+1)) - 1
+	x := idx.sparse[k][a]
+	y := idx.sparse[k][b-(1<<k)+1]
+	var q int32
+	if idx.depth[x] <= idx.depth[y] {
+		q = x
+	} else {
+		q = y
+	}
+	return q
+}
+
+// Distance returns the exact shortest-path distance between s and t
+// (sssp.Inf if disconnected).
+func (idx *Index) Distance(s, t int32) float64 {
+	if s == t {
+		return 0
+	}
+	if idx.treeID[s] != idx.treeID[t] {
+		return sssp.Inf // different connected components
+	}
+	q := idx.lca(s, t)
+	dq := int64(idx.depth[q])
+	ls := idx.labelOff[s]
+	lt := idx.labelOff[t]
+	best := sssp.Inf
+	for _, dpos := range idx.bags[idx.bagOff[q]:idx.bagOff[q+1]] {
+		if int64(dpos) > dq {
+			continue
+		}
+		c := idx.labels[ls+int64(dpos)] + idx.labels[lt+int64(dpos)]
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Depth returns the decomposition-tree depth of v (for diagnostics).
+func (idx *Index) Depth(v int32) int32 { return idx.depth[v] }
+
+// MaxDepth returns the height of the decomposition tree, the
+// label-length bound.
+func (idx *Index) MaxDepth() int32 {
+	var m int32
+	for _, d := range idx.depth {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// IndexBytes reports the label + bag + LCA storage in bytes
+// (the Table IV metric; H2H's distinguishing cost).
+func (idx *Index) IndexBytes() int64 {
+	b := int64(len(idx.labels)) * 8
+	b += int64(len(idx.bags)) * 4
+	b += int64(len(idx.euler)) * 4
+	b += int64(len(idx.treeID)) * 4
+	for _, row := range idx.sparse[1:] {
+		b += int64(len(row)) * 4
+	}
+	return b
+}

@@ -1,0 +1,163 @@
+package h2h
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+func TestDistanceMatchesDijkstra(t *testing.T) {
+	g, err := gen.Grid(14, 14, gen.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := sssp.NewWorkspace(g)
+	rng := rand.New(rand.NewSource(2))
+	n := g.NumVertices()
+	for trial := 0; trial < 500; trial++ {
+		s := int32(rng.Intn(n))
+		u := int32(rng.Intn(n))
+		want := ws.Distance(s, u)
+		got := idx.Distance(s, u)
+		if math.Abs(want-got) > 1e-9 {
+			t.Fatalf("(%d,%d): H2H %v, Dijkstra %v", s, u, got, want)
+		}
+	}
+}
+
+func TestDistanceAllPairsSmall(t *testing.T) {
+	g, err := gen.Grid(6, 6, gen.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := sssp.NewWorkspace(g)
+	n := int32(g.NumVertices())
+	dist := make([]float64, n)
+	for s := int32(0); s < n; s++ {
+		dist = ws.FromSource(s, dist)
+		for u := int32(0); u < n; u++ {
+			if got := idx.Distance(s, u); math.Abs(dist[u]-got) > 1e-9 {
+				t.Fatalf("(%d,%d): H2H %v, exact %v", s, u, got, dist[u])
+			}
+		}
+	}
+}
+
+func TestRadialTopology(t *testing.T) {
+	g, err := gen.Radial(5, 14, gen.DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := sssp.NewWorkspace(g)
+	rng := rand.New(rand.NewSource(5))
+	n := g.NumVertices()
+	for trial := 0; trial < 200; trial++ {
+		s := int32(rng.Intn(n))
+		u := int32(rng.Intn(n))
+		want := ws.Distance(s, u)
+		got := idx.Distance(s, u)
+		if math.Abs(want-got) > 1e-9 {
+			t.Fatalf("(%d,%d): H2H %v, Dijkstra %v", s, u, got, want)
+		}
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	b := graph.NewBuilder(5, 3)
+	for i := 0; i < 5; i++ {
+		b.AddVertex(float64(i), 0)
+	}
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(1, 2, 2)
+	_ = b.AddEdge(3, 4, 1)
+	g := b.Build()
+	idx, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := idx.Distance(0, 2); math.Abs(d-3) > 1e-12 {
+		t.Fatalf("Distance(0,2) = %v, want 3", d)
+	}
+	if d := idx.Distance(3, 4); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("Distance(3,4) = %v, want 1", d)
+	}
+	if d := idx.Distance(0, 3); d != sssp.Inf {
+		t.Fatalf("cross-component distance %v, want Inf", d)
+	}
+}
+
+func TestSelfDistance(t *testing.T) {
+	g, err := gen.Grid(5, 5, gen.DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if d := idx.Distance(v, v); d != 0 {
+			t.Fatalf("Distance(%d,%d) = %v", v, v, d)
+		}
+	}
+}
+
+func TestEmptyGraphRejected(t *testing.T) {
+	if _, err := Build(graph.NewBuilder(0, 0).Build()); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestIndexDiagnostics(t *testing.T) {
+	g, err := gen.Grid(10, 10, gen.DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.MaxDepth() <= 0 {
+		t.Fatal("MaxDepth must be positive on a 100-vertex grid")
+	}
+	if idx.IndexBytes() <= 0 {
+		t.Fatal("IndexBytes must be positive")
+	}
+	// Labels dominate: the index should exceed 8 bytes per vertex.
+	if idx.IndexBytes() < int64(g.NumVertices())*8 {
+		t.Fatal("index implausibly small")
+	}
+}
+
+func BenchmarkH2HQuery(b *testing.B) {
+	g, err := gen.Grid(40, 40, gen.DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := Build(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Distance(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+}

@@ -1,0 +1,71 @@
+// Package hybrid combines the RNE embedding with ALT landmark bounds:
+// each estimate is clamped into the triangle-inequality interval
+// [max_u |d(u,s)-d(u,t)|, min_u d(u,s)+d(u,t)], which provably contains
+// the true distance. The ensemble keeps RNE's accuracy in the common
+// case and caps its rare tail errors at the LT gap — and, unlike either
+// component alone, every answer carries a certified error interval.
+//
+// This is an extension beyond the paper (its Section VII-C discussion
+// of RNE vs LT invites exactly this combination). Query cost is
+// O(|U| + d): LT-speed rather than RNE-speed.
+package hybrid
+
+import (
+	"fmt"
+
+	"repro/internal/alt"
+	"repro/internal/core"
+)
+
+// Estimator is the clamped ensemble.
+type Estimator struct {
+	m  *core.Model
+	lt *alt.Index
+}
+
+// New combines a trained model with a landmark index over the same
+// graph.
+func New(m *core.Model, lt *alt.Index) (*Estimator, error) {
+	if m == nil || lt == nil {
+		return nil, fmt.Errorf("hybrid: need both a model and a landmark index")
+	}
+	return &Estimator{m: m, lt: lt}, nil
+}
+
+// Estimate returns the RNE estimate clamped into the landmark bounds.
+func (e *Estimator) Estimate(s, t int32) float64 {
+	if s == t {
+		return 0
+	}
+	est := e.m.Estimate(s, t)
+	lo, hi := e.lt.Bounds(s, t)
+	if est < lo {
+		return lo
+	}
+	if est > hi {
+		return hi
+	}
+	return est
+}
+
+// EstimateWithBounds additionally returns the certified interval
+// [lo, hi] containing the true distance.
+func (e *Estimator) EstimateWithBounds(s, t int32) (est, lo, hi float64) {
+	if s == t {
+		return 0, 0, 0
+	}
+	lo, hi = e.lt.Bounds(s, t)
+	est = e.m.Estimate(s, t)
+	if est < lo {
+		est = lo
+	}
+	if est > hi {
+		est = hi
+	}
+	return est, lo, hi
+}
+
+// IndexBytes reports the combined index footprint.
+func (e *Estimator) IndexBytes() int64 {
+	return e.m.IndexBytes() + e.lt.IndexBytes()
+}

@@ -1,0 +1,106 @@
+package hybrid
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alt"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/sssp"
+)
+
+func setup(t *testing.T) (*graph.Graph, *Estimator, *core.Model) {
+	t.Helper()
+	g, err := gen.Grid(16, 16, gen.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions(2)
+	opt.Dim = 32
+	opt.Epochs = 5
+	opt.VertexSampleRatio = 50
+	opt.FineTuneRounds = 3
+	opt.HierSampleCap = 12000
+	opt.ValidationPairs = 300
+	m, _, err := core.Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := alt.Build(g, 24, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(m, lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, e, m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("nil components accepted")
+	}
+}
+
+func TestEstimateWithinCertifiedBounds(t *testing.T) {
+	g, e, _ := setup(t)
+	ws := sssp.NewWorkspace(g)
+	rng := rand.New(rand.NewSource(4))
+	n := g.NumVertices()
+	for trial := 0; trial < 300; trial++ {
+		s := int32(rng.Intn(n))
+		u := int32(rng.Intn(n))
+		est, lo, hi := e.EstimateWithBounds(s, u)
+		if est < lo || est > hi {
+			t.Fatalf("(%d,%d): estimate %v outside own bounds [%v,%v]", s, u, est, lo, hi)
+		}
+		exact := ws.Distance(s, u)
+		if exact < lo-1e-9 || exact > hi+1e-9 {
+			t.Fatalf("(%d,%d): exact %v outside certified bounds [%v,%v]", s, u, exact, lo, hi)
+		}
+		if got := e.Estimate(s, u); got != est {
+			t.Fatalf("Estimate and EstimateWithBounds disagree: %v vs %v", got, est)
+		}
+	}
+	if e.Estimate(5, 5) != 0 {
+		t.Fatal("self estimate not zero")
+	}
+}
+
+// TestClampImprovesTail: the ensemble's worst-case relative error must
+// not exceed plain RNE's, and typically improves it.
+func TestClampImprovesTail(t *testing.T) {
+	g, e, m := setup(t)
+	ws := sssp.NewWorkspace(g)
+	rng := rand.New(rand.NewSource(5))
+	pairs := make([]metrics.Pair, 0, 600)
+	var dist []float64
+	for len(pairs) < 600 {
+		s := int32(rng.Intn(g.NumVertices()))
+		dist = ws.FromSource(s, dist)
+		for j := 0; j < 16 && len(pairs) < 600; j++ {
+			u := int32(rng.Intn(g.NumVertices()))
+			if u != s && dist[u] > 0 && dist[u] < sssp.Inf {
+				pairs = append(pairs, metrics.Pair{S: s, T: u, Dist: dist[u]})
+			}
+		}
+	}
+	plain := metrics.Evaluate(metrics.EstimatorFunc(m.Estimate), pairs)
+	clamped := metrics.Evaluate(metrics.EstimatorFunc(e.Estimate), pairs)
+	if clamped.MaxRel > plain.MaxRel+1e-9 {
+		t.Fatalf("clamping worsened max error: %v -> %v", plain.MaxRel, clamped.MaxRel)
+	}
+	if clamped.P99Rel > plain.P99Rel+1e-9 {
+		t.Fatalf("clamping worsened p99: %v -> %v", plain.P99Rel, clamped.P99Rel)
+	}
+	if clamped.MeanRel > plain.MeanRel+1e-9 {
+		t.Fatalf("clamping worsened mean: %v -> %v", plain.MeanRel, clamped.MeanRel)
+	}
+	if e.IndexBytes() <= m.IndexBytes() {
+		t.Fatal("combined index should account for both components")
+	}
+}

@@ -1,0 +1,172 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+)
+
+// Serialization lets a spatial index built next to a fresh model be
+// reloaded alongside a deserialized model, so query servers can serve
+// /knn and /range without retraining. The format stores the pruned
+// tree's structure, per-slot vectors and radii, and the indexed target
+// lists; the model itself is saved separately (core.Model.Save).
+
+const treeMagic = "RNEIDX1\n"
+
+// Save serializes the tree structure (not the model).
+func (t *Tree) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(treeMagic); err != nil {
+		return err
+	}
+	d := 0
+	if len(t.vectors) > 0 {
+		d = len(t.vectors[0])
+	}
+	hdr := []int64{int64(len(t.children)), int64(d), int64(t.root), int64(t.size),
+		int64(len(t.model.Vector(0))), int64(t.model.NumVertices())}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, []float64{t.p, t.scale}); err != nil {
+		return err
+	}
+	writeInt32Slices := func(slices [][]int32) error {
+		for _, s := range slices {
+			if err := binary.Write(bw, binary.LittleEndian, int64(len(s))); err != nil {
+				return err
+			}
+			if len(s) > 0 {
+				if err := binary.Write(bw, binary.LittleEndian, s); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := writeInt32Slices(t.children); err != nil {
+		return err
+	}
+	if err := writeInt32Slices(t.verts); err != nil {
+		return err
+	}
+	for _, vec := range t.vectors {
+		if err := binary.Write(bw, binary.LittleEndian, vec); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.radius); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load deserializes a tree saved with Save and attaches it to the given
+// model, which must match the one the tree was built with (dimension,
+// vertex count, metric and scale are verified).
+func Load(r io.Reader, m *core.Model) (*Tree, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(treeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != treeMagic {
+		return nil, fmt.Errorf("index: bad magic %q", magic)
+	}
+	var hdr [6]int64
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, err
+	}
+	nSlots, d, root, size, modelDim, modelVerts := hdr[0], hdr[1], hdr[2], hdr[3], hdr[4], hdr[5]
+	if nSlots <= 0 || nSlots > 1<<31 || root < 0 || root >= nSlots || size < 0 {
+		return nil, fmt.Errorf("index: implausible header %v", hdr)
+	}
+	if int(modelDim) != m.Dim() || int(modelVerts) != m.NumVertices() {
+		return nil, fmt.Errorf("index: tree was built for a %dx%d model, got %dx%d",
+			modelVerts, modelDim, m.NumVertices(), m.Dim())
+	}
+	var pScale [2]float64
+	if err := binary.Read(br, binary.LittleEndian, &pScale); err != nil {
+		return nil, err
+	}
+	if pScale[0] != m.P() || pScale[1] != m.Scale() {
+		return nil, fmt.Errorf("index: tree metric/scale (%v, %v) do not match model (%v, %v)",
+			pScale[0], pScale[1], m.P(), m.Scale())
+	}
+
+	t := &Tree{model: m, p: pScale[0], scale: pScale[1], root: int32(root), size: int(size)}
+	readInt32Slices := func(n int64, maxID int64) ([][]int32, error) {
+		out := make([][]int32, n)
+		for i := range out {
+			var l int64
+			if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
+				return nil, err
+			}
+			if l < 0 || l > maxID {
+				return nil, fmt.Errorf("index: implausible slice length %d", l)
+			}
+			if l == 0 {
+				continue
+			}
+			s := make([]int32, l)
+			if err := binary.Read(br, binary.LittleEndian, s); err != nil {
+				return nil, err
+			}
+			for _, v := range s {
+				if int64(v) < 0 || int64(v) >= maxID {
+					return nil, fmt.Errorf("index: id %d outside [0,%d)", v, maxID)
+				}
+			}
+			out[i] = s
+		}
+		return out, nil
+	}
+	var err error
+	if t.children, err = readInt32Slices(nSlots, nSlots); err != nil {
+		return nil, err
+	}
+	if t.verts, err = readInt32Slices(nSlots, modelVerts); err != nil {
+		return nil, err
+	}
+	t.vectors = make([][]float64, nSlots)
+	for i := range t.vectors {
+		vec := make([]float64, d)
+		if err := binary.Read(br, binary.LittleEndian, vec); err != nil {
+			return nil, err
+		}
+		t.vectors[i] = vec
+	}
+	t.radius = make([]float64, nSlots)
+	if err := binary.Read(br, binary.LittleEndian, t.radius); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SaveFile writes the tree to the named file.
+func (t *Tree) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a tree from the named file, attaching it to m.
+func LoadFile(path string, m *core.Model) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, m)
+}

@@ -1,0 +1,194 @@
+// Package kdtree provides a 2-d tree over vertex coordinates backing
+// the Euclidean and Manhattan baselines of the range/kNN comparison
+// (Figure 16): straight-line distance estimates with classic spatial
+// pruning.
+package kdtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/pqueue"
+)
+
+// Metric selects the coordinate distance used by queries.
+type Metric int
+
+const (
+	// Euclidean is the L2 coordinate distance.
+	Euclidean Metric = iota
+	// Manhattan is the L1 coordinate distance.
+	Manhattan
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case Euclidean:
+		return "euclidean"
+	case Manhattan:
+		return "manhattan"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+func (m Metric) dist(ax, ay, bx, by float64) float64 {
+	dx := ax - bx
+	dy := ay - by
+	if m == Manhattan {
+		return math.Abs(dx) + math.Abs(dy)
+	}
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// node ids index the points slice; the tree is stored implicitly by
+// recursive median splits over a permutation array.
+type node struct {
+	point       int32 // index into xs/ys/ids
+	left, right int32 // -1 when absent
+	axis        uint8 // 0 = x, 1 = y
+}
+
+// Tree is an immutable 2-d tree over a point set.
+type Tree struct {
+	xs, ys []float64
+	ids    []int32
+	nodes  []node
+	root   int32
+	metric Metric
+}
+
+// Build constructs a tree over the given points. ids[i] is the caller's
+// identifier for point (xs[i], ys[i]); all three slices must have equal
+// non-zero length.
+func Build(xs, ys []float64, ids []int32, metric Metric) (*Tree, error) {
+	if len(xs) == 0 || len(xs) != len(ys) || len(xs) != len(ids) {
+		return nil, fmt.Errorf("kdtree: need equal non-empty coordinate/id slices, got %d/%d/%d",
+			len(xs), len(ys), len(ids))
+	}
+	t := &Tree{
+		xs:     append([]float64(nil), xs...),
+		ys:     append([]float64(nil), ys...),
+		ids:    append([]int32(nil), ids...),
+		metric: metric,
+		nodes:  make([]node, 0, len(xs)),
+	}
+	perm := make([]int32, len(xs))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	t.root = t.build(perm, 0)
+	return t, nil
+}
+
+func (t *Tree) build(perm []int32, depth int) int32 {
+	if len(perm) == 0 {
+		return -1
+	}
+	axis := uint8(depth % 2)
+	sort.Slice(perm, func(i, j int) bool {
+		if axis == 0 {
+			return t.xs[perm[i]] < t.xs[perm[j]]
+		}
+		return t.ys[perm[i]] < t.ys[perm[j]]
+	})
+	mid := len(perm) / 2
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{point: perm[mid], axis: axis, left: -1, right: -1})
+	left := append([]int32(nil), perm[:mid]...)
+	right := append([]int32(nil), perm[mid+1:]...)
+	t.nodes[id].left = t.build(left, depth+1)
+	t.nodes[id].right = t.build(right, depth+1)
+	return id
+}
+
+// Size returns the number of indexed points.
+func (t *Tree) Size() int { return len(t.ids) }
+
+// Metric returns the query metric.
+func (t *Tree) Metric() Metric { return t.metric }
+
+// axisDelta is the coordinate gap to a node's splitting plane — a lower
+// bound on the metric distance to anything on the far side (valid for
+// both L1 and L2).
+func (t *Tree) axisDelta(n *node, qx, qy float64) float64 {
+	if n.axis == 0 {
+		return qx - t.xs[n.point]
+	}
+	return qy - t.ys[n.point]
+}
+
+// Range returns the ids of all points within tau of (qx, qy), sorted.
+func (t *Tree) Range(qx, qy, tau float64) []int32 {
+	if tau < 0 {
+		return nil
+	}
+	var out []int32
+	var walk func(ni int32)
+	walk = func(ni int32) {
+		if ni < 0 {
+			return
+		}
+		n := &t.nodes[ni]
+		if t.metric.dist(qx, qy, t.xs[n.point], t.ys[n.point]) <= tau {
+			out = append(out, t.ids[n.point])
+		}
+		delta := t.axisDelta(n, qx, qy)
+		if delta <= 0 {
+			walk(n.left)
+			if -delta <= tau {
+				walk(n.right)
+			}
+		} else {
+			walk(n.right)
+			if delta <= tau {
+				walk(n.left)
+			}
+		}
+	}
+	walk(t.root)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// KNN returns up to k point ids nearest to (qx, qy), nearest first.
+func (t *Tree) KNN(qx, qy float64, k int) []int32 {
+	if k <= 0 {
+		return nil
+	}
+	// Best-first traversal: frontier of tree nodes keyed by the lower
+	// bound of their subtree, interleaved with exact point entries.
+	var pq pqueue.FloatHeap
+	push := func(ni int32, bound float64) {
+		if ni >= 0 {
+			pq.Push(bound, int64(ni)<<1)
+		}
+	}
+	push(t.root, 0)
+	out := make([]int32, 0, k)
+	for pq.Len() > 0 && len(out) < k {
+		key, payload := pq.Pop()
+		if payload&1 == 1 {
+			out = append(out, t.ids[payload>>1])
+			continue
+		}
+		ni := int32(payload >> 1)
+		n := &t.nodes[ni]
+		d := t.metric.dist(qx, qy, t.xs[n.point], t.ys[n.point])
+		pq.Push(d, int64(n.point)<<1|1)
+		delta := t.axisDelta(n, qx, qy)
+		near, far := n.left, n.right
+		if delta > 0 {
+			near, far = far, near
+		}
+		push(near, key)
+		bound := math.Abs(delta)
+		if bound < key {
+			bound = key
+		}
+		push(far, bound)
+	}
+	return out
+}

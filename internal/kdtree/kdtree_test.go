@@ -1,0 +1,151 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randomPoints(rng *rand.Rand, n int) (xs, ys []float64, ids []int32) {
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	ids = make([]int32, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64() * 100
+		ys[i] = rng.Float64() * 100
+		ids[i] = int32(i)
+	}
+	return xs, ys, ids
+}
+
+func bruteRange(xs, ys []float64, ids []int32, m Metric, qx, qy, tau float64) []int32 {
+	var out []int32
+	for i := range xs {
+		if m.dist(qx, qy, xs[i], ys[i]) <= tau {
+			out = append(out, ids[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	for _, m := range []Metric{Euclidean, Manhattan} {
+		rng := rand.New(rand.NewSource(int64(m) + 1))
+		xs, ys, ids := randomPoints(rng, 400)
+		tree, err := Build(xs, ys, ids, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Size() != 400 || tree.Metric() != m {
+			t.Fatal("metadata wrong")
+		}
+		for trial := 0; trial < 50; trial++ {
+			qx := rng.Float64() * 100
+			qy := rng.Float64() * 100
+			tau := rng.Float64() * 40
+			got := tree.Range(qx, qy, tau)
+			want := bruteRange(xs, ys, ids, m, qx, qy, tau)
+			if len(got) != len(want) {
+				t.Fatalf("%v: got %d results, want %d", m, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%v: result %d: %d vs %d", m, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	for _, m := range []Metric{Euclidean, Manhattan} {
+		rng := rand.New(rand.NewSource(int64(m) + 10))
+		xs, ys, ids := randomPoints(rng, 300)
+		tree, err := Build(xs, ys, ids, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			qx := rng.Float64() * 100
+			qy := rng.Float64() * 100
+			k := 1 + rng.Intn(12)
+			got := tree.KNN(qx, qy, k)
+			if len(got) != k {
+				t.Fatalf("%v: got %d results, want %d", m, len(got), k)
+			}
+			// Compare distances (ties make id comparison fragile).
+			ds := make([]float64, len(xs))
+			for i := range xs {
+				ds[i] = m.dist(qx, qy, xs[i], ys[i])
+			}
+			sort.Float64s(ds)
+			prev := -1.0
+			for i, id := range got {
+				d := m.dist(qx, qy, xs[id], ys[id])
+				if d < prev-1e-12 {
+					t.Fatalf("%v: results not sorted", m)
+				}
+				prev = d
+				if math.Abs(d-ds[i]) > 1e-9 {
+					t.Fatalf("%v: pos %d dist %v, want %v", m, i, d, ds[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	xs, ys, ids := randomPoints(rand.New(rand.NewSource(3)), 10)
+	tree, err := Build(xs, ys, ids, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.KNN(0, 0, 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if got := tree.KNN(0, 0, 100); len(got) != 10 {
+		t.Fatalf("k>n returned %d", len(got))
+	}
+	if got := tree.Range(0, 0, -1); got != nil {
+		t.Fatal("negative tau should return nil")
+	}
+	if got := tree.Range(50, 50, 1e9); len(got) != 10 {
+		t.Fatalf("huge tau returned %d", len(got))
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, nil, nil, Euclidean); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Build([]float64{1}, []float64{1, 2}, []int32{0}, Euclidean); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	xs := []float64{5, 5, 5, 5}
+	ys := []float64{5, 5, 5, 5}
+	ids := []int32{10, 20, 30, 40}
+	tree, err := Build(xs, ys, ids, Manhattan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Range(5, 5, 0); len(got) != 4 {
+		t.Fatalf("coincident points: range returned %d of 4", len(got))
+	}
+	if got := tree.KNN(5, 5, 4); len(got) != 4 {
+		t.Fatalf("coincident points: knn returned %d of 4", len(got))
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if Euclidean.String() != "euclidean" || Manhattan.String() != "manhattan" {
+		t.Fatal("metric names wrong")
+	}
+	if Metric(7).String() == "" {
+		t.Fatal("unknown metric should render")
+	}
+}

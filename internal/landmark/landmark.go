@@ -1,0 +1,99 @@
+// Package landmark selects landmark vertex sets. Landmarks anchor the
+// landmark-based training-sample selection of Section V-B and the
+// ALT/LT baseline of Goldberg & Harrelson. The paper recommends
+// farthest selection: iteratively pick the vertex farthest (in network
+// distance) from the landmarks chosen so far, covering regions the
+// current set leaves "un-covered".
+package landmark
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+// Random returns count distinct vertices chosen uniformly at random.
+func Random(g *graph.Graph, count int, seed int64) ([]int32, error) {
+	n := g.NumVertices()
+	if err := checkCount(count, n); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	out := make([]int32, count)
+	for i := 0; i < count; i++ {
+		out[i] = int32(perm[i])
+	}
+	return out, nil
+}
+
+// Farthest returns count landmarks by greedy k-center selection on
+// network distance: the first landmark is random, each next one is the
+// vertex maximizing the distance to its nearest chosen landmark.
+// It runs count single-source Dijkstras.
+func Farthest(g *graph.Graph, count int, seed int64) ([]int32, error) {
+	n := g.NumVertices()
+	if err := checkCount(count, n); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ws := sssp.NewWorkspace(g)
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = sssp.Inf
+	}
+	out := make([]int32, 0, count)
+	cur := int32(rng.Intn(n))
+	dist := make([]float64, n)
+	for len(out) < count {
+		out = append(out, cur)
+		dist = ws.FromSource(cur, dist)
+		var next int32
+		best := -1.0
+		for v := 0; v < n; v++ {
+			if dist[v] < minDist[v] {
+				minDist[v] = dist[v]
+			}
+			if minDist[v] > best && minDist[v] < sssp.Inf {
+				best = minDist[v]
+				next = int32(v)
+			}
+		}
+		cur = next
+	}
+	return out, nil
+}
+
+// ByDegree returns the count highest-degree vertices (ties broken by
+// vertex id). High-degree joints are hubs of the network.
+func ByDegree(g *graph.Graph, count int, _ int64) ([]int32, error) {
+	n := g.NumVertices()
+	if err := checkCount(count, n); err != nil {
+		return nil, err
+	}
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		da, db := g.Degree(ids[a]), g.Degree(ids[b])
+		if da != db {
+			return da > db
+		}
+		return ids[a] < ids[b]
+	})
+	return ids[:count], nil
+}
+
+func checkCount(count, n int) error {
+	if count < 1 {
+		return fmt.Errorf("landmark: count must be >= 1, got %d", count)
+	}
+	if count > n {
+		return fmt.Errorf("landmark: count %d exceeds |V| = %d", count, n)
+	}
+	return nil
+}

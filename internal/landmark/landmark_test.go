@@ -1,0 +1,136 @@
+package landmark
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.Grid(14, 14, gen.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func checkDistinct(t *testing.T, ids []int32, n int) {
+	t.Helper()
+	seen := make(map[int32]bool)
+	for _, v := range ids {
+		if v < 0 || int(v) >= n {
+			t.Fatalf("landmark %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("landmark %d duplicated", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandom(t *testing.T) {
+	g := testGraph(t)
+	ls, err := Random(g, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 20 {
+		t.Fatalf("got %d landmarks, want 20", len(ls))
+	}
+	checkDistinct(t, ls, g.NumVertices())
+}
+
+func TestFarthestSpreads(t *testing.T) {
+	g := testGraph(t)
+	ls, err := Farthest(g, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 12 {
+		t.Fatalf("got %d landmarks, want 12", len(ls))
+	}
+	checkDistinct(t, ls, g.NumVertices())
+
+	// Farthest selection should achieve a noticeably smaller covering
+	// radius (max distance of any vertex to its nearest landmark) than a
+	// clumped set of the same size.
+	cover := func(set []int32) float64 {
+		ws := sssp.NewWorkspace(g)
+		minDist := make([]float64, g.NumVertices())
+		for i := range minDist {
+			minDist[i] = sssp.Inf
+		}
+		var dist []float64
+		for _, l := range set {
+			dist = ws.FromSource(l, dist)
+			for v, d := range dist {
+				if d < minDist[v] {
+					minDist[v] = d
+				}
+			}
+		}
+		worst := 0.0
+		for _, d := range minDist {
+			if d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	clumped := make([]int32, 12)
+	for i := range clumped {
+		clumped[i] = int32(i) // first 12 vertices are spatially adjacent
+	}
+	if cover(ls) >= cover(clumped) {
+		t.Fatalf("farthest cover radius %v not better than clumped %v", cover(ls), cover(clumped))
+	}
+}
+
+func TestByDegree(t *testing.T) {
+	g := testGraph(t)
+	ls, err := ByDegree(g, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDistinct(t, ls, g.NumVertices())
+	// Returned set must be the global degree maxima.
+	minSelected := g.Degree(ls[len(ls)-1])
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		selected := false
+		for _, l := range ls {
+			if l == v {
+				selected = true
+				break
+			}
+		}
+		if !selected && g.Degree(v) > minSelected {
+			t.Fatalf("vertex %d degree %d beats selected minimum %d", v, g.Degree(v), minSelected)
+		}
+	}
+}
+
+func TestCountValidation(t *testing.T) {
+	g := testGraph(t)
+	for _, f := range []func(*graph.Graph, int, int64) ([]int32, error){Random, Farthest, ByDegree} {
+		if _, err := f(g, 0, 1); err == nil {
+			t.Error("count=0 accepted")
+		}
+		if _, err := f(g, g.NumVertices()+1, 1); err == nil {
+			t.Error("count>|V| accepted")
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := testGraph(t)
+	a, _ := Farthest(g, 8, 5)
+	b, _ := Farthest(g, 8, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("farthest selection not deterministic")
+		}
+	}
+}

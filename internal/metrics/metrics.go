@@ -1,0 +1,205 @@
+// Package metrics computes the evaluation statistics of Section VII:
+// absolute error e_abs, relative error e_rel, their distributions over
+// query sets and over distance buckets, the cumulative error curves of
+// Figure 15, and the F1 score used for range/kNN result quality
+// (Figure 16).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pair is an evaluation query: a vertex pair and its exact distance.
+type Pair struct {
+	S, T int32
+	Dist float64
+}
+
+// Estimator approximates the network distance of a vertex pair.
+type Estimator interface {
+	Estimate(s, t int32) float64
+}
+
+// EstimatorFunc adapts a function to the Estimator interface.
+type EstimatorFunc func(s, t int32) float64
+
+// Estimate calls f.
+func (f EstimatorFunc) Estimate(s, t int32) float64 { return f(s, t) }
+
+// ErrorStats summarizes estimation error over a query set.
+type ErrorStats struct {
+	Count int
+	// MeanAbs and MeanRel are the means of e_abs and e_rel.
+	MeanAbs, MeanRel float64
+	// VarRel is the variance of e_rel (the paper tracks it during
+	// fine-tuning).
+	VarRel float64
+	// P50Rel, P90Rel, P99Rel and MaxRel are quantiles of e_rel.
+	P50Rel, P90Rel, P99Rel, MaxRel float64
+}
+
+// Evaluate runs the estimator over all pairs and aggregates errors.
+// Pairs with non-positive exact distance are skipped (relative error is
+// undefined there).
+func Evaluate(e Estimator, pairs []Pair) ErrorStats {
+	rels := make([]float64, 0, len(pairs))
+	var sumAbs, sumRel float64
+	for _, p := range pairs {
+		if !(p.Dist > 0) {
+			continue
+		}
+		got := e.Estimate(p.S, p.T)
+		abs := math.Abs(got - p.Dist)
+		rel := abs / p.Dist
+		sumAbs += abs
+		sumRel += rel
+		rels = append(rels, rel)
+	}
+	st := ErrorStats{Count: len(rels)}
+	if st.Count == 0 {
+		return st
+	}
+	st.MeanAbs = sumAbs / float64(st.Count)
+	st.MeanRel = sumRel / float64(st.Count)
+	var ss float64
+	for _, r := range rels {
+		d := r - st.MeanRel
+		ss += d * d
+	}
+	st.VarRel = ss / float64(st.Count)
+	sort.Float64s(rels)
+	st.P50Rel = quantile(rels, 0.50)
+	st.P90Rel = quantile(rels, 0.90)
+	st.P99Rel = quantile(rels, 0.99)
+	st.MaxRel = rels[len(rels)-1]
+	return st
+}
+
+// quantile returns the q-quantile of sorted xs by nearest-rank.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// String renders the stats in one line.
+func (s ErrorStats) String() string {
+	return fmt.Sprintf("n=%d meanRel=%.4f%% meanAbs=%.2f p50=%.4f%% p90=%.4f%% p99=%.4f%% max=%.4f%%",
+		s.Count, s.MeanRel*100, s.MeanAbs, s.P50Rel*100, s.P90Rel*100, s.P99Rel*100, s.MaxRel*100)
+}
+
+// BucketStats is the per-distance-interval error summary used by the
+// active fine-tuning loop (Section V-C) and Figure 17.
+type BucketStats struct {
+	// Lo and Hi bound the exact distances of the bucket.
+	Lo, Hi float64
+	Count  int
+	// MeanAbs and MeanRel are the bucket's mean errors.
+	MeanAbs, MeanRel float64
+}
+
+// EvaluateBuckets splits pairs into nBuckets equal-width distance
+// intervals over [0, maxDist] and returns per-bucket errors. maxDist
+// <= 0 uses the maximum pair distance.
+func EvaluateBuckets(e Estimator, pairs []Pair, nBuckets int, maxDist float64) []BucketStats {
+	if nBuckets < 1 {
+		nBuckets = 1
+	}
+	if maxDist <= 0 {
+		for _, p := range pairs {
+			if p.Dist > maxDist {
+				maxDist = p.Dist
+			}
+		}
+	}
+	if maxDist <= 0 {
+		maxDist = 1
+	}
+	out := make([]BucketStats, nBuckets)
+	width := maxDist / float64(nBuckets)
+	for i := range out {
+		out[i].Lo = float64(i) * width
+		out[i].Hi = float64(i+1) * width
+	}
+	sumAbs := make([]float64, nBuckets)
+	sumRel := make([]float64, nBuckets)
+	for _, p := range pairs {
+		if !(p.Dist > 0) {
+			continue
+		}
+		b := int(p.Dist / width)
+		if b >= nBuckets {
+			b = nBuckets - 1
+		}
+		got := e.Estimate(p.S, p.T)
+		abs := math.Abs(got - p.Dist)
+		out[b].Count++
+		sumAbs[b] += abs
+		sumRel[b] += abs / p.Dist
+	}
+	for i := range out {
+		if out[i].Count > 0 {
+			out[i].MeanAbs = sumAbs[i] / float64(out[i].Count)
+			out[i].MeanRel = sumRel[i] / float64(out[i].Count)
+		}
+	}
+	return out
+}
+
+// CDF returns, for each threshold, the fraction of pairs whose relative
+// error is at most that threshold (the Figure 15 curves).
+func CDF(e Estimator, pairs []Pair, thresholds []float64) []float64 {
+	out := make([]float64, len(thresholds))
+	total := 0
+	for _, p := range pairs {
+		if !(p.Dist > 0) {
+			continue
+		}
+		total++
+		rel := math.Abs(e.Estimate(p.S, p.T)-p.Dist) / p.Dist
+		for i, th := range thresholds {
+			if rel <= th {
+				out[i]++
+			}
+		}
+	}
+	if total == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] /= float64(total)
+	}
+	return out
+}
+
+// F1 computes precision, recall and F1 of a retrieved id set against
+// the exact answer set.
+func F1(got, want []int32) (precision, recall, f1 float64) {
+	if len(got) == 0 && len(want) == 0 {
+		return 1, 1, 1
+	}
+	wantSet := make(map[int32]bool, len(want))
+	for _, v := range want {
+		wantSet[v] = true
+	}
+	var hits int
+	for _, v := range got {
+		if wantSet[v] {
+			hits++
+		}
+	}
+	if len(got) > 0 {
+		precision = float64(hits) / float64(len(got))
+	}
+	if len(want) > 0 {
+		recall = float64(hits) / float64(len(want))
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}

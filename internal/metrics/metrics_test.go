@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluatePerfectEstimator(t *testing.T) {
+	pairs := []Pair{{0, 1, 10}, {1, 2, 20}, {2, 3, 5}}
+	byPair := map[[2]int32]float64{{0, 1}: 10, {1, 2}: 20, {2, 3}: 5}
+	est := EstimatorFunc(func(s, u int32) float64 { return byPair[[2]int32{s, u}] })
+	st := Evaluate(est, pairs)
+	if st.Count != 3 || st.MeanRel != 0 || st.MeanAbs != 0 || st.MaxRel != 0 {
+		t.Fatalf("perfect estimator stats: %+v", st)
+	}
+}
+
+func TestEvaluateKnownErrors(t *testing.T) {
+	pairs := []Pair{{0, 1, 100}, {1, 2, 200}}
+	est := EstimatorFunc(func(s, u int32) float64 {
+		if s == 0 {
+			return 110 // +10 abs, 10% rel
+		}
+		return 190 // -10 abs, 5% rel
+	})
+	st := Evaluate(est, pairs)
+	if st.Count != 2 {
+		t.Fatalf("Count = %d", st.Count)
+	}
+	if math.Abs(st.MeanAbs-10) > 1e-12 {
+		t.Fatalf("MeanAbs = %v, want 10", st.MeanAbs)
+	}
+	if math.Abs(st.MeanRel-0.075) > 1e-12 {
+		t.Fatalf("MeanRel = %v, want 0.075", st.MeanRel)
+	}
+	if math.Abs(st.MaxRel-0.10) > 1e-12 {
+		t.Fatalf("MaxRel = %v, want 0.10", st.MaxRel)
+	}
+	wantVar := (0.025*0.025 + 0.025*0.025) / 2
+	if math.Abs(st.VarRel-wantVar) > 1e-12 {
+		t.Fatalf("VarRel = %v, want %v", st.VarRel, wantVar)
+	}
+}
+
+func TestEvaluateSkipsNonPositive(t *testing.T) {
+	pairs := []Pair{{0, 0, 0}, {0, 1, -5}, {1, 2, 10}}
+	est := EstimatorFunc(func(s, u int32) float64 { return 10 })
+	st := Evaluate(est, pairs)
+	if st.Count != 1 {
+		t.Fatalf("Count = %d, want 1", st.Count)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	st := Evaluate(EstimatorFunc(func(s, u int32) float64 { return 0 }), nil)
+	if st.Count != 0 || st.MeanRel != 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+	_ = st.String()
+}
+
+func TestEvaluateBuckets(t *testing.T) {
+	pairs := []Pair{
+		{0, 1, 5},   // bucket 0 of [0,100) with 10 buckets
+		{0, 2, 15},  // bucket 1
+		{0, 3, 95},  // bucket 9
+		{0, 4, 100}, // exactly max: clamped into last bucket
+	}
+	est := EstimatorFunc(func(s, u int32) float64 {
+		// constant +1 absolute error
+		for _, p := range pairs {
+			if p.S == s && p.T == u {
+				return p.Dist + 1
+			}
+		}
+		return 0
+	})
+	bs := EvaluateBuckets(est, pairs, 10, 100)
+	if len(bs) != 10 {
+		t.Fatalf("buckets = %d", len(bs))
+	}
+	if bs[0].Count != 1 || bs[1].Count != 1 || bs[9].Count != 2 {
+		t.Fatalf("bucket counts: %+v", bs)
+	}
+	if math.Abs(bs[0].MeanAbs-1) > 1e-12 || math.Abs(bs[0].MeanRel-0.2) > 1e-12 {
+		t.Fatalf("bucket 0: %+v", bs[0])
+	}
+	if bs[0].Lo != 0 || math.Abs(bs[0].Hi-10) > 1e-12 {
+		t.Fatalf("bucket 0 bounds: %+v", bs[0])
+	}
+	// Auto max-dist path.
+	bs2 := EvaluateBuckets(est, pairs, 4, 0)
+	if len(bs2) != 4 {
+		t.Fatalf("auto buckets = %d", len(bs2))
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pairs := []Pair{{0, 1, 100}, {1, 2, 100}, {2, 3, 100}, {3, 4, 100}}
+	errs := map[int32]float64{0: 0.00, 1: 0.01, 2: 0.04, 3: 0.20}
+	est := EstimatorFunc(func(s, u int32) float64 { return 100 * (1 + errs[s]) })
+	cdf := CDF(est, pairs, []float64{0.005, 0.02, 0.05, 0.5})
+	want := []float64{0.25, 0.5, 0.75, 1.0}
+	for i := range want {
+		if math.Abs(cdf[i]-want[i]) > 1e-9 {
+			t.Fatalf("cdf[%d] = %v, want %v", i, cdf[i], want[i])
+		}
+	}
+	if got := CDF(est, nil, []float64{0.1}); got[0] != 0 {
+		t.Fatalf("empty CDF = %v", got)
+	}
+}
+
+func TestF1(t *testing.T) {
+	p, r, f := F1([]int32{1, 2, 3}, []int32{2, 3, 4})
+	if math.Abs(p-2.0/3) > 1e-12 || math.Abs(r-2.0/3) > 1e-12 || math.Abs(f-2.0/3) > 1e-12 {
+		t.Fatalf("F1 = %v %v %v", p, r, f)
+	}
+	if p, r, f := F1(nil, nil); p != 1 || r != 1 || f != 1 {
+		t.Fatal("empty-empty should be perfect")
+	}
+	if p, _, f := F1(nil, []int32{1}); p != 0 || f != 0 {
+		t.Fatal("missing results should score 0")
+	}
+	if _, r, f := F1([]int32{1}, nil); r != 0 || f != 0 {
+		t.Fatal("spurious results should score 0")
+	}
+}

@@ -1,0 +1,145 @@
+// Package nn is a minimal dense neural network (ReLU hidden layers,
+// linear scalar output) with Adam, sized for the paper's DR baseline:
+// fully-connected distance regressors of roughly 1K, 10K and 100K
+// parameters over DeepWalk features.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// layer is one dense layer with Adam state.
+type layer struct {
+	in, out int
+	w, b    []float64 // w is out x in row-major
+	// Adam moments.
+	mw, vw, mb, vb []float64
+	// scratch
+	x, z []float64 // last input, last pre-activation
+	dx   []float64 // gradient w.r.t. input
+}
+
+// MLP is a feed-forward regressor producing one scalar.
+type MLP struct {
+	layers []*layer
+	t      int // Adam step counter
+}
+
+// New builds an MLP with the given layer sizes, e.g. [198, 50, 1].
+// The final size must be 1. Weights use He initialization.
+func New(sizes []int, seed int64) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("nn: need at least input and output sizes, got %v", sizes)
+	}
+	if sizes[len(sizes)-1] != 1 {
+		return nil, fmt.Errorf("nn: output size must be 1, got %d", sizes[len(sizes)-1])
+	}
+	for _, s := range sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("nn: layer sizes must be positive, got %v", sizes)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		in, out := sizes[i], sizes[i+1]
+		l := &layer{
+			in: in, out: out,
+			w: make([]float64, in*out), b: make([]float64, out),
+			mw: make([]float64, in*out), vw: make([]float64, in*out),
+			mb: make([]float64, out), vb: make([]float64, out),
+			z: make([]float64, out), dx: make([]float64, in),
+		}
+		std := math.Sqrt(2.0 / float64(in))
+		for j := range l.w {
+			l.w[j] = rng.NormFloat64() * std
+		}
+		m.layers = append(m.layers, l)
+	}
+	return m, nil
+}
+
+// NumParams returns the number of trainable parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, l := range m.layers {
+		n += len(l.w) + len(l.b)
+	}
+	return n
+}
+
+// Forward evaluates the network on x (length = input size).
+func (m *MLP) Forward(x []float64) float64 {
+	cur := x
+	last := len(m.layers) - 1
+	for li, l := range m.layers {
+		l.x = cur
+		for o := 0; o < l.out; o++ {
+			s := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i, xi := range cur {
+				s += row[i] * xi
+			}
+			if li != last && s < 0 {
+				s = 0 // ReLU
+			}
+			l.z[o] = s
+		}
+		cur = l.z
+	}
+	return cur[0]
+}
+
+const (
+	adamB1  = 0.9
+	adamB2  = 0.999
+	adamEps = 1e-8
+)
+
+// Step performs one Adam update on a single example against squared
+// error and returns the loss. Forward state from this call is used for
+// the backward pass.
+func (m *MLP) Step(x []float64, y, lr float64) float64 {
+	pred := m.Forward(x)
+	diff := pred - y
+	loss := diff * diff
+
+	m.t++
+	corr1 := 1 - math.Pow(adamB1, float64(m.t))
+	corr2 := 1 - math.Pow(adamB2, float64(m.t))
+
+	// Backward: dL/dpred = 2*diff.
+	grad := []float64{2 * diff}
+	last := len(m.layers) - 1
+	for li := last; li >= 0; li-- {
+		l := m.layers[li]
+		for i := range l.dx {
+			l.dx[i] = 0
+		}
+		for o := 0; o < l.out; o++ {
+			g := grad[o]
+			if li != last && l.z[o] == 0 {
+				continue // ReLU gate closed
+			}
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i := range row {
+				l.dx[i] += row[i] * g
+			}
+			// Adam on weights and bias.
+			for i := range row {
+				gw := g * l.x[i]
+				k := o*l.in + i
+				l.mw[k] = adamB1*l.mw[k] + (1-adamB1)*gw
+				l.vw[k] = adamB2*l.vw[k] + (1-adamB2)*gw*gw
+				row[i] -= lr * (l.mw[k] / corr1) / (math.Sqrt(l.vw[k]/corr2) + adamEps)
+			}
+			l.mb[o] = adamB1*l.mb[o] + (1-adamB1)*g
+			l.vb[o] = adamB2*l.vb[o] + (1-adamB2)*g*g
+			l.b[o] -= lr * (l.mb[o] / corr1) / (math.Sqrt(l.vb[o]/corr2) + adamEps)
+		}
+		grad = l.dx
+	}
+	return loss
+}

@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]int{5}, 1); err == nil {
+		t.Error("single layer size accepted")
+	}
+	if _, err := New([]int{5, 3}, 1); err == nil {
+		t.Error("output size != 1 accepted")
+	}
+	if _, err := New([]int{5, 0, 1}, 1); err == nil {
+		t.Error("zero layer size accepted")
+	}
+	m, err := New([]int{4, 7, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4*7 + 7 + 7*1 + 1
+	if m.NumParams() != want {
+		t.Fatalf("NumParams = %d, want %d", m.NumParams(), want)
+	}
+}
+
+func TestLearnsLinearFunction(t *testing.T) {
+	m, err := New([]int{2, 8, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	target := func(x []float64) float64 { return 0.3*x[0] - 0.7*x[1] + 0.2 }
+	for step := 0; step < 8000; step++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		m.Step(x, target(x), 1e-2)
+	}
+	var mse float64
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		d := m.Forward(x) - target(x)
+		mse += d * d
+	}
+	mse /= trials
+	if mse > 1e-3 {
+		t.Fatalf("MSE %v on a linear target", mse)
+	}
+}
+
+func TestLearnsNonlinearFunction(t *testing.T) {
+	m, err := New([]int{1, 32, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	target := func(x float64) float64 { return math.Abs(x) }
+	for step := 0; step < 30000; step++ {
+		x := rng.Float64()*4 - 2
+		m.Step([]float64{x}, target(x), 3e-3)
+	}
+	var mse float64
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		x := rng.Float64()*4 - 2
+		d := m.Forward([]float64{x}) - target(x)
+		mse += d * d
+	}
+	mse /= trials
+	if mse > 5e-3 {
+		t.Fatalf("MSE %v on |x|", mse)
+	}
+}
+
+func TestStepReturnsLoss(t *testing.T) {
+	m, err := New([]int{1, 2, 1}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Forward([]float64{1})
+	loss := m.Step([]float64{1}, 5, 1e-3)
+	want := (pred - 5) * (pred - 5)
+	if math.Abs(loss-want) > 1e-9 {
+		t.Fatalf("loss %v, want %v", loss, want)
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a, _ := New([]int{3, 4, 1}, 9)
+	b, _ := New([]int{3, 4, 1}, 9)
+	x := []float64{0.1, -0.2, 0.3}
+	if a.Forward(x) != b.Forward(x) {
+		t.Fatal("same seed produced different networks")
+	}
+	c, _ := New([]int{3, 4, 1}, 10)
+	if a.Forward(x) == c.Forward(x) {
+		t.Fatal("different seeds produced identical networks")
+	}
+}

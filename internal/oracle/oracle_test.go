@@ -1,0 +1,164 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.Grid(14, 14, gen.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	g := testGraph(t)
+	o, err := Build(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := sssp.NewWorkspace(g)
+	rng := rand.New(rand.NewSource(2))
+	n := g.NumVertices()
+	var sumRel float64
+	count := 0
+	for trial := 0; trial < 400; trial++ {
+		s := int32(rng.Intn(n))
+		u := int32(rng.Intn(n))
+		want := ws.Distance(s, u)
+		got := o.Estimate(s, u)
+		if want == 0 {
+			if got != 0 {
+				t.Fatalf("(%d,%d): estimate %v for zero distance", s, u, got)
+			}
+			continue
+		}
+		rel := math.Abs(got-want) / want
+		sumRel += rel
+		count++
+		// Individual queries can err more than ε on a road network (the
+		// separation bound is Euclidean), but not wildly.
+		if rel > 1.5 {
+			t.Fatalf("(%d,%d): estimate %v vs exact %v (rel %.2f)", s, u, got, want, rel)
+		}
+	}
+	if mean := sumRel / float64(count); mean > 0.15 {
+		t.Fatalf("mean relative error %.3f too high for eps=0.5", mean)
+	}
+}
+
+func TestTighterEpsMoreAccurate(t *testing.T) {
+	g := testGraph(t)
+	loose, err := Build(g, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Build(g, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.NumPairs() <= loose.NumPairs() {
+		t.Fatalf("tight eps stored %d pairs, loose %d: no growth", tight.NumPairs(), loose.NumPairs())
+	}
+	ws := sssp.NewWorkspace(g)
+	rng := rand.New(rand.NewSource(3))
+	n := g.NumVertices()
+	var looseErr, tightErr float64
+	cnt := 0
+	for trial := 0; trial < 300; trial++ {
+		s := int32(rng.Intn(n))
+		u := int32(rng.Intn(n))
+		want := ws.Distance(s, u)
+		if want <= 0 {
+			continue
+		}
+		looseErr += math.Abs(loose.Estimate(s, u)-want) / want
+		tightErr += math.Abs(tight.Estimate(s, u)-want) / want
+		cnt++
+	}
+	if tightErr >= looseErr {
+		t.Fatalf("eps=0.25 error %v not below eps=1.0 error %v", tightErr/float64(cnt), looseErr/float64(cnt))
+	}
+}
+
+func TestSelfAndSameLeaf(t *testing.T) {
+	g := testGraph(t)
+	o, err := Build(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := o.Estimate(7, 7); d != 0 {
+		t.Fatalf("self estimate %v", d)
+	}
+}
+
+func TestCoincidentVertices(t *testing.T) {
+	// Vertices at identical coordinates exercise the depth cap and the
+	// same-leaf exact fallback.
+	b := graph.NewBuilder(4, 4)
+	b.AddVertex(0, 0)
+	b.AddVertex(0, 0)
+	b.AddVertex(5, 5)
+	b.AddVertex(5, 5)
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(1, 2, 10)
+	_ = b.AddEdge(2, 3, 1)
+	g := b.Build()
+	o, err := Build(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := o.Estimate(0, 1); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("coincident-pair estimate %v, want exact 1", d)
+	}
+	if d := o.Estimate(2, 3); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("coincident-pair estimate %v, want exact 1", d)
+	}
+	if d := o.Estimate(0, 3); d <= 0 {
+		t.Fatalf("cross-pair estimate %v", d)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := testGraph(t)
+	if _, err := Build(g, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := Build(g, -1); err == nil {
+		t.Error("negative eps accepted")
+	}
+	if _, err := Build(graph.NewBuilder(0, 0).Build(), 0.5); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestDiagnostics(t *testing.T) {
+	g := testGraph(t)
+	o, err := Build(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.NumPairs() <= 0 || o.NumSSSP() <= 0 || o.IndexBytes() <= 0 {
+		t.Fatalf("diagnostics: pairs=%d sssp=%d bytes=%d", o.NumPairs(), o.NumSSSP(), o.IndexBytes())
+	}
+	if o.Epsilon() != 0.5 {
+		t.Fatalf("Epsilon = %v", o.Epsilon())
+	}
+	// Every distinct-source pair answered in bounded descent implies the
+	// pair map covers the query space; spot-check many random queries
+	// terminate (they would hang otherwise).
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		s := int32(rng.Intn(g.NumVertices()))
+		u := int32(rng.Intn(g.NumVertices()))
+		_ = o.Estimate(s, u)
+	}
+}

@@ -1,0 +1,229 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// HierConfig controls the recursive partitioning that builds the tree
+// of Figure 4.
+type HierConfig struct {
+	// Fanout is κ, the number of parts each subgraph splits into.
+	Fanout int
+	// Leaf is δ, the vertex-count threshold below which a subgraph is
+	// not split further.
+	Leaf int
+	// Seed makes the hierarchy deterministic.
+	Seed int64
+}
+
+// DefaultHierConfig returns the fanout/threshold used by the paper-style
+// experiments (κ=4, δ=64).
+func DefaultHierConfig(seed int64) HierConfig {
+	return HierConfig{Fanout: 4, Leaf: 64, Seed: seed}
+}
+
+// Hierarchy is the road-network partitioning tree. Tree nodes comprise
+// the root (the whole graph), internal sub-graph nodes, and one node
+// per original vertex (the deepest level, the paper's "real vertices").
+type Hierarchy struct {
+	g *graph.Graph
+
+	// Per tree node:
+	parent   []int32
+	children [][]int32
+	depth    []int32
+	// vertices[n] lists the original vertex ids under node n.
+	vertices [][]int32
+	// vertexID[n] is the original vertex for vertex nodes, -1 otherwise.
+	vertexID []int32
+
+	// Per original vertex: its vertex-node id and its full ancestor path
+	// root..vertex-node (flattened).
+	vertexNode []int32
+	ancOffsets []int32
+	ancNodes   []int32
+
+	// covers[l] is, for level l, a set of nodes covering every vertex
+	// exactly once: the node at depth l on the vertex's path, or the
+	// vertex node itself when its path is shorter.
+	covers [][]int32
+
+	maxDepth int
+}
+
+// BuildHierarchy recursively partitions g per cfg.
+func BuildHierarchy(g *graph.Graph, cfg HierConfig) (*Hierarchy, error) {
+	if cfg.Fanout < 2 {
+		return nil, fmt.Errorf("partition: fanout must be >= 2, got %d", cfg.Fanout)
+	}
+	if cfg.Leaf < 1 {
+		return nil, fmt.Errorf("partition: leaf threshold must be >= 1, got %d", cfg.Leaf)
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("partition: empty graph")
+	}
+	h := &Hierarchy{
+		g:          g,
+		vertexNode: make([]int32, n),
+	}
+
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	seed := cfg.Seed
+	var build func(verts []int32, parent int32, depth int32) int32
+	build = func(verts []int32, parent int32, depth int32) int32 {
+		id := int32(len(h.parent))
+		h.parent = append(h.parent, parent)
+		h.children = append(h.children, nil)
+		h.depth = append(h.depth, depth)
+		h.vertices = append(h.vertices, verts)
+		h.vertexID = append(h.vertexID, -1)
+		if len(verts) == 1 {
+			// Degenerate subgraph: the node itself acts as the vertex node.
+			h.vertexID[id] = verts[0]
+			h.vertexNode[verts[0]] = id
+			return id
+		}
+		if len(verts) <= cfg.Leaf {
+			// Leaf subgraph: attach one vertex node per vertex.
+			for _, v := range verts {
+				vid := int32(len(h.parent))
+				h.parent = append(h.parent, id)
+				h.children = append(h.children, nil)
+				h.depth = append(h.depth, depth+1)
+				h.vertices = append(h.vertices, []int32{v})
+				h.vertexID = append(h.vertexID, v)
+				h.children[id] = append(h.children[id], vid)
+				h.vertexNode[v] = vid
+			}
+			return id
+		}
+		// Partition the induced subgraph into κ parts.
+		sub, remap := graph.InducedSubgraph(g, verts)
+		k := cfg.Fanout
+		if k > sub.NumVertices() {
+			k = sub.NumVertices()
+		}
+		seed++
+		labels, err := KWay(sub, k, seed)
+		if err != nil {
+			// KWay only errors on invalid k, which the clamp above
+			// prevents; fall back to a single-part split.
+			labels = make([]int32, sub.NumVertices())
+		}
+		parts := make([][]int32, k)
+		for _, v := range verts {
+			l := labels[remap[v]]
+			parts[l] = append(parts[l], v)
+		}
+		for _, part := range parts {
+			if len(part) == 0 {
+				continue
+			}
+			cid := build(part, id, depth+1)
+			h.children[id] = append(h.children[id], cid)
+		}
+		return id
+	}
+	build(all, -1, 0)
+
+	// Flatten ancestor paths.
+	h.ancOffsets = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		node := h.vertexNode[v]
+		h.ancOffsets[v+1] = h.ancOffsets[v] + h.depth[node] + 1
+	}
+	h.ancNodes = make([]int32, h.ancOffsets[n])
+	for v := 0; v < n; v++ {
+		node := h.vertexNode[v]
+		end := h.ancOffsets[v+1]
+		for node != -1 {
+			end--
+			h.ancNodes[end] = node
+			node = h.parent[node]
+		}
+		if d := int(h.depth[h.vertexNode[v]]); d > h.maxDepth {
+			h.maxDepth = d
+		}
+	}
+
+	// Per-level covers.
+	h.covers = make([][]int32, h.maxDepth+1)
+	for l := 0; l <= h.maxDepth; l++ {
+		seen := make(map[int32]bool)
+		for v := 0; v < n; v++ {
+			anc := h.Ancestors(int32(v))
+			idx := l
+			if idx >= len(anc) {
+				idx = len(anc) - 1
+			}
+			node := anc[idx]
+			if !seen[node] {
+				seen[node] = true
+				h.covers[l] = append(h.covers[l], node)
+			}
+		}
+	}
+	return h, nil
+}
+
+// Graph returns the partitioned graph.
+func (h *Hierarchy) Graph() *graph.Graph { return h.g }
+
+// NumNodes returns the total number of tree nodes (root + sub-graphs +
+// vertex nodes).
+func (h *Hierarchy) NumNodes() int { return len(h.parent) }
+
+// MaxDepth returns the depth of the deepest vertex node; levels run
+// 0 (root) .. MaxDepth (vertices).
+func (h *Hierarchy) MaxDepth() int { return h.maxDepth }
+
+// Parent returns the parent node id of node, or -1 for the root.
+func (h *Hierarchy) Parent(node int32) int32 { return h.parent[node] }
+
+// Children returns the child node ids of node. The slice aliases
+// internal storage and must not be modified.
+func (h *Hierarchy) Children(node int32) []int32 { return h.children[node] }
+
+// Depth returns the depth of node (root is 0).
+func (h *Hierarchy) Depth(node int32) int32 { return h.depth[node] }
+
+// IsVertexNode reports whether node stands for a single original vertex.
+func (h *Hierarchy) IsVertexNode(node int32) bool { return h.vertexID[node] >= 0 }
+
+// VertexID returns the original vertex of a vertex node, or -1.
+func (h *Hierarchy) VertexID(node int32) int32 { return h.vertexID[node] }
+
+// VertexNode returns the vertex-node id of original vertex v.
+func (h *Hierarchy) VertexNode(v int32) int32 { return h.vertexNode[v] }
+
+// SubgraphVertices returns the original vertex ids under node. The
+// slice aliases internal storage and must not be modified.
+func (h *Hierarchy) SubgraphVertices(node int32) []int32 { return h.vertices[node] }
+
+// Ancestors returns the node path root..vertex-node of original vertex
+// v (the anc(v) of the paper, including v's own vertex node). The slice
+// aliases internal storage and must not be modified.
+func (h *Hierarchy) Ancestors(v int32) []int32 {
+	return h.ancNodes[h.ancOffsets[v]:h.ancOffsets[v+1]]
+}
+
+// CoverAtLevel returns a node set covering every vertex at level l: the
+// depth-l node of each vertex's path, or the vertex node itself for
+// shallow branches. These are the P_l "sub-graphs in level l" used by
+// subgraph-level sample selection. The slice aliases internal storage
+// and must not be modified.
+func (h *Hierarchy) CoverAtLevel(l int) []int32 {
+	if l < 0 {
+		l = 0
+	}
+	if l > h.maxDepth {
+		l = h.maxDepth
+	}
+	return h.covers[l]
+}

@@ -1,0 +1,393 @@
+// Package partition implements multilevel graph partitioning and the
+// road-network partitioning hierarchy of Section IV-A.
+//
+// The paper adopts the multi-phase algorithm of Karypis & Kumar [17]:
+// coarsen the graph by heavy-edge matching, partition the coarsest
+// graph, then project back while refining with boundary moves. KWay
+// produces a κ-way partition by recursive bisection; BuildHierarchy
+// applies it recursively with a leaf threshold δ to produce the tree
+// the hierarchical RNE model trains over.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// wedge is a weighted half-edge of the working graph.
+type wedge struct {
+	to int32
+	w  float64
+}
+
+// workGraph is the mutable weighted graph used during coarsening.
+// Adjacency lists are kept sorted by target so every pass is
+// deterministic. Vertices carry weights (the number of original
+// vertices they stand for) so balance is judged on original counts.
+type workGraph struct {
+	adj  [][]wedge
+	vwgt []int32
+}
+
+func newWorkGraph(g *graph.Graph) *workGraph {
+	n := g.NumVertices()
+	wg := &workGraph{
+		adj:  make([][]wedge, n),
+		vwgt: make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		wg.vwgt[v] = 1
+		ts, ws := g.Neighbors(int32(v))
+		es := make([]wedge, len(ts))
+		for i, t := range ts {
+			es[i] = wedge{to: t, w: ws[i]}
+		}
+		wg.adj[v] = es // graph.Graph adjacency is already sorted
+	}
+	return wg
+}
+
+func (wg *workGraph) numVertices() int { return len(wg.adj) }
+
+func (wg *workGraph) totalWeight() int32 {
+	var s int32
+	for _, w := range wg.vwgt {
+		s += w
+	}
+	return s
+}
+
+// coarsen performs one heavy-edge-matching pass and returns the coarser
+// graph plus the fine→coarse vertex map. It returns ok=false when the
+// matching made no progress.
+func (wg *workGraph) coarsen(rng *rand.Rand) (*workGraph, []int32, bool) {
+	n := wg.numVertices()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	matched := 0
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] >= 0 {
+			continue
+		}
+		var best int32 = -1
+		bestW := -1.0
+		for _, e := range wg.adj[v] {
+			if match[e.to] < 0 && e.w > bestW {
+				best, bestW = e.to, e.w
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+			matched += 2
+		} else {
+			match[v] = v
+		}
+	}
+	if matched < n/10 {
+		return nil, nil, false
+	}
+	// Assign coarse ids in fine-id order (deterministic).
+	coarseID := make([]int32, n)
+	for i := range coarseID {
+		coarseID[i] = -1
+	}
+	var next int32
+	for v := int32(0); v < int32(n); v++ {
+		if coarseID[v] >= 0 {
+			continue
+		}
+		coarseID[v] = next
+		if m := match[v]; m != v {
+			coarseID[m] = next
+		}
+		next++
+	}
+	cg := &workGraph{
+		adj:  make([][]wedge, next),
+		vwgt: make([]int32, next),
+	}
+	// Accumulate parallel edges, then sort each list.
+	acc := make([]map[int32]float64, next)
+	for i := range acc {
+		acc[i] = make(map[int32]float64)
+	}
+	for v := int32(0); v < int32(n); v++ {
+		cv := coarseID[v]
+		cg.vwgt[cv] += wg.vwgt[v]
+		for _, e := range wg.adj[v] {
+			cu := coarseID[e.to]
+			if cu != cv {
+				acc[cv][cu] += e.w
+			}
+		}
+	}
+	for cv := range acc {
+		es := make([]wedge, 0, len(acc[cv]))
+		for to, w := range acc[cv] {
+			es = append(es, wedge{to: to, w: w})
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
+		cg.adj[cv] = es
+	}
+	return cg, coarseID, true
+}
+
+// cutOf computes the total weight of edges crossing the bisection.
+func (wg *workGraph) cutOf(side []int8) float64 {
+	var cut float64
+	for v := range wg.adj {
+		for _, e := range wg.adj[v] {
+			if int32(v) < e.to && side[v] != side[e.to] {
+				cut += e.w
+			}
+		}
+	}
+	return cut
+}
+
+// growBisection seeds a BFS region until it holds targetW vertex weight
+// and returns the side assignment.
+func (wg *workGraph) growBisection(rng *rand.Rand, targetW int32) []int8 {
+	n := wg.numVertices()
+	side := make([]int8, n) // all on side 0 initially
+	if n == 0 {
+		return side
+	}
+	seed := int32(rng.Intn(n))
+	var grown int32
+	queue := []int32{seed}
+	inQueue := make([]bool, n)
+	inQueue[seed] = true
+	for len(queue) > 0 && grown < targetW {
+		v := queue[0]
+		queue = queue[1:]
+		if side[v] == 1 {
+			continue
+		}
+		side[v] = 1
+		grown += wg.vwgt[v]
+		for _, e := range wg.adj[v] {
+			if side[e.to] == 0 && !inQueue[e.to] {
+				inQueue[e.to] = true
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	// If BFS exhausted a small component, move arbitrary vertices.
+	for v := int32(0); v < int32(n) && grown < targetW; v++ {
+		if side[v] == 0 {
+			side[v] = 1
+			grown += wg.vwgt[v]
+		}
+	}
+	return side
+}
+
+// refine runs greedy boundary-move passes (a simplified
+// Fiduccia–Mattheyses) improving the cut while keeping side 1 within
+// the balance envelope.
+func (wg *workGraph) refine(side []int8, target1, slack int32) {
+	n := wg.numVertices()
+	var w1 int32
+	for v := 0; v < n; v++ {
+		if side[v] == 1 {
+			w1 += wg.vwgt[v]
+		}
+	}
+	lo1, hi1 := target1-slack, target1+slack
+	for pass := 0; pass < 4; pass++ {
+		improved := false
+		for v := int32(0); v < int32(n); v++ {
+			// gain = cut decrease when v switches sides
+			var same, other float64
+			for _, e := range wg.adj[v] {
+				if side[e.to] == side[v] {
+					same += e.w
+				} else {
+					other += e.w
+				}
+			}
+			gain := other - same
+			if gain <= 0 {
+				continue
+			}
+			if side[v] == 0 {
+				if w1+wg.vwgt[v] > hi1 {
+					continue
+				}
+				side[v] = 1
+				w1 += wg.vwgt[v]
+			} else {
+				if w1-wg.vwgt[v] < lo1 {
+					continue
+				}
+				side[v] = 0
+				w1 -= wg.vwgt[v]
+			}
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// bisect splits wg into two sides with weight ratio frac1 on side 1,
+// using the multilevel scheme, and returns the side of each vertex.
+func bisect(wg *workGraph, frac1 float64, rng *rand.Rand) []int8 {
+	const coarseTarget = 64
+	// Coarsening phase.
+	graphs := []*workGraph{wg}
+	var maps [][]int32
+	cur := wg
+	for cur.numVertices() > coarseTarget {
+		cg, m, ok := cur.coarsen(rng)
+		if !ok {
+			break
+		}
+		graphs = append(graphs, cg)
+		maps = append(maps, m)
+		cur = cg
+	}
+	coarsest := graphs[len(graphs)-1]
+	total := coarsest.totalWeight()
+	target1 := int32(float64(total) * frac1)
+	slack := total/10 + 1
+
+	// Initial partitioning: several random grows, keep the best cut.
+	var best []int8
+	bestCut := -1.0
+	const tries = 4
+	for i := 0; i < tries; i++ {
+		side := coarsest.growBisection(rng, target1)
+		coarsest.refine(side, target1, slack)
+		cut := coarsest.cutOf(side)
+		if bestCut < 0 || cut < bestCut {
+			best, bestCut = side, cut
+		}
+	}
+
+	// Uncoarsening with refinement.
+	side := best
+	for i := len(graphs) - 2; i >= 0; i-- {
+		fine := graphs[i]
+		m := maps[i]
+		fineSide := make([]int8, fine.numVertices())
+		for v := range fineSide {
+			fineSide[v] = side[m[v]]
+		}
+		ft := fine.totalWeight()
+		fine.refine(fineSide, int32(float64(ft)*frac1), ft/10+1)
+		side = fineSide
+	}
+	return side
+}
+
+// KWay partitions g into k parts of roughly equal vertex counts,
+// minimizing cut edges, and returns the part label of each vertex in
+// [0, k). k must be at least 1 and at most the number of vertices.
+// Results are deterministic for a given seed.
+func KWay(g *graph.Graph, k int, seed int64) ([]int32, error) {
+	n := g.NumVertices()
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k must be >= 1, got %d", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("partition: k=%d exceeds |V|=%d", k, n)
+	}
+	labels := make([]int32, n)
+	if k == 1 {
+		return labels, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	wg := newWorkGraph(g)
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	kwayRecurse(wg, ids, k, 0, labels, rng)
+	return labels, nil
+}
+
+// kwayRecurse bisects wg (whose vertices map to original ids) into two
+// groups sized k1:k2 and recurses.
+func kwayRecurse(wg *workGraph, ids []int32, k int, base int32, labels []int32, rng *rand.Rand) {
+	if k == 1 {
+		for _, id := range ids {
+			labels[id] = base
+		}
+		return
+	}
+	k1 := k / 2
+	k2 := k - k1
+	frac1 := float64(k1) / float64(k)
+	side := bisect(wg, frac1, rng)
+
+	// Split workGraph into two induced sub-workgraphs.
+	n := wg.numVertices()
+	newID := make([]int32, n)
+	var n0, n1 int32
+	for v := 0; v < n; v++ {
+		if side[v] == 1 {
+			newID[v] = n1
+			n1++
+		} else {
+			newID[v] = n0
+			n0++
+		}
+	}
+	// Guard against degenerate splits (possible on tiny disconnected
+	// shards): fall back to an index split so recursion terminates with
+	// balanced, if not cut-minimal, parts.
+	if n1 == 0 || n0 == 0 {
+		for v := 0; v < n; v++ {
+			labels[ids[v]] = base + int32(v*k/n)
+		}
+		return
+	}
+	sub0 := &workGraph{adj: make([][]wedge, n0), vwgt: make([]int32, n0)}
+	sub1 := &workGraph{adj: make([][]wedge, n1), vwgt: make([]int32, n1)}
+	ids0 := make([]int32, n0)
+	ids1 := make([]int32, n1)
+	for v := 0; v < n; v++ {
+		nv := newID[v]
+		sub, sids := sub0, ids0
+		if side[v] == 1 {
+			sub, sids = sub1, ids1
+		}
+		sub.vwgt[nv] = wg.vwgt[v]
+		sids[nv] = ids[v]
+		var es []wedge
+		for _, e := range wg.adj[v] {
+			if side[e.to] == side[v] {
+				es = append(es, wedge{to: newID[e.to], w: e.w})
+			}
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
+		sub.adj[nv] = es
+	}
+	kwayRecurse(sub1, ids1, k1, base, labels, rng)
+	kwayRecurse(sub0, ids0, k2, base+int32(k1), labels, rng)
+}
+
+// Cut returns the number and total weight of edges of g crossing parts.
+func Cut(g *graph.Graph, labels []int32) (count int, weight float64) {
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		ts, ws := g.Neighbors(v)
+		for i, u := range ts {
+			if u > v && labels[u] != labels[v] {
+				count++
+				weight += ws[i]
+			}
+		}
+	}
+	return count, weight
+}

@@ -1,0 +1,263 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func testGraph(t *testing.T, seed int64, rows, cols int) *graph.Graph {
+	t.Helper()
+	g, err := gen.Grid(rows, cols, gen.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestKWayLabelsValid(t *testing.T) {
+	g := testGraph(t, 1, 16, 16)
+	for _, k := range []int{1, 2, 3, 4, 7, 8} {
+		labels, err := KWay(g, k, 42)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(labels) != g.NumVertices() {
+			t.Fatalf("k=%d: %d labels for %d vertices", k, len(labels), g.NumVertices())
+		}
+		counts := make([]int, k)
+		for _, l := range labels {
+			if l < 0 || int(l) >= k {
+				t.Fatalf("k=%d: label %d out of range", k, l)
+			}
+			counts[l]++
+		}
+		// All parts non-empty and reasonably balanced (within 2.5x of avg).
+		avg := g.NumVertices() / k
+		for p, c := range counts {
+			if c == 0 {
+				t.Fatalf("k=%d: part %d empty", k, p)
+			}
+			if k > 1 && (c > avg*5/2+2) {
+				t.Errorf("k=%d: part %d badly unbalanced: %d vs avg %d", k, p, c, avg)
+			}
+		}
+	}
+}
+
+func TestKWayCutBeatsRandom(t *testing.T) {
+	g := testGraph(t, 2, 20, 20)
+	k := 4
+	labels, err := KWay(g, k, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cutW := Cut(g, labels)
+
+	// A random balanced assignment should cut far more edge weight.
+	rng := rand.New(rand.NewSource(9))
+	randomLabels := make([]int32, g.NumVertices())
+	for i := range randomLabels {
+		randomLabels[i] = int32(rng.Intn(k))
+	}
+	_, randW := Cut(g, randomLabels)
+	if cutW >= randW {
+		t.Fatalf("partitioner cut %v not better than random %v", cutW, randW)
+	}
+	if cutW > randW/2 {
+		t.Errorf("partitioner cut %v only marginally better than random %v", cutW, randW)
+	}
+}
+
+func TestKWayErrors(t *testing.T) {
+	g := testGraph(t, 3, 5, 5)
+	if _, err := KWay(g, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KWay(g, g.NumVertices()+1, 1); err == nil {
+		t.Error("k>|V| accepted")
+	}
+}
+
+func TestKWayDeterministic(t *testing.T) {
+	g := testGraph(t, 4, 12, 12)
+	a, _ := KWay(g, 4, 11)
+	b, _ := KWay(g, 4, 11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different partitions")
+		}
+	}
+}
+
+func TestHierarchyStructure(t *testing.T) {
+	g := testGraph(t, 5, 18, 18)
+	h, err := BuildHierarchy(g, DefaultHierConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+
+	// Every vertex has a vertex node carrying its id.
+	for v := int32(0); v < int32(n); v++ {
+		node := h.VertexNode(v)
+		if !h.IsVertexNode(node) || h.VertexID(node) != v {
+			t.Fatalf("vertex %d maps to node %d with id %d", v, node, h.VertexID(node))
+		}
+	}
+
+	// Ancestor paths start at the root and end at the vertex node, with
+	// consecutive parent links and increasing depth.
+	root := int32(0)
+	if h.Parent(root) != -1 || h.Depth(root) != 0 {
+		t.Fatal("node 0 should be the root at depth 0")
+	}
+	for v := int32(0); v < int32(n); v++ {
+		anc := h.Ancestors(v)
+		if anc[0] != root {
+			t.Fatalf("vertex %d path does not start at root: %v", v, anc)
+		}
+		if anc[len(anc)-1] != h.VertexNode(v) {
+			t.Fatalf("vertex %d path does not end at its vertex node", v)
+		}
+		for i := 1; i < len(anc); i++ {
+			if h.Parent(anc[i]) != anc[i-1] {
+				t.Fatalf("vertex %d path broken at %d", v, i)
+			}
+			if h.Depth(anc[i]) != h.Depth(anc[i-1])+1 {
+				t.Fatalf("vertex %d depth not increasing at %d", v, i)
+			}
+		}
+	}
+
+	// Children partition each internal node's vertex set.
+	for node := int32(0); node < int32(h.NumNodes()); node++ {
+		kids := h.Children(node)
+		if len(kids) == 0 {
+			continue
+		}
+		total := 0
+		seen := make(map[int32]bool)
+		for _, c := range kids {
+			for _, v := range h.SubgraphVertices(c) {
+				if seen[v] {
+					t.Fatalf("vertex %d appears in two children of node %d", v, node)
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		if total != len(h.SubgraphVertices(node)) {
+			t.Fatalf("node %d: children cover %d of %d vertices", node, total, len(h.SubgraphVertices(node)))
+		}
+	}
+
+	// Leaf subgraphs respect the threshold.
+	cfg := DefaultHierConfig(1)
+	for node := int32(0); node < int32(h.NumNodes()); node++ {
+		if h.IsVertexNode(node) {
+			continue
+		}
+		kids := h.Children(node)
+		allVertexKids := len(kids) > 0
+		for _, c := range kids {
+			if !h.IsVertexNode(c) {
+				allVertexKids = false
+				break
+			}
+		}
+		if allVertexKids && len(h.SubgraphVertices(node)) > cfg.Leaf {
+			t.Fatalf("leaf subgraph node %d has %d > δ=%d vertices", node, len(h.SubgraphVertices(node)), cfg.Leaf)
+		}
+	}
+}
+
+func TestHierarchyCovers(t *testing.T) {
+	g := testGraph(t, 6, 15, 15)
+	h, err := BuildHierarchy(g, DefaultHierConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	for l := 0; l <= h.MaxDepth(); l++ {
+		cover := h.CoverAtLevel(l)
+		covered := 0
+		for _, node := range cover {
+			covered += len(h.SubgraphVertices(node))
+		}
+		if covered != n {
+			t.Fatalf("level %d cover spans %d of %d vertices", l, covered, n)
+		}
+	}
+	if c0 := h.CoverAtLevel(0); len(c0) != 1 || c0[0] != 0 {
+		t.Fatalf("level-0 cover should be the root, got %v", c0)
+	}
+	last := h.CoverAtLevel(h.MaxDepth())
+	if len(last) < n/2 {
+		t.Fatalf("deepest cover has only %d nodes for %d vertices", len(last), n)
+	}
+	// Clamping.
+	if got := h.CoverAtLevel(-3); len(got) != 1 {
+		t.Fatal("negative level should clamp to root cover")
+	}
+	if got := h.CoverAtLevel(h.MaxDepth() + 10); len(got) != len(last) {
+		t.Fatal("beyond-max level should clamp to deepest cover")
+	}
+}
+
+func TestHierarchyConfigValidation(t *testing.T) {
+	g := testGraph(t, 7, 5, 5)
+	if _, err := BuildHierarchy(g, HierConfig{Fanout: 1, Leaf: 4}); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	if _, err := BuildHierarchy(g, HierConfig{Fanout: 4, Leaf: 0}); err == nil {
+		t.Error("leaf 0 accepted")
+	}
+	empty := graph.NewBuilder(0, 0).Build()
+	if _, err := BuildHierarchy(empty, DefaultHierConfig(1)); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestHierarchySmallGraph(t *testing.T) {
+	// A graph smaller than δ should yield root + vertex nodes only.
+	b := graph.NewBuilder(3, 3)
+	b.AddVertex(0, 0)
+	b.AddVertex(1, 0)
+	b.AddVertex(0, 1)
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(1, 2, 1)
+	g := b.Build()
+	h, err := BuildHierarchy(g, DefaultHierConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4 (root + 3 vertices)", h.NumNodes())
+	}
+	if h.MaxDepth() != 1 {
+		t.Fatalf("MaxDepth = %d, want 1", h.MaxDepth())
+	}
+}
+
+func TestCut(t *testing.T) {
+	b := graph.NewBuilder(4, 4)
+	for i := 0; i < 4; i++ {
+		b.AddVertex(float64(i), 0)
+	}
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(1, 2, 2)
+	_ = b.AddEdge(2, 3, 3)
+	_ = b.AddEdge(3, 0, 4)
+	g := b.Build()
+	count, weight := Cut(g, []int32{0, 0, 1, 1})
+	if count != 2 || weight != 2+4 {
+		t.Fatalf("Cut = %d/%v, want 2/6", count, weight)
+	}
+	count, _ = Cut(g, []int32{0, 0, 0, 0})
+	if count != 0 {
+		t.Fatalf("single-part cut = %d, want 0", count)
+	}
+}

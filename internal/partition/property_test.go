@@ -1,0 +1,94 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+)
+
+// TestKWayPartitionProperties drives KWay with quick-generated k and
+// seeds: labels are always a complete partition with all parts
+// non-empty and within a loose balance envelope.
+func TestKWayPartitionProperties(t *testing.T) {
+	g, err := gen.Grid(14, 14, gen.DefaultConfig(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	f := func(kRaw uint8, seed int64) bool {
+		k := 2 + int(kRaw)%9 // k in [2,10]
+		labels, err := KWay(g, k, seed)
+		if err != nil {
+			return false
+		}
+		counts := make([]int, k)
+		for _, l := range labels {
+			if l < 0 || int(l) >= k {
+				return false
+			}
+			counts[l]++
+		}
+		for _, c := range counts {
+			if c == 0 || c > n*3/k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHierarchyAncestorProperties: for every vertex pair, the common
+// ancestor prefix is exactly the set of tree nodes containing both.
+func TestHierarchyAncestorProperties(t *testing.T) {
+	g, err := gen.Grid(12, 12, gen.DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := BuildHierarchy(g, DefaultHierConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	inSubgraph := func(node, v int32) bool {
+		for _, u := range h.SubgraphVertices(node) {
+			if u == v {
+				return true
+			}
+		}
+		return false
+	}
+	f := func(ar, br uint16) bool {
+		a := int32(int(ar) % n)
+		b := int32(int(br) % n)
+		ancA := h.Ancestors(a)
+		ancB := h.Ancestors(b)
+		m := len(ancA)
+		if len(ancB) < m {
+			m = len(ancB)
+		}
+		for i := 0; i < m; i++ {
+			shared := ancA[i] == ancB[i]
+			containsBoth := inSubgraph(ancA[i], a) && inSubgraph(ancA[i], b)
+			if shared != containsBoth {
+				return false
+			}
+			if !shared {
+				// Paths never re-merge after diverging.
+				for j := i; j < m; j++ {
+					if ancA[j] == ancB[j] {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package pqueue
+
+// FloatHeap is a plain binary min-heap of (priority, payload) pairs.
+// Unlike IndexedHeap it allows duplicate payloads and payloads from a
+// sparse id space, which suits tree traversals (range/kNN queries) where
+// entries are tree nodes and vertices mixed together.
+// The zero value is an empty heap ready to use.
+type FloatHeap struct {
+	keys []float64
+	vals []int64
+}
+
+// Len returns the number of queued items.
+func (h *FloatHeap) Len() int { return len(h.keys) }
+
+// Reset removes all items, retaining capacity.
+func (h *FloatHeap) Reset() {
+	h.keys = h.keys[:0]
+	h.vals = h.vals[:0]
+}
+
+// Push inserts a (key, val) pair.
+func (h *FloatHeap) Push(key float64, val int64) {
+	h.keys = append(h.keys, key)
+	h.vals = append(h.vals, val)
+	i := len(h.keys) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.keys[parent] <= h.keys[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// Pop removes and returns the pair with the smallest key.
+// It must only be called when Len() > 0.
+func (h *FloatHeap) Pop() (float64, int64) {
+	key, val := h.keys[0], h.vals[0]
+	last := len(h.keys) - 1
+	h.swap(0, last)
+	h.keys = h.keys[:last]
+	h.vals = h.vals[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.keys[l] < h.keys[smallest] {
+			smallest = l
+		}
+		if r < last && h.keys[r] < h.keys[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return key, val
+}
+
+// Peek returns the smallest pair without removing it.
+// It must only be called when Len() > 0.
+func (h *FloatHeap) Peek() (float64, int64) { return h.keys[0], h.vals[0] }
+
+func (h *FloatHeap) swap(i, j int) {
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.vals[i], h.vals[j] = h.vals[j], h.vals[i]
+}

@@ -1,0 +1,116 @@
+// Package pqueue provides an indexed binary min-heap keyed by float64
+// priorities. It is the workhorse of every search algorithm in this
+// repository (Dijkstra, A*, CH witness search, kNN traversal):
+// DecreaseKey avoids the duplicate-entry growth of container/heap-based
+// queues on dense road networks.
+package pqueue
+
+// IndexedHeap is a binary min-heap over items identified by dense int32
+// ids in [0, n). Each id may appear at most once. The zero value is not
+// usable; construct with New.
+type IndexedHeap struct {
+	ids  []int32   // heap order
+	keys []float64 // keys[i] is the priority of ids[i]
+	pos  []int32   // pos[id] is the heap slot of id, or -1
+}
+
+// New returns a heap admitting ids in [0, n).
+func New(n int) *IndexedHeap {
+	pos := make([]int32, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &IndexedHeap{pos: pos}
+}
+
+// Len returns the number of queued items.
+func (h *IndexedHeap) Len() int { return len(h.ids) }
+
+// Contains reports whether id is currently queued.
+func (h *IndexedHeap) Contains(id int32) bool { return h.pos[id] >= 0 }
+
+// Key returns the current priority of a queued id.
+// It must only be called when Contains(id) is true.
+func (h *IndexedHeap) Key(id int32) float64 { return h.keys[h.pos[id]] }
+
+// Reset removes all items, retaining capacity. It runs in O(len).
+func (h *IndexedHeap) Reset() {
+	for _, id := range h.ids {
+		h.pos[id] = -1
+	}
+	h.ids = h.ids[:0]
+	h.keys = h.keys[:0]
+}
+
+// Push inserts id with the given priority, or lowers the priority if id
+// is already queued with a larger key (a combined push/decrease-key).
+// Pushing a queued id with a larger key is a no-op.
+func (h *IndexedHeap) Push(id int32, key float64) {
+	if p := h.pos[id]; p >= 0 {
+		if key < h.keys[p] {
+			h.keys[p] = key
+			h.up(int(p))
+		}
+		return
+	}
+	h.ids = append(h.ids, id)
+	h.keys = append(h.keys, key)
+	h.pos[id] = int32(len(h.ids) - 1)
+	h.up(len(h.ids) - 1)
+}
+
+// Pop removes and returns the id with the smallest priority.
+// It must only be called when Len() > 0.
+func (h *IndexedHeap) Pop() (int32, float64) {
+	id, key := h.ids[0], h.keys[0]
+	last := len(h.ids) - 1
+	h.swap(0, last)
+	h.ids = h.ids[:last]
+	h.keys = h.keys[:last]
+	h.pos[id] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return id, key
+}
+
+// Peek returns the id with the smallest priority without removing it.
+// It must only be called when Len() > 0.
+func (h *IndexedHeap) Peek() (int32, float64) { return h.ids[0], h.keys[0] }
+
+func (h *IndexedHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.pos[h.ids[i]] = int32(i)
+	h.pos[h.ids[j]] = int32(j)
+}
+
+func (h *IndexedHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.keys[parent] <= h.keys[i] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IndexedHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.keys[l] < h.keys[smallest] {
+			smallest = l
+		}
+		if r < n && h.keys[r] < h.keys[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,185 @@
+// Package server exposes a trained RNE model over HTTP — the serving
+// shape of the paper's motivating Uber/Yelp workloads: high-volume
+// distance estimates, k-nearest-vehicle and POIs-within-range queries.
+// Handlers are stdlib net/http and safe for concurrent use (model
+// queries are read-only).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/index"
+)
+
+// Server wires a model (and optionally a spatial index over a target
+// set) into an http.Handler.
+type Server struct {
+	model *core.Model
+	idx   *index.Tree // nil disables /knn and /range
+}
+
+// New returns a server for the model; idx may be nil for distance-only
+// serving (e.g. when the model was loaded from disk and the partition
+// tree is gone).
+func New(model *core.Model, idx *index.Tree) (*Server, error) {
+	if model == nil {
+		return nil, fmt.Errorf("server: nil model")
+	}
+	return &Server{model: model, idx: idx}, nil
+}
+
+// Handler returns the route table:
+//
+//	GET  /healthz                    liveness + model shape
+//	GET  /distance?s=<id>&t=<id>     one estimate
+//	POST /batch                      {"pairs":[[s,t],...]} -> {"distances":[...]}
+//	GET  /knn?s=<id>&k=<n>           k nearest indexed targets
+//	GET  /range?s=<id>&tau=<dist>    indexed targets within tau
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /distance", s.handleDistance)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("GET /knn", s.handleKNN)
+	mux.HandleFunc("GET /range", s.handleRange)
+	return mux
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// vertexParam parses a vertex id query parameter.
+func (s *Server) vertexParam(r *http.Request, name string) (int32, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q is not an integer", name)
+	}
+	if v < 0 || v >= s.model.NumVertices() {
+		return 0, fmt.Errorf("vertex %d outside [0,%d)", v, s.model.NumVertices())
+	}
+	return int32(v), nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"vertices": s.model.NumVertices(),
+		"dim":      s.model.Dim(),
+		"spatial":  s.idx != nil,
+	})
+}
+
+func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	src, err := s.vertexParam(r, "s")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	dst, err := s.vertexParam(r, "t")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"s": src, "t": dst, "distance": s.model.Estimate(src, dst),
+	})
+}
+
+// batchRequest is the /batch payload.
+type batchRequest struct {
+	Pairs [][2]int32 `json:"pairs"`
+}
+
+const maxBatch = 1 << 20
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		s.fail(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Pairs) > maxBatch {
+		s.fail(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Pairs), maxBatch)
+		return
+	}
+	n := int32(s.model.NumVertices())
+	ss := make([]int32, len(req.Pairs))
+	ts := make([]int32, len(req.Pairs))
+	for i, p := range req.Pairs {
+		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
+			s.fail(w, http.StatusBadRequest, "pair %d references vertex outside [0,%d)", i, n)
+			return
+		}
+		ss[i], ts[i] = p[0], p[1]
+	}
+	out := make([]float64, len(ss))
+	if err := s.model.EstimateBatch(ss, ts, out, 0); err != nil {
+		s.fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"distances": out})
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	if s.idx == nil {
+		s.fail(w, http.StatusNotImplemented, "no spatial index loaded")
+		return
+	}
+	src, err := s.vertexParam(r, "s")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k, err := strconv.Atoi(r.URL.Query().Get("k"))
+	if err != nil || k < 1 || k > s.idx.Size() {
+		s.fail(w, http.StatusBadRequest, "k must be in [1,%d]", s.idx.Size())
+		return
+	}
+	results := s.idx.KNN(src, k)
+	dists := make([]float64, len(results))
+	for i, v := range results {
+		dists[i] = s.model.Estimate(src, v)
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"targets": results, "distances": dists})
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	if s.idx == nil {
+		s.fail(w, http.StatusNotImplemented, "no spatial index loaded")
+		return
+	}
+	src, err := s.vertexParam(r, "s")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tau, err := strconv.ParseFloat(r.URL.Query().Get("tau"), 64)
+	if err != nil || tau < 0 {
+		s.fail(w, http.StatusBadRequest, "tau must be a non-negative number")
+		return
+	}
+	results := s.idx.Range(src, tau)
+	if results == nil {
+		results = []int32{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"targets": results})
+}

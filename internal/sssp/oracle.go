@@ -1,0 +1,90 @@
+package sssp
+
+import "repro/internal/graph"
+
+// TruthOracle serves exact shortest-path distances with an LRU cache of
+// full single-source distance arrays. Training-sample generation asks
+// for many pairs sharing a source (landmark-based selection makes this
+// extreme: every sample's source is one of |U| landmarks), so caching
+// whole SSSP trees turns labeling from one Dijkstra per sample into one
+// Dijkstra per distinct source.
+type TruthOracle struct {
+	ws       *Workspace
+	capacity int
+	cache    map[int32][]float64
+	order    []int32 // LRU order, least recent first
+	queries  int64
+	misses   int64
+}
+
+// NewTruthOracle returns an oracle over g caching up to capacity source
+// distance arrays (each 8*|V| bytes). Capacity must be at least 1.
+func NewTruthOracle(g *graph.Graph, capacity int) *TruthOracle {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TruthOracle{
+		ws:       NewWorkspace(g),
+		capacity: capacity,
+		cache:    make(map[int32][]float64, capacity),
+	}
+}
+
+// Distance returns the exact network distance from s to t
+// (Inf if unreachable).
+func (o *TruthOracle) Distance(s, t int32) float64 {
+	o.queries++
+	if d, ok := o.cache[s]; ok {
+		o.touch(s)
+		return d[t]
+	}
+	if d, ok := o.cache[t]; ok {
+		// Undirected graph: d(s,t) = d(t,s).
+		o.touch(t)
+		return d[s]
+	}
+	o.misses++
+	d := o.ws.FromSource(s, nil)
+	o.insert(s, d)
+	return d[t]
+}
+
+// FromSource returns the full distance array from s, computing and
+// caching it if needed. The returned slice is owned by the cache and
+// must not be modified.
+func (o *TruthOracle) FromSource(s int32) []float64 {
+	o.queries++
+	if d, ok := o.cache[s]; ok {
+		o.touch(s)
+		return d
+	}
+	o.misses++
+	d := o.ws.FromSource(s, nil)
+	o.insert(s, d)
+	return d
+}
+
+// Stats reports the number of Distance/FromSource calls and how many
+// required a fresh Dijkstra run.
+func (o *TruthOracle) Stats() (queries, misses int64) { return o.queries, o.misses }
+
+func (o *TruthOracle) touch(s int32) {
+	for i, v := range o.order {
+		if v == s {
+			copy(o.order[i:], o.order[i+1:])
+			o.order[len(o.order)-1] = s
+			return
+		}
+	}
+}
+
+func (o *TruthOracle) insert(s int32, d []float64) {
+	if len(o.order) >= o.capacity {
+		evict := o.order[0]
+		copy(o.order, o.order[1:])
+		o.order = o.order[:len(o.order)-1]
+		delete(o.cache, evict)
+	}
+	o.cache[s] = d
+	o.order = append(o.order, s)
+}

@@ -1,0 +1,92 @@
+package sssp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+)
+
+// TestDistanceMetricProperties checks, on random graphs and vertex
+// triples, that exact network distances satisfy the metric axioms the
+// paper builds on in Section III-C: symmetry (undirected graphs) and
+// the triangle inequality.
+func TestDistanceMetricProperties(t *testing.T) {
+	g, err := gen.Grid(12, 12, gen.DefaultConfig(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace(g)
+	n := g.NumVertices()
+	f := func(ar, br, cr uint16) bool {
+		a := int32(int(ar) % n)
+		b := int32(int(br) % n)
+		c := int32(int(cr) % n)
+		dab := ws.Distance(a, b)
+		dba := ws.Distance(b, a)
+		if math.Abs(dab-dba) > 1e-9 {
+			return false
+		}
+		dac := ws.Distance(a, c)
+		dcb := ws.Distance(c, b)
+		return dab <= dac+dcb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFromSourceMonotoneAlongTree: a vertex's distance never exceeds
+// any neighbor's distance plus the connecting edge (the Bellman
+// optimality condition), and equals it along shortest-path-tree edges.
+func TestFromSourceOptimalityCondition(t *testing.T) {
+	g, err := gen.Grid(11, 11, gen.DefaultConfig(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace(g)
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 5; trial++ {
+		s := int32(rng.Intn(g.NumVertices()))
+		dist := ws.FromSource(s, nil)
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			if dist[v] == Inf {
+				continue
+			}
+			ts, wts := g.Neighbors(v)
+			tight := v == s
+			for i, u := range ts {
+				if dist[v] > dist[u]+wts[i]+1e-9 {
+					t.Fatalf("optimality violated at %d via %d", v, u)
+				}
+				if math.Abs(dist[v]-(dist[u]+wts[i])) < 1e-9 {
+					tight = true
+				}
+			}
+			if !tight {
+				t.Fatalf("vertex %d has no tight predecessor", v)
+			}
+		}
+	}
+}
+
+// TestBidirectionalAgreesProperty drives the bidirectional search with
+// quick-generated pairs.
+func TestBidirectionalAgreesProperty(t *testing.T) {
+	g, err := gen.Radial(4, 18, gen.DefaultConfig(34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace(g)
+	n := g.NumVertices()
+	f := func(ar, br uint16) bool {
+		a := int32(int(ar) % n)
+		b := int32(int(br) % n)
+		return math.Abs(ws.Distance(a, b)-ws.BidirectionalDistance(a, b)) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

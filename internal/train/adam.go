@@ -1,0 +1,99 @@
+package train
+
+import (
+	"math"
+
+	"repro/internal/emb"
+	"repro/internal/sample"
+	"repro/internal/vecmath"
+)
+
+// Adam holds per-parameter first/second moment estimates for an
+// embedding matrix. The paper trains under TensorFlow, whose adaptive
+// optimizers tolerate raw-scale gradients; this repository's plain SGD
+// replaces that with explicit normalization, and Adam is provided as a
+// faithful alternative (compared by the ablation-optimizer experiment).
+type Adam struct {
+	m, v []float64
+	t    int
+	// Beta1, Beta2 and Eps are the standard Adam constants.
+	Beta1, Beta2, Eps float64
+}
+
+// NewAdam returns Adam state sized for matrix rows*dim parameters.
+func NewAdam(rows, dim int) *Adam {
+	return &Adam{
+		m: make([]float64, rows*dim), v: make([]float64, rows*dim),
+		Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+	}
+}
+
+// update applies one Adam step to row (starting at parameter offset
+// off) given the row gradient scaled by gscale.
+func (a *Adam) update(row []float64, off int, grad []float64, gscale, lr float64) {
+	corr1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	corr2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i := range row {
+		g := grad[i] * gscale
+		k := off + i
+		a.m[k] = a.Beta1*a.m[k] + (1-a.Beta1)*g
+		a.v[k] = a.Beta2*a.v[k] + (1-a.Beta2)*g*g
+		row[i] -= lr * (a.m[k] / corr1) / (math.Sqrt(a.v[k]/corr2) + a.Eps)
+	}
+}
+
+// FlatStepAdam is FlatStep with Adam updates.
+func FlatStepAdam(m *emb.Matrix, adam *Adam, samples []sample.Sample, lr, p, scale float64) {
+	d := m.Dim()
+	grad := make([]float64, d)
+	for _, smp := range samples {
+		rs := m.Row(smp.S)
+		rt := m.Row(smp.T)
+		phiHat := vecmath.Lp(rs, rt, p)
+		err := clampErr(phiHat - smp.Dist/scale)
+		if err == 0 {
+			continue
+		}
+		vecmath.LpGrad(grad, rs, rt, p, phiHat)
+		adam.t++
+		adam.update(rs, int(smp.S)*d, grad, 2*err, lr)
+		adam.update(rt, int(smp.T)*d, grad, -2*err, lr)
+	}
+}
+
+// HierStepAdam is HierStep with Adam updates; lrByLevel scales the base
+// rate per level exactly as in HierStep.
+func HierStepAdam(hh *emb.Hier, adam *Adam, lrByLevel []float64, samples []sample.Sample, p, scale float64) {
+	d := hh.Local.Dim()
+	vs := make([]float64, d)
+	vt := make([]float64, d)
+	grad := make([]float64, d)
+	h := hh.H
+	for _, smp := range samples {
+		ancS := h.Ancestors(smp.S)
+		ancT := h.Ancestors(smp.T)
+		hh.GlobalInto(vs, smp.S)
+		hh.GlobalInto(vt, smp.T)
+		phiHat := vecmath.Lp(vs, vt, p)
+		err := clampErr(phiHat - smp.Dist/scale)
+		if err == 0 {
+			continue
+		}
+		vecmath.LpGrad(grad, vs, vt, p, phiHat)
+		adam.t++
+		common := 0
+		for common < len(ancS) && common < len(ancT) && ancS[common] == ancT[common] {
+			common++
+		}
+		for _, node := range ancS[common:] {
+			if lr := nodeRate(h, node, lrByLevel); lr != 0 {
+				adam.update(hh.Local.Row(node), int(node)*d, grad, 2*err, lr)
+			}
+		}
+		for _, node := range ancT[common:] {
+			if lr := nodeRate(h, node, lrByLevel); lr != 0 {
+				adam.update(hh.Local.Row(node), int(node)*d, grad, -2*err, lr)
+			}
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestL1Known(t *testing.T) {
+	a := []float64{0, 0, 3, -2, 5}
+	b := []float64{1, -1, 3, 2, 0}
+	if got := L1(a, b); !almostEqual(got, 1+1+0+4+5, 1e-12) {
+		t.Fatalf("L1 = %v, want 11", got)
+	}
+}
+
+func TestL2Known(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if got := L2(a, b); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("L2 = %v, want 5", got)
+	}
+}
+
+func TestLpDispatchesAndGeneralizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 17)
+	b := make([]float64, 17)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	if got, want := Lp(a, b, 1), L1(a, b); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("Lp(1) = %v, L1 = %v", got, want)
+	}
+	if got, want := Lp(a, b, 2), L2(a, b); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("Lp(2) = %v, L2 = %v", got, want)
+	}
+	// Generic path at p=2 must agree with the fast kernel.
+	var s float64
+	for i := range a {
+		s += math.Pow(math.Abs(a[i]-b[i]), 2.0)
+	}
+	if got := math.Pow(s, 0.5); !almostEqual(got, L2(a, b), 1e-9) {
+		t.Fatalf("generic p=2 = %v, L2 = %v", got, L2(a, b))
+	}
+}
+
+// TestMetricAxioms checks non-negativity, symmetry and the triangle
+// inequality (the Section III-C properties) for several p.
+func TestMetricAxioms(t *testing.T) {
+	// Bound raw quick-check inputs to a finite range so intermediate
+	// powers cannot overflow.
+	clamp := func(v [6]float64) []float64 {
+		out := make([]float64, len(v))
+		for i, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			out[i] = math.Mod(x, 1e6)
+		}
+		return out
+	}
+	for _, p := range []float64{1, 2, 3, 5} {
+		p := p
+		f := func(ar, br, cr [6]float64) bool {
+			a, b, c := clamp(ar), clamp(br), clamp(cr)
+			dab := Lp(a, b, p)
+			dba := Lp(b, a, p)
+			dac := Lp(a, c, p)
+			dcb := Lp(c, b, p)
+			if dab < 0 {
+				return false
+			}
+			if !almostEqual(dab, dba, 1e-9*(1+dab)) {
+				return false
+			}
+			// triangle inequality with tolerance
+			return dab <= dac+dcb+1e-9*(1+dab)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("p=%v: %v", p, err)
+		}
+	}
+}
+
+func TestIdentityOfIndiscernibles(t *testing.T) {
+	a := []float64{1, -2, 3}
+	if d := L1(a, a); d != 0 {
+		t.Fatalf("L1(a,a) = %v, want 0", d)
+	}
+	if d := Lp(a, a, 3); d != 0 {
+		t.Fatalf("Lp(a,a,3) = %v, want 0", d)
+	}
+}
+
+func TestL1UnrollTailSizes(t *testing.T) {
+	// The unrolled kernel must agree with a simple loop for every length
+	// modulo 4.
+	rng := rand.New(rand.NewSource(2))
+	for n := 0; n <= 13; n++ {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		var want float64
+		for i := range a {
+			want += math.Abs(a[i] - b[i])
+		}
+		if got := L1(a, b); !almostEqual(got, want, 1e-12) {
+			t.Fatalf("n=%d: L1 = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestSign(t *testing.T) {
+	if Sign(3) != 1 || Sign(-0.5) != -1 || Sign(0) != 0 {
+		t.Fatal("Sign wrong")
+	}
+}
+
+// TestLpGradNumerical verifies the analytic gradients against central
+// finite differences.
+func TestLpGradNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range []float64{1, 2, 3} {
+		a := make([]float64, 8)
+		b := make([]float64, 8)
+		for i := range a {
+			a[i] = rng.NormFloat64() + 2 // keep coordinates apart so |.| is smooth
+			b[i] = rng.NormFloat64() - 2
+		}
+		dist := Lp(a, b, p)
+		grad := make([]float64, 8)
+		LpGrad(grad, a, b, p, dist)
+		const h = 1e-6
+		for i := range a {
+			orig := a[i]
+			a[i] = orig + h
+			up := Lp(a, b, p)
+			a[i] = orig - h
+			down := Lp(a, b, p)
+			a[i] = orig
+			numeric := (up - down) / (2 * h)
+			if !almostEqual(grad[i], numeric, 1e-4) {
+				t.Fatalf("p=%v dim %d: analytic %v numeric %v", p, i, grad[i], numeric)
+			}
+		}
+	}
+}
+
+func TestLpGradZeroDistance(t *testing.T) {
+	a := []float64{1, 2}
+	grad := []float64{9, 9}
+	LpGrad(grad, a, a, 2, 0)
+	if grad[0] != 0 || grad[1] != 0 {
+		t.Fatalf("zero-distance gradient = %v, want zeros", grad)
+	}
+}
+
+func TestAddScaledSumDotNorm(t *testing.T) {
+	dst := []float64{1, 2, 3}
+	AddScaled(dst, []float64{1, 1, 1}, 2)
+	if dst[0] != 3 || dst[1] != 4 || dst[2] != 5 {
+		t.Fatalf("AddScaled = %v", dst)
+	}
+	Sum(dst, []float64{1, 0, -1})
+	if dst[0] != 4 || dst[1] != 4 || dst[2] != 4 {
+		t.Fatalf("Sum = %v", dst)
+	}
+	if got := Dot([]float64{1, 2}, []float64{3, 4}); got != 11 {
+		t.Fatalf("Dot = %v, want 11", got)
+	}
+	if got := Norm1([]float64{-1, 2, -3}); got != 6 {
+		t.Fatalf("Norm1 = %v, want 6", got)
+	}
+}
+
+func BenchmarkL1Dim64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 64)
+	y := make([]float64, 64)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += L1(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkL1Dim128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 128)
+	y := make([]float64, 128)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += L1(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkL2Dim64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 64)
+	y := make([]float64, 64)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += L2(x, y)
+	}
+	_ = sink
+}
+
+// l1Naive is the straightforward loop, kept for the unroll ablation.
+func l1Naive(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+func BenchmarkL1NaiveDim64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 64)
+	y := make([]float64, 64)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += l1Naive(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkLpGenericDim64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 64)
+	y := make([]float64, 64)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Lp(x, y, 3)
+	}
+	_ = sink
+}

@@ -1,0 +1,149 @@
+// Package rne is the public API of the Road Network Embedding (RNE)
+// library, a reproduction of "A Learning-based Method for Computing
+// Shortest Path Distances on Road Networks" (ICDE 2021).
+//
+// RNE embeds every vertex of a road network into a low-dimensional
+// space so that the L1 distance between two embedding vectors
+// approximates their shortest-path distance. Queries are two row reads
+// and one L1 kernel — tens of nanoseconds — with sub-percent mean
+// relative error after hierarchical training and active fine-tuning.
+//
+// Typical use:
+//
+//	g, _ := rne.LoadGraph("roads.txt")           // or rne.Preset("bj-mini")
+//	model, stats, _ := rne.Build(g, rne.DefaultOptions(42))
+//	d := model.Estimate(src, dst)                // approximate distance
+//	idx, _ := rne.NewSpatialIndex(model, taxis)  // Section VI tree index
+//	nearest := idx.KNN(rider, 5)
+package rne
+
+import (
+	"io"
+
+	"repro/internal/alt"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+	"repro/internal/index"
+)
+
+// Graph is a weighted road network: vertices with planar coordinates,
+// undirected positively-weighted edges in CSR form.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates vertices and edges into a Graph.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder with capacity hints for n vertices
+// and m undirected edges.
+func NewGraphBuilder(n, m int) *GraphBuilder { return graph.NewBuilder(n, m) }
+
+// LoadGraph reads a graph from the text edge-list format
+// ("p <n> <m>" header, "v <id> <x> <y>" and "e <u> <v> <w>" records).
+func LoadGraph(path string) (*Graph, error) { return graph.ReadFile(path) }
+
+// SaveGraph writes a graph in the text edge-list format.
+func SaveGraph(path string, g *Graph) error { return graph.WriteFile(path, g) }
+
+// ReadGraph parses a graph from r in the text edge-list format.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// WriteGraph serializes g to w in the text edge-list format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// Preset generates one of the built-in synthetic road networks
+// ("bj-mini", "fla-mini", "usw-mini") standing in for the paper's
+// datasets.
+func Preset(name string) (*Graph, error) {
+	p, err := gen.PresetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Build()
+}
+
+// Options configures a model build; see core.Options for every knob.
+type Options = core.Options
+
+// VertexStrategy selects the phase-② sample source.
+type VertexStrategy = core.VertexStrategy
+
+// Vertex-phase strategies.
+const (
+	VertexLandmark = core.VertexLandmark
+	VertexRandom   = core.VertexRandom
+)
+
+// DefaultOptions returns the paper-style defaults (d=64, L1 metric,
+// hierarchical training, landmark samples, active fine-tuning).
+func DefaultOptions(seed int64) Options { return core.DefaultOptions(seed) }
+
+// Model is a trained road-network embedding answering distance
+// estimates in nanoseconds.
+type Model = core.Model
+
+// BuildStats reports build time per phase, samples consumed and final
+// validation error.
+type BuildStats = core.BuildStats
+
+// Build trains an RNE over g: partition hierarchy, hierarchical
+// embedding, landmark-based vertex embedding, active fine-tuning
+// (Algorithm 1 of the paper).
+func Build(g *Graph, opt Options) (*Model, BuildStats, error) { return core.Build(g, opt) }
+
+// Trainer exposes the individual training phases for experimentation.
+type Trainer = core.Trainer
+
+// NewTrainer prepares a phase-by-phase trainer.
+func NewTrainer(g *Graph, opt Options) (*Trainer, error) { return core.NewTrainer(g, opt) }
+
+// LoadModel reads a model saved with Model.SaveFile.
+func LoadModel(path string) (*Model, error) { return core.LoadFile(path) }
+
+// SpatialIndex is the Section VI tree index over an object set
+// (e.g. taxis, POIs) supporting embedding-space range and kNN queries.
+type SpatialIndex = index.Tree
+
+// NewSpatialIndex builds the tree index over the given target vertices.
+// The model must come fresh from Build with hierarchical training
+// enabled (loaded models do not retain the partition tree); persist the
+// index with its SaveFile method and reload it with LoadSpatialIndex.
+func NewSpatialIndex(m *Model, targets []int32) (*SpatialIndex, error) {
+	return index.Build(m, targets)
+}
+
+// LoadSpatialIndex reads a spatial index saved with SpatialIndex.Save
+// and attaches it to the (separately loaded) model it was built with.
+func LoadSpatialIndex(path string, m *Model) (*SpatialIndex, error) {
+	return index.LoadFile(path, m)
+}
+
+// ReadDIMACS parses a road network from the 9th DIMACS Implementation
+// Challenge .gr/.co format (the format the paper's FLA and US-W
+// datasets ship in).
+func ReadDIMACS(grPath, coPath string) (*Graph, error) {
+	return graph.ReadDIMACSFiles(grPath, coPath)
+}
+
+// CompactModel is the float32 deployment variant of Model: half the
+// index size with negligible quantization error.
+type CompactModel = core.CompactModel
+
+// LoadCompactModel reads a compact model saved with CompactModel.Save.
+func LoadCompactModel(path string) (*CompactModel, error) { return core.LoadCompactFile(path) }
+
+// BoundedEstimator clamps RNE estimates into ALT landmark bounds,
+// trading RNE's nanosecond latency for microsecond queries with
+// certified error intervals and much lighter tails.
+type BoundedEstimator = hybrid.Estimator
+
+// NewBoundedEstimator combines a model trained over g with a fresh
+// landmark index of the given size.
+func NewBoundedEstimator(g *Graph, m *Model, landmarks int, seed int64) (*BoundedEstimator, error) {
+	lt, err := alt.Build(g, landmarks, seed)
+	if err != nil {
+		return nil, err
+	}
+	return hybrid.New(m, lt)
+}
