@@ -1,0 +1,21 @@
+# Pre-merge gate: `make ci` must pass before any change lands.
+GO ?= go
+
+.PHONY: ci build vet test race bench
+
+ci: vet race ## full pre-merge gate
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -5,12 +5,21 @@
 //
 //	rnebuild -graph bj.txt -o bj.rne
 //	rnebuild -preset bj-mini -dim 64 -o bj.rne
+//
+// Long builds can be made restartable with -checkpoint: training state
+// is written atomically as phases complete, and a killed build rerun
+// with -resume restarts from the last completed hierarchy level /
+// epoch instead of from scratch. The checkpoint file is removed once
+// the final model has been saved.
+//
+//	rnebuild -preset usw-mini -o usw.rne -checkpoint usw.ckpt
+//	rnebuild -preset usw-mini -o usw.rne -checkpoint usw.ckpt -resume
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
+	"math"
 	"os"
 
 	rne "repro"
@@ -27,7 +36,23 @@ func main() {
 	noAFT := flag.Bool("no-finetune", false, "disable active fine-tuning")
 	indexOut := flag.String("index-out", "", "also build and save a spatial index here")
 	targetFrac := flag.Float64("target-frac", 0.1, "fraction of vertices indexed (with -index-out)")
+	checkpoint := flag.String("checkpoint", "", "write training checkpoints to this file (removed on success)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "epochs between checkpoint writes (with -checkpoint)")
+	resume := flag.Bool("resume", false, "resume from -checkpoint if it exists")
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "rnebuild:", err)
+		os.Exit(1)
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "rnebuild: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+	if *targetFrac < 0 || math.IsNaN(*targetFrac) {
+		fmt.Fprintf(os.Stderr, "rnebuild: -target-frac must be non-negative, got %v\n", *targetFrac)
+		os.Exit(2)
+	}
 
 	var g *rne.Graph
 	var err error
@@ -54,44 +79,43 @@ func main() {
 	if *naive {
 		opt.VertexStrategy = rne.VertexRandom
 	}
+	opt.CheckpointPath = *checkpoint
+	opt.CheckpointEvery = *ckptEvery
+	opt.Resume = *resume
 
 	fmt.Fprintf(os.Stderr, "rnebuild: training d=%d over %d vertices...\n", opt.Dim, g.NumVertices())
 	model, stats, err := rne.Build(g, opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rnebuild:", err)
-		os.Exit(1)
+		fail(err)
+	}
+	if stats.Resumed {
+		fmt.Fprintf(os.Stderr, "rnebuild: resumed from checkpoint %s\n", *checkpoint)
 	}
 	fmt.Fprintf(os.Stderr, "rnebuild: built in %v (%d samples), validation %s\n",
 		stats.Total.Round(1e6), stats.SamplesUsed, stats.Validation)
 	if err := model.SaveFile(*out); err != nil {
-		fmt.Fprintln(os.Stderr, "rnebuild:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "rnebuild: saved %s (%d bytes)\n", *out, model.IndexBytes())
+	if *checkpoint != "" {
+		if err := os.Remove(*checkpoint); err == nil {
+			fmt.Fprintf(os.Stderr, "rnebuild: removed checkpoint %s\n", *checkpoint)
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "rnebuild: warning: could not remove checkpoint: %v\n", err)
+		}
+	}
 
 	if *indexOut != "" {
-		rng := rand.New(rand.NewSource(*seed + 1))
-		nTargets := int(*targetFrac * float64(g.NumVertices()))
-		if nTargets < 1 {
-			nTargets = 1
-		}
-		targets := make([]int32, 0, nTargets)
-		seen := make(map[int32]bool, nTargets)
-		for len(targets) < nTargets {
-			v := int32(rng.Intn(g.NumVertices()))
-			if !seen[v] {
-				seen[v] = true
-				targets = append(targets, v)
-			}
+		targets, err := rne.SampleTargets(g, *targetFrac, *seed+1)
+		if err != nil {
+			fail(err)
 		}
 		idx, err := rne.NewSpatialIndex(model, targets)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rnebuild:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if err := idx.SaveFile(*indexOut); err != nil {
-			fmt.Fprintln(os.Stderr, "rnebuild:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "rnebuild: saved spatial index %s over %d targets\n", *indexOut, idx.Size())
 	}

@@ -3,7 +3,14 @@
 // With -graph (or -preset) it trains a model on startup and serves the
 // full API including /knn and /range over the given target vertices;
 // with -model it loads a pre-trained model and serves /distance and
-// /batch only (the partition tree is not persisted).
+// /batch only (the partition tree is not persisted) — /readyz then
+// reports degraded mode unless -index supplies a saved spatial index.
+//
+// The server runs hardened for production traffic: handler panics are
+// converted to 500s, requests past -max-inflight are shed with 429 +
+// Retry-After, every request carries a -request-timeout deadline,
+// request/latency counters are served on /statz, and SIGINT/SIGTERM
+// triggers a graceful shutdown that drains in-flight requests.
 //
 // Usage:
 //
@@ -13,11 +20,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
+	"math"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	rne "repro"
@@ -30,9 +41,15 @@ func main() {
 	indexPath := flag.String("index", "", "spatial index saved by rnebuild -index-out (requires -model)")
 	graphPath := flag.String("graph", "", "graph file: train on startup, full API")
 	preset := flag.String("preset", "", "built-in preset instead of -graph")
-	targetFrac := flag.Float64("target-frac", 0.1, "fraction of vertices indexed as spatial targets")
+	targetFrac := flag.Float64("target-frac", 0.1, "fraction of vertices indexed as spatial targets (clamped to [0,1])")
 	seed := flag.Int64("seed", 42, "training seed")
+	maxInFlight := flag.Int("max-inflight", 256, "in-flight request cap before shedding with 429 (negative disables)")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (negative disables)")
+	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "drain budget for graceful shutdown")
 	flag.Parse()
+	if *targetFrac < 0 || math.IsNaN(*targetFrac) {
+		log.Fatalf("rneserver: -target-frac must be non-negative, got %v", *targetFrac)
+	}
 
 	var model *rne.Model
 	var idx *rne.SpatialIndex
@@ -50,6 +67,8 @@ func main() {
 				log.Fatal("rneserver: ", err)
 			}
 			log.Printf("loaded spatial index over %d targets", idx.Size())
+		} else {
+			log.Printf("no spatial index: serving degraded (/knn and /range disabled)")
 		}
 	case *graphPath != "" || *preset != "":
 		var g *rne.Graph
@@ -71,19 +90,9 @@ func main() {
 		}
 		log.Printf("trained in %v, validation %s", time.Since(start).Round(time.Millisecond), stats.Validation)
 
-		rng := rand.New(rand.NewSource(*seed))
-		nTargets := int(*targetFrac * float64(g.NumVertices()))
-		if nTargets < 1 {
-			nTargets = 1
-		}
-		targets := make([]int32, 0, nTargets)
-		seen := map[int32]bool{}
-		for len(targets) < nTargets {
-			v := int32(rng.Intn(g.NumVertices()))
-			if !seen[v] {
-				seen[v] = true
-				targets = append(targets, v)
-			}
+		targets, err := rne.SampleTargets(g, *targetFrac, *seed)
+		if err != nil {
+			log.Fatal("rneserver: ", err)
 		}
 		idx, err = rne.NewSpatialIndex(model, targets)
 		if err != nil {
@@ -94,7 +103,11 @@ func main() {
 		log.Fatal("rneserver: need -model, -graph or -preset")
 	}
 
-	srv, err := server.New(model, idx)
+	srv, err := server.NewWithConfig(model, idx, server.Config{
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
+		Logf:           log.Printf,
+	})
 	if err != nil {
 		log.Fatal("rneserver: ", err)
 	}
@@ -102,7 +115,36 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
-	fmt.Printf("rneserver listening on %s\n", *addr)
-	log.Fatal(httpSrv.ListenAndServe())
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests through
+	// http.Server.Shutdown within the grace budget.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("rneserver listening on %s\n", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatal("rneserver: ", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received; draining in-flight requests (up to %v)...", *shutdownGrace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown incomplete: %v; closing remaining connections", err)
+			httpSrv.Close()
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal("rneserver: ", err)
+		}
+		log.Printf("shutdown complete")
+	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/graph"
@@ -19,13 +21,24 @@ type BuildStats struct {
 	// Total is the end-to-end build time (the Table IV "building time").
 	Total time.Duration
 	// SamplesUsed counts SGD sample presentations across all epochs.
+	// On a resumed build this includes the samples restored from the
+	// checkpoint, so it matches an uninterrupted build.
 	SamplesUsed int64
+	// Resumed reports whether the build restored state from a
+	// checkpoint instead of starting from scratch.
+	Resumed bool
 	// Validation is the final held-out error.
 	Validation metrics.ErrorStats
 }
 
 // Build runs the full Algorithm 1 pipeline over g and returns the
 // query model together with build statistics.
+//
+// With Options.CheckpointPath set, training state is checkpointed
+// atomically as phases complete; with Options.Resume also set and an
+// existing checkpoint on disk, the build restarts from the last
+// completed hierarchy level / vertex epoch / fine-tune round instead
+// of from scratch.
 func Build(g *graph.Graph, opt Options) (*Model, BuildStats, error) {
 	var st BuildStats
 	start := time.Now()
@@ -35,20 +48,62 @@ func Build(g *graph.Graph, opt Options) (*Model, BuildStats, error) {
 	if err != nil {
 		return nil, st, err
 	}
+	opt = tr.Options() // defaults applied
+
+	phase, level, epoch := ckptPhaseNone, 0, 0
+	if opt.Resume {
+		if _, statErr := os.Stat(opt.CheckpointPath); statErr == nil {
+			phase, level, epoch, err = tr.RestoreCheckpoint(opt.CheckpointPath)
+			if err != nil {
+				return nil, st, fmt.Errorf("core: resuming build: %w", err)
+			}
+			st.Resumed = true
+		}
+	}
+	ck := &checkpointer{path: opt.CheckpointPath, every: opt.CheckpointEvery}
 	st.Setup = time.Since(t0)
 
 	t0 = time.Now()
-	tr.RunHierPhase()
+	if phase <= ckptPhaseHier {
+		fromLevel := 1
+		if phase == ckptPhaseHier {
+			fromLevel = level + 1
+		}
+		err := tr.RunHierPhaseFrom(fromLevel, func(lev int) error {
+			return ck.tick(tr, opt.Epochs, ckptPhaseHier, lev, 0)
+		})
+		if err != nil {
+			return nil, st, err
+		}
+	}
 	st.HierPhase = time.Since(t0)
 
 	t0 = time.Now()
-	tr.RunVertexPhase()
+	if phase <= ckptPhaseVertex {
+		fromEpoch := 0
+		if phase == ckptPhaseVertex {
+			fromEpoch = epoch
+		}
+		err := tr.RunVertexPhaseFrom(fromEpoch, func(e int) error {
+			return ck.tick(tr, 1, ckptPhaseVertex, 0, e+1)
+		})
+		if err != nil {
+			return nil, st, err
+		}
+	}
 	st.VertexPhase = time.Since(t0)
 
-	if tr.Options().ActiveFineTune {
+	if opt.ActiveFineTune {
 		t0 = time.Now()
-		for k := 0; k < tr.Options().FineTuneRounds; k++ {
+		fromRound := 0
+		if phase == ckptPhaseFineTune {
+			fromRound = epoch
+		}
+		for k := fromRound; k < opt.FineTuneRounds; k++ {
 			tr.RunFineTuneRound(k)
+			if err := ck.tick(tr, 1, ckptPhaseFineTune, 0, k+1); err != nil {
+				return nil, st, err
+			}
 		}
 		st.FineTune = time.Since(t0)
 	}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/emb"
+	"repro/internal/fsx"
+)
+
+// Checkpointing makes the multi-hour hierarchical builds the paper
+// reports on NW/E-US-scale graphs restartable: Build periodically
+// writes the raw training state (the local/flat embedding matrix plus
+// a phase/level/epoch cursor) to an atomic, checksummed file, and a
+// resumed Build restarts from the last completed unit of work instead
+// of from scratch.
+//
+// Granularity: phase ① checkpoints after each completed hierarchy
+// level, phase ② after each vertex epoch, phase ③ after each
+// fine-tune round. Resume re-derives everything deterministic from
+// (graph, options) — hierarchy, landmarks, grid, validation set — and
+// only the embedding state and progress cursor come from the file, so
+// a checkpoint is far smaller than a model and independent of the
+// sampling RNG. A resumed build is statistically equivalent to, but
+// not bit-identical with, an uninterrupted one (the RNG stream
+// restarts at the resume point).
+
+// Build phase cursor values stored in checkpoints.
+const (
+	ckptPhaseNone     = 0 // nothing completed yet
+	ckptPhaseHier     = 1 // Level = last completed hierarchy level
+	ckptPhaseVertex   = 2 // Epoch = completed vertex-phase epochs
+	ckptPhaseFineTune = 3 // Epoch = completed fine-tune rounds
+)
+
+const ckptMagic = "RNECKPT1\n"
+
+// ckptMeta is the fixed-size header section of a checkpoint payload.
+type ckptMeta struct {
+	NumVertices  int64
+	NumNodes     int64 // hierarchy nodes; 0 in naive mode
+	Dim          int64
+	Hierarchical int64 // 1 or 0
+	Seed         int64
+	SamplesUsed  int64
+	Phase        int64
+	Level        int64
+	Epoch        int64
+	Scale        float64
+}
+
+// ckptMatrix returns the matrix holding the live training state.
+func (t *Trainer) ckptMatrix() *emb.Matrix {
+	if t.hier != nil {
+		return t.hier.Local
+	}
+	return t.flat
+}
+
+func (t *Trainer) ckptMeta(phase, level, epoch int) ckptMeta {
+	meta := ckptMeta{
+		NumVertices: int64(t.g.NumVertices()),
+		Dim:         int64(t.opt.Dim),
+		Seed:        t.opt.Seed,
+		SamplesUsed: t.samplesUsed,
+		Phase:       int64(phase),
+		Level:       int64(level),
+		Epoch:       int64(epoch),
+		Scale:       t.scale,
+	}
+	if t.hier != nil {
+		meta.Hierarchical = 1
+		meta.NumNodes = int64(t.hier.H.NumNodes())
+	}
+	return meta
+}
+
+// SaveCheckpoint atomically writes the trainer's current embedding
+// state and progress cursor to path, in the same length+CRC framed
+// format as model files (magic RNECKPT1).
+func (t *Trainer) SaveCheckpoint(path string, phase, level, epoch int) error {
+	meta := t.ckptMeta(phase, level, epoch)
+	mat := t.ckptMatrix()
+	plen := int64(binary.Size(meta)) + emb.MatrixFileSize(mat.Rows(), mat.Dim())
+	return fsx.WriteAtomic(path, func(w io.Writer) error {
+		bw := bufio.NewWriter(w)
+		if _, err := bw.WriteString(ckptMagic); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, plen); err != nil {
+			return err
+		}
+		cw := fsx.NewCRCWriter(bw)
+		if err := binary.Write(cw, binary.LittleEndian, meta); err != nil {
+			return err
+		}
+		if _, err := mat.WriteTo(cw); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, cw.Sum32()); err != nil {
+			return err
+		}
+		return bw.Flush()
+	})
+}
+
+// RestoreCheckpoint loads a checkpoint written by SaveCheckpoint into
+// the trainer, returning the progress cursor. The checkpoint must
+// match the trainer's graph and options (vertex count, hierarchy
+// shape, dimension, seed and distance scale are all verified), and the
+// file's length/checksum framing is validated before any state is
+// adopted.
+func (t *Trainer) RestoreCheckpoint(path string) (phase, level, epoch int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+
+	br := bufio.NewReader(f)
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return 0, 0, 0, fmt.Errorf("core: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != ckptMagic {
+		return 0, 0, 0, fmt.Errorf("core: bad checkpoint magic %q", magic)
+	}
+	var plen int64
+	if err := binary.Read(br, binary.LittleEndian, &plen); err != nil {
+		return 0, 0, 0, fmt.Errorf("core: reading checkpoint payload length: %w", err)
+	}
+	var meta ckptMeta
+	if min := int64(binary.Size(meta)) + emb.MatrixFileSize(0, 1); plen < min {
+		return 0, 0, 0, fmt.Errorf("core: implausible checkpoint payload length %d", plen)
+	}
+	cr := fsx.NewCRCReader(io.LimitReader(br, plen))
+	if err := binary.Read(cr, binary.LittleEndian, &meta); err != nil {
+		return 0, 0, 0, fmt.Errorf("core: reading checkpoint header: %w", err)
+	}
+	mat, err := emb.ReadMatrix(cr)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("core: reading checkpoint matrix: %w", err)
+	}
+	var wantCRC uint32
+	if err := binary.Read(br, binary.LittleEndian, &wantCRC); err != nil {
+		return 0, 0, 0, fmt.Errorf("core: reading checkpoint checksum trailer: %w", err)
+	}
+	if err := fsx.VerifyTrailer(cr, plen, wantCRC, "core: checkpoint"); err != nil {
+		return 0, 0, 0, err
+	}
+
+	// Integrity established; now verify the checkpoint belongs to this
+	// exact build configuration.
+	want := t.ckptMeta(0, 0, 0)
+	switch {
+	case meta.NumVertices != want.NumVertices:
+		err = fmt.Errorf("graph has %d vertices, checkpoint was taken over %d", want.NumVertices, meta.NumVertices)
+	case meta.Hierarchical != want.Hierarchical:
+		err = fmt.Errorf("hierarchical mode %d does not match checkpoint %d", want.Hierarchical, meta.Hierarchical)
+	case meta.NumNodes != want.NumNodes:
+		err = fmt.Errorf("hierarchy has %d nodes, checkpoint was taken over %d", want.NumNodes, meta.NumNodes)
+	case meta.Dim != want.Dim:
+		err = fmt.Errorf("dimension %d does not match checkpoint %d", want.Dim, meta.Dim)
+	case meta.Seed != want.Seed:
+		err = fmt.Errorf("seed %d does not match checkpoint %d", want.Seed, meta.Seed)
+	case meta.Scale != want.Scale:
+		err = fmt.Errorf("distance scale %v does not match checkpoint %v (different graph?)", want.Scale, meta.Scale)
+	case meta.Phase < ckptPhaseNone || meta.Phase > ckptPhaseFineTune:
+		err = fmt.Errorf("invalid phase cursor %d", meta.Phase)
+	case meta.SamplesUsed < 0:
+		err = fmt.Errorf("invalid sample counter %d", meta.SamplesUsed)
+	}
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("core: checkpoint %s does not match this build: %w", path, err)
+	}
+	dst := t.ckptMatrix()
+	if mat.Rows() != dst.Rows() || mat.Dim() != dst.Dim() {
+		return 0, 0, 0, fmt.Errorf("core: checkpoint matrix is %dx%d, want %dx%d",
+			mat.Rows(), mat.Dim(), dst.Rows(), dst.Dim())
+	}
+	copy(dst.Data(), mat.Data())
+	t.samplesUsed = meta.SamplesUsed
+	return int(meta.Phase), int(meta.Level), int(meta.Epoch), nil
+}
+
+// checkpointer throttles checkpoint writes to every CheckpointEvery
+// completed epochs across phases. A nil path disables it.
+type checkpointer struct {
+	path  string
+	every int
+	since int
+}
+
+// tick records that epochs more training epochs completed, leaving the
+// trainer at the given cursor, and checkpoints if the budget is due.
+func (c *checkpointer) tick(tr *Trainer, epochs, phase, level, epoch int) error {
+	if c.path == "" {
+		return nil
+	}
+	c.since += epochs
+	if c.since < c.every {
+		return nil
+	}
+	if err := tr.SaveCheckpoint(c.path, phase, level, epoch); err != nil {
+		return fmt.Errorf("core: writing checkpoint: %w", err)
+	}
+	c.since = 0
+	return nil
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func ckptTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.Grid(10, 10, gen.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// ckptTestOptions disables fine-tuning so sample counts are exactly
+// deterministic across fresh and resumed builds.
+func ckptTestOptions(path string) Options {
+	opt := DefaultOptions(11)
+	opt.Dim = 8
+	opt.Epochs = 3
+	opt.VertexSampleRatio = 10
+	opt.HierSampleCap = 2000
+	opt.ValidationPairs = 100
+	opt.ActiveFineTune = false
+	opt.CheckpointPath = path
+	return opt
+}
+
+// A build interrupted after phase ① resumes from the checkpoint and
+// finishes with exactly the sample budget of an uninterrupted build.
+func TestBuildResumesFromCheckpoint(t *testing.T) {
+	g := ckptTestGraph(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "build.ckpt")
+
+	// Reference: uninterrupted build, no checkpointing.
+	refOpt := ckptTestOptions("")
+	refModel, refStats, err := Build(g, refOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a build killed right after the hierarchy phase: run only
+	// phase ①, checkpointing after each completed level.
+	tr, err := NewTrainer(g, ckptTestOptions(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var levelsDone int
+	err = tr.RunHierPhaseFrom(1, func(lev int) error {
+		levelsDone++
+		return tr.SaveCheckpoint(path, ckptPhaseHier, lev, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levelsDone == 0 {
+		t.Fatal("no hierarchy levels trained")
+	}
+	hierSamples := tr.SamplesUsed()
+	if hierSamples == 0 {
+		t.Fatal("hier phase consumed no samples")
+	}
+
+	// Resume: the build must skip phase ① (restoring its samples) and
+	// run only phases ② onward.
+	opt := ckptTestOptions(path)
+	opt.Resume = true
+	model, stats, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Resumed {
+		t.Fatal("stats.Resumed = false on a resumed build")
+	}
+	if stats.SamplesUsed != refStats.SamplesUsed {
+		t.Fatalf("resumed build consumed %d samples total, uninterrupted build %d",
+			stats.SamplesUsed, refStats.SamplesUsed)
+	}
+	if got := stats.SamplesUsed - hierSamples; got <= 0 {
+		t.Fatalf("resumed build ran no post-hier training (%d new samples)", got)
+	}
+	// The resumed model must be a working estimator of comparable
+	// quality (not bit-identical: the RNG restarts at the resume point).
+	if !(stats.Validation.MeanRel > 0) || math.IsInf(stats.Validation.MeanRel, 0) {
+		t.Fatalf("resumed validation broken: %+v", stats.Validation)
+	}
+	if stats.Validation.MeanRel > 3*refStats.Validation.MeanRel+0.05 {
+		t.Fatalf("resumed model much worse than uninterrupted: %.4f vs %.4f",
+			stats.Validation.MeanRel, refStats.Validation.MeanRel)
+	}
+	if model.NumVertices() != refModel.NumVertices() || model.Dim() != refModel.Dim() {
+		t.Fatal("resumed model has wrong shape")
+	}
+}
+
+// The cursor and embedding state round-trip exactly through a
+// checkpoint file.
+func TestCheckpointCursorAndStateRoundTrip(t *testing.T) {
+	g := ckptTestGraph(t)
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+
+	tr, err := NewTrainer(g, ckptTestOptions(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.RunHierPhase()
+	if err := tr.SaveCheckpoint(path, ckptPhaseVertex, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	tr2, err := NewTrainer(g, ckptTestOptions(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase, level, epoch, err := tr2.RestoreCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phase != ckptPhaseVertex || level != 0 || epoch != 2 {
+		t.Fatalf("cursor = (%d,%d,%d), want (2,0,2)", phase, level, epoch)
+	}
+	if tr2.SamplesUsed() != tr.SamplesUsed() {
+		t.Fatalf("samplesUsed %d, want %d", tr2.SamplesUsed(), tr.SamplesUsed())
+	}
+	a, b := tr.ckptMatrix().Data(), tr2.ckptMatrix().Data()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("embedding state differs at %d after restore", i)
+		}
+	}
+}
+
+// Checkpoints from a different configuration or with corrupted bytes
+// are rejected.
+func TestCheckpointRejectsMismatchAndCorruption(t *testing.T) {
+	g := ckptTestGraph(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.ckpt")
+
+	tr, err := NewTrainer(g, ckptTestOptions(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SaveCheckpoint(path, ckptPhaseHier, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different dimension.
+	optDim := ckptTestOptions(path)
+	optDim.Dim = 16
+	trDim, err := NewTrainer(g, optDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := trDim.RestoreCheckpoint(path); err == nil {
+		t.Fatal("dim-mismatched checkpoint accepted")
+	}
+
+	// Different seed.
+	optSeed := ckptTestOptions(path)
+	optSeed.Seed = 999
+	trSeed, err := NewTrainer(g, optSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := trSeed.RestoreCheckpoint(path); err == nil {
+		t.Fatal("seed-mismatched checkpoint accepted")
+	}
+
+	// Flipped payload byte.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-10] ^= 0x01
+	bad := filepath.Join(dir, "bad.ckpt")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := tr.RestoreCheckpoint(bad); err == nil {
+		t.Fatal("corrupted checkpoint accepted")
+	}
+
+	// Truncated file.
+	trunc := filepath.Join(dir, "trunc.ckpt")
+	if err := os.WriteFile(trunc, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := tr.RestoreCheckpoint(trunc); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+// Resume with no checkpoint on disk silently starts a fresh build.
+func TestBuildResumeWithoutCheckpointStartsFresh(t *testing.T) {
+	g := ckptTestGraph(t)
+	opt := ckptTestOptions(filepath.Join(t.TempDir(), "never-written.ckpt"))
+	opt.Resume = true
+	model, stats, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed {
+		t.Fatal("stats.Resumed = true with no checkpoint on disk")
+	}
+	if model == nil || stats.SamplesUsed == 0 {
+		t.Fatal("fresh build did not train")
+	}
+	// The checkpoint file must now exist (the build wrote it as it went).
+	if _, err := os.Stat(opt.CheckpointPath); err != nil {
+		t.Fatalf("checkpoint not written during build: %v", err)
+	}
+}
+
+// A build resumed mid-vertex-phase runs only the remaining epochs.
+func TestBuildResumesMidVertexPhase(t *testing.T) {
+	g := ckptTestGraph(t)
+	path := filepath.Join(t.TempDir(), "mid.ckpt")
+
+	tr, err := NewTrainer(g, ckptTestOptions(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.RunHierPhase()
+	var stopped bool
+	tr.RunVertexPhaseFrom(0, func(e int) error {
+		if e == 0 { // "killed" after the first vertex epoch
+			if err := tr.SaveCheckpoint(path, ckptPhaseVertex, 0, e+1); err != nil {
+				return err
+			}
+			stopped = true
+		}
+		return nil
+	})
+	if !stopped {
+		t.Fatal("vertex phase never ran")
+	}
+
+	opt := ckptTestOptions(path)
+	opt.Resume = true
+	_, stats, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Resumed {
+		t.Fatal("not resumed")
+	}
+	if !(stats.Validation.MeanRel > 0) {
+		t.Fatalf("validation broken: %+v", stats.Validation)
+	}
+}
+
+func TestOptionsCheckpointValidation(t *testing.T) {
+	opt := DefaultOptions(1)
+	opt.Resume = true // without CheckpointPath
+	if _, err := opt.withDefaults(); err == nil {
+		t.Fatal("Resume without CheckpointPath accepted")
+	}
+	opt = DefaultOptions(1)
+	opt.CheckpointPath = "x"
+	opt.CheckpointEvery = -1
+	if _, err := opt.withDefaults(); err == nil {
+		t.Fatal("negative CheckpointEvery accepted")
+	}
+	opt = DefaultOptions(1)
+	opt.CheckpointPath = "x"
+	got, err := opt.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CheckpointEvery != 1 {
+		t.Fatalf("CheckpointEvery default = %d, want 1", got.CheckpointEvery)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"repro/internal/emb"
+	"repro/internal/fsx"
 )
 
 // CompactModel is a float32 deployment variant of Model: half the index
@@ -90,17 +91,10 @@ func LoadCompact(r io.Reader) (*CompactModel, error) {
 	return &CompactModel{m: mat, scale: scale}, nil
 }
 
-// SaveFile writes the compact model to the named file.
+// SaveFile writes the compact model to the named file atomically
+// (temp file + fsync + rename; see fsx.WriteAtomic).
 func (c *CompactModel) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := c.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return fsx.WriteAtomic(path, c.Save)
 }
 
 // LoadCompactFile reads a compact model from the named file.

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"repro/internal/emb"
+	"repro/internal/fsx"
 	"repro/internal/partition"
 	"repro/internal/vecmath"
 )
@@ -73,39 +74,96 @@ func (m *Model) IndexBytes() int64 {
 	return int64(m.m.Rows())*int64(m.m.Dim())*8 + 32
 }
 
-const modelMagic = "RNEMODEL2\n"
+// Model file format versions. Both magics are 10 bytes, so Load can
+// dispatch on a single fixed-size read.
+//
+//   - modelMagicV2 is the legacy format: magic, p, scale, matrix.
+//     Files written before the integrity bump still load.
+//   - modelMagicV3 is the current format: magic, int64 payload length,
+//     payload (p, scale, matrix), uint32 CRC-32 (IEEE) trailer over
+//     the payload. Load rejects truncated, length-mismatched or
+//     bit-flipped files with a precise error instead of constructing
+//     a silently wrong estimator.
+const (
+	modelMagicV2 = "RNEMODEL2\n"
+	modelMagicV3 = "RNEMODEL3\n"
+)
 
-// Save serializes the model (matrix, metric order, scale).
+// payloadSize is the exact V3 payload length: p + scale, then the
+// serialized matrix.
+func (m *Model) payloadSize() int64 {
+	return 16 + emb.MatrixFileSize(m.m.Rows(), m.m.Dim())
+}
+
+// Save serializes the model (matrix, metric order, scale) in the
+// current integrity-checked format.
 func (m *Model) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(modelMagic); err != nil {
+	if _, err := bw.WriteString(modelMagicV3); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, []float64{m.p, m.scale}); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, m.payloadSize()); err != nil {
 		return err
 	}
-	if _, err := m.m.WriteTo(bw); err != nil {
+	cw := fsx.NewCRCWriter(bw)
+	if err := binary.Write(cw, binary.LittleEndian, []float64{m.p, m.scale}); err != nil {
+		return err
+	}
+	if _, err := m.m.WriteTo(cw); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.Sum32()); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-// Load deserializes a model written by Save. The hierarchy is not
-// persisted; Hier returns nil on loaded models.
+// Load deserializes a model written by Save, accepting both the
+// current checksummed format and the legacy RNEMODEL2 format. The
+// hierarchy is not persisted; Hier returns nil on loaded models.
 func Load(r io.Reader) (*Model, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(modelMagic))
+	magic := make([]byte, len(modelMagicV3))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: reading model magic: %w", err)
 	}
-	if string(magic) != modelMagic {
+	switch string(magic) {
+	case modelMagicV2:
+		return loadPayload(br)
+	case modelMagicV3:
+	default:
 		return nil, fmt.Errorf("core: bad model magic %q", magic)
 	}
-	var hdr [2]float64
-	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+	var plen int64
+	if err := binary.Read(br, binary.LittleEndian, &plen); err != nil {
+		return nil, fmt.Errorf("core: reading model payload length: %w", err)
+	}
+	// Minimum payload: p+scale plus an empty matrix.
+	if min := 16 + emb.MatrixFileSize(0, 1); plen < min {
+		return nil, fmt.Errorf("core: implausible model payload length %d", plen)
+	}
+	cr := fsx.NewCRCReader(io.LimitReader(br, plen))
+	m, err := loadPayload(cr)
+	if err != nil {
 		return nil, err
 	}
-	mat, err := emb.ReadMatrix(br)
+	var wantCRC uint32
+	if err := binary.Read(br, binary.LittleEndian, &wantCRC); err != nil {
+		return nil, fmt.Errorf("core: reading model checksum trailer: %w", err)
+	}
+	if err := fsx.VerifyTrailer(cr, plen, wantCRC, "core: model"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// loadPayload parses the shared payload section (p, scale, matrix).
+func loadPayload(r io.Reader) (*Model, error) {
+	var hdr [2]float64
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("core: reading model header: %w", err)
+	}
+	mat, err := emb.ReadMatrix(r)
 	if err != nil {
 		return nil, err
 	}
@@ -115,17 +173,11 @@ func Load(r io.Reader) (*Model, error) {
 	return &Model{m: mat, p: hdr[0], scale: hdr[1]}, nil
 }
 
-// SaveFile writes the model to the named file.
+// SaveFile writes the model to the named file atomically: a crash
+// mid-save leaves the previous file (or no file) at path, never a
+// truncated one.
 func (m *Model) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := m.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return fsx.WriteAtomic(path, m.Save)
 }
 
 // LoadFile reads a model from the named file.

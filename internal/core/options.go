@@ -87,6 +87,24 @@ type Options struct {
 	// (default 2000).
 	ValidationPairs int
 
+	// CheckpointPath, when non-empty, makes Build write an atomic,
+	// checksummed training checkpoint there (embedding state plus a
+	// phase/level/epoch cursor) as training progresses, so an
+	// interrupted build can resume instead of restarting. The file is
+	// left in place when Build finishes; callers owning the lifecycle
+	// (e.g. rnebuild) remove it after persisting the final model.
+	CheckpointPath string
+	// CheckpointEvery is the number of completed training epochs
+	// between checkpoint writes (default 1: every completed hierarchy
+	// level, vertex epoch and fine-tune round).
+	CheckpointEvery int
+	// Resume restores training state from CheckpointPath when that
+	// file exists (a missing file starts a fresh build). The
+	// checkpoint must match the graph and options; resumed builds are
+	// statistically equivalent to uninterrupted ones but not
+	// bit-identical (the sampling RNG restarts at the resume point).
+	Resume bool
+
 	// Seed makes the build deterministic.
 	Seed int64
 }
@@ -182,7 +200,14 @@ func (o Options) withDefaults() (Options, error) {
 	if o.ValidationPairs == 0 {
 		o.ValidationPairs = def.ValidationPairs
 	}
+	if o.CheckpointPath != "" && o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 1
+	}
 	switch {
+	case o.CheckpointEvery < 0:
+		return o, fmt.Errorf("core: CheckpointEvery must be >= 0, got %d", o.CheckpointEvery)
+	case o.Resume && o.CheckpointPath == "":
+		return o, fmt.Errorf("core: Resume requires CheckpointPath")
 	case o.Dim < 1:
 		return o, fmt.Errorf("core: Dim must be >= 1, got %d", o.Dim)
 	case o.P <= 0:

@@ -198,12 +198,24 @@ func (t *Trainer) ValidationPairs() []metrics.Pair { return t.val }
 // of the hierarchy embedding with the |l-lev|-decayed learning rates.
 // It is a no-op in naive mode.
 func (t *Trainer) RunHierPhase() {
+	_ = t.RunHierPhaseFrom(1, nil)
+}
+
+// RunHierPhaseFrom runs phase ① starting at fromLevel (levels below it
+// are assumed already trained, e.g. restored from a checkpoint),
+// invoking afterLevel — when non-nil — after each completed level. An
+// afterLevel error aborts the phase; it is how Build propagates
+// checkpoint-write failures. No-op in naive mode.
+func (t *Trainer) RunHierPhaseFrom(fromLevel int, afterLevel func(lev int) error) error {
 	if t.hier == nil {
-		return
+		return nil
 	}
 	h := t.hier.H
 	maxLevel := h.MaxDepth()
-	for lev := 1; lev <= maxLevel; lev++ {
+	if fromLevel < 1 {
+		fromLevel = 1
+	}
+	for lev := fromLevel; lev <= maxLevel; lev++ {
 		nNodes := len(h.CoverAtLevel(lev))
 		n := 150 * nNodes * nNodes
 		if n > t.opt.HierSampleCap {
@@ -222,7 +234,13 @@ func (t *Trainer) RunHierPhase() {
 			}
 			t.samplesUsed += int64(len(samples))
 		}
+		if afterLevel != nil {
+			if err := afterLevel(lev); err != nil {
+				return err
+			}
+		}
 	}
+	return nil
 }
 
 // GenVertexSamples draws n phase-② samples using the configured
@@ -275,15 +293,34 @@ func (t *Trainer) FlatStepAllLevels(samples []sample.Sample, lr float64) {
 // RunVertexPhase executes phase ②: landmark-based (or random) samples
 // training the vertex-level embeddings for the configured epochs.
 func (t *Trainer) RunVertexPhase() {
+	_ = t.RunVertexPhaseFrom(0, nil)
+}
+
+// RunVertexPhaseFrom runs phase ② starting at epoch fromEpoch (earlier
+// epochs are assumed already trained, e.g. restored from a
+// checkpoint), invoking afterEpoch — when non-nil — after each
+// completed epoch. The per-epoch learning-rate decay keys off the
+// absolute epoch number, so a resumed run continues the schedule
+// rather than restarting it.
+func (t *Trainer) RunVertexPhaseFrom(fromEpoch int, afterEpoch func(epoch int) error) error {
+	if fromEpoch >= t.opt.Epochs {
+		return nil
+	}
 	n := int(t.opt.VertexSampleRatio * float64(t.g.NumVertices()))
 	if n < 1000 {
 		n = 1000
 	}
 	samples := t.GenVertexSamples(n)
-	for e := 0; e < t.opt.Epochs; e++ {
+	for e := fromEpoch; e < t.opt.Epochs; e++ {
 		lr := t.lr / (1 + 0.5*float64(e))
 		t.VertexStep(samples, lr)
+		if afterEpoch != nil {
+			if err := afterEpoch(e); err != nil {
+				return err
+			}
+		}
 	}
+	return nil
 }
 
 // BucketErrors probes the current model's per-bucket relative errors

@@ -64,6 +64,13 @@ func (m *Matrix) Distance(i, j int32, p float64) float64 {
 
 const matrixMagic = "RNEM1\n"
 
+// MatrixFileSize reports the exact number of bytes WriteTo emits for a
+// rows x d matrix, letting container formats (model files, checkpoints)
+// put a payload length in their header without buffering the payload.
+func MatrixFileSize(rows, d int) int64 {
+	return int64(len(matrixMagic)) + 16 + 8*int64(rows)*int64(d)
+}
+
 // WriteTo serializes the matrix in a compact binary format.
 func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)

@@ -1,0 +1,103 @@
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteAtomicReplacesWhole(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("new content"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new content" {
+		t.Fatalf("content %q", got)
+	}
+	// No temp litter.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+func TestWriteAtomicFailedWriteKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("partial"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old" {
+		t.Fatalf("old content clobbered: %q", got)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("temp file leaked: %d entries", len(entries))
+	}
+}
+
+func TestCRCRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	cw := NewCRCWriter(&sb)
+	payload := []byte("the quick brown fox")
+	if _, err := cw.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if cw.N() != int64(len(payload)) {
+		t.Fatalf("N = %d", cw.N())
+	}
+	cr := NewCRCReader(strings.NewReader(sb.String()))
+	if _, err := io.ReadAll(cr); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTrailer(cr, cw.N(), cw.Sum32(), "test"); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong length and wrong CRC both fail with named errors.
+	if err := VerifyTrailer(cr, cw.N()+1, cw.Sum32(), "test"); err == nil || !strings.Contains(err.Error(), "length") {
+		t.Fatalf("length mismatch not detected: %v", err)
+	}
+	if err := VerifyTrailer(cr, cw.N(), cw.Sum32()^1, "test"); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("checksum mismatch not detected: %v", err)
+	}
+}
+
+func TestCRCDetectsFlip(t *testing.T) {
+	payload := []byte("some payload bytes here")
+	var sb strings.Builder
+	cw := NewCRCWriter(&sb)
+	cw.Write(payload)
+	want := cw.Sum32()
+	for i := range payload {
+		flipped := append([]byte(nil), payload...)
+		flipped[i] ^= 0x40
+		cr := NewCRCReader(strings.NewReader(string(flipped)))
+		io.ReadAll(cr)
+		if cr.Sum32() == want {
+			t.Fatalf("flip at %d undetected", i)
+		}
+	}
+}

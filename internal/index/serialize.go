@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/fsx"
 )
 
 // Serialization lets a spatial index built next to a fresh model be
@@ -15,34 +16,58 @@ import (
 // /knn and /range without retraining. The format stores the pruned
 // tree's structure, per-slot vectors and radii, and the indexed target
 // lists; the model itself is saved separately (core.Model.Save).
+//
+// Two versions exist, dispatched on an 8-byte magic:
+//
+//   - treeMagicV1 is the legacy format (payload only). Files written
+//     before the integrity bump still load.
+//   - treeMagicV2 is the current format: magic, int64 payload length,
+//     payload, uint32 CRC-32 (IEEE) trailer, so Load rejects
+//     truncated or bit-flipped files with a precise error.
+const (
+	treeMagicV1 = "RNEIDX1\n"
+	treeMagicV2 = "RNEIDX2\n"
+)
 
-const treeMagic = "RNEIDX1\n"
-
-// Save serializes the tree structure (not the model).
-func (t *Tree) Save(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(treeMagic); err != nil {
-		return err
+// payloadSize is the exact V2 payload length.
+func (t *Tree) payloadSize() int64 {
+	n := int64(6*8 + 16) // header ints + p/scale
+	for _, s := range t.children {
+		n += 8 + 4*int64(len(s))
 	}
+	for _, s := range t.verts {
+		n += 8 + 4*int64(len(s))
+	}
+	d := int64(0)
+	if len(t.vectors) > 0 {
+		d = int64(len(t.vectors[0]))
+	}
+	n += int64(len(t.vectors)) * d * 8
+	n += int64(len(t.radius)) * 8
+	return n
+}
+
+// writePayload emits the version-independent payload section.
+func (t *Tree) writePayload(w io.Writer) error {
 	d := 0
 	if len(t.vectors) > 0 {
 		d = len(t.vectors[0])
 	}
 	hdr := []int64{int64(len(t.children)), int64(d), int64(t.root), int64(t.size),
 		int64(len(t.model.Vector(0))), int64(t.model.NumVertices())}
-	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, []float64{t.p, t.scale}); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, []float64{t.p, t.scale}); err != nil {
 		return err
 	}
 	writeInt32Slices := func(slices [][]int32) error {
 		for _, s := range slices {
-			if err := binary.Write(bw, binary.LittleEndian, int64(len(s))); err != nil {
+			if err := binary.Write(w, binary.LittleEndian, int64(len(s))); err != nil {
 				return err
 			}
 			if len(s) > 0 {
-				if err := binary.Write(bw, binary.LittleEndian, s); err != nil {
+				if err := binary.Write(w, binary.LittleEndian, s); err != nil {
 					return err
 				}
 			}
@@ -56,31 +81,77 @@ func (t *Tree) Save(w io.Writer) error {
 		return err
 	}
 	for _, vec := range t.vectors {
-		if err := binary.Write(bw, binary.LittleEndian, vec); err != nil {
+		if err := binary.Write(w, binary.LittleEndian, vec); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, t.radius); err != nil {
+	return binary.Write(w, binary.LittleEndian, t.radius)
+}
+
+// Save serializes the tree structure (not the model) in the current
+// integrity-checked format.
+func (t *Tree) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(treeMagicV2); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.payloadSize()); err != nil {
+		return err
+	}
+	cw := fsx.NewCRCWriter(bw)
+	if err := t.writePayload(cw); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.Sum32()); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-// Load deserializes a tree saved with Save and attaches it to the given
-// model, which must match the one the tree was built with (dimension,
-// vertex count, metric and scale are verified).
+// Load deserializes a tree saved with Save (either format version) and
+// attaches it to the given model, which must match the one the tree
+// was built with (dimension, vertex count, metric and scale are
+// verified).
 func Load(r io.Reader, m *core.Model) (*Tree, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(treeMagic))
+	magic := make([]byte, len(treeMagicV2))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("index: reading magic: %w", err)
 	}
-	if string(magic) != treeMagic {
+	switch string(magic) {
+	case treeMagicV1:
+		return loadPayload(br, m)
+	case treeMagicV2:
+	default:
 		return nil, fmt.Errorf("index: bad magic %q", magic)
 	}
+	var plen int64
+	if err := binary.Read(br, binary.LittleEndian, &plen); err != nil {
+		return nil, fmt.Errorf("index: reading payload length: %w", err)
+	}
+	if plen < 6*8+16 {
+		return nil, fmt.Errorf("index: implausible payload length %d", plen)
+	}
+	cr := fsx.NewCRCReader(io.LimitReader(br, plen))
+	t, err := loadPayload(cr, m)
+	if err != nil {
+		return nil, err
+	}
+	var wantCRC uint32
+	if err := binary.Read(br, binary.LittleEndian, &wantCRC); err != nil {
+		return nil, fmt.Errorf("index: reading checksum trailer: %w", err)
+	}
+	if err := fsx.VerifyTrailer(cr, plen, wantCRC, "index: tree"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// loadPayload parses the version-independent payload section.
+func loadPayload(br io.Reader, m *core.Model) (*Tree, error) {
 	var hdr [6]int64
 	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("index: reading header: %w", err)
 	}
 	nSlots, d, root, size, modelDim, modelVerts := hdr[0], hdr[1], hdr[2], hdr[3], hdr[4], hdr[5]
 	if nSlots <= 0 || nSlots > 1<<31 || root < 0 || root >= nSlots || size < 0 {
@@ -148,17 +219,10 @@ func Load(r io.Reader, m *core.Model) (*Tree, error) {
 	return t, nil
 }
 
-// SaveFile writes the tree to the named file.
+// SaveFile writes the tree to the named file atomically (temp file +
+// fsync + rename; see fsx.WriteAtomic).
 func (t *Tree) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := t.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return fsx.WriteAtomic(path, t.Save)
 }
 
 // LoadFile reads a tree from the named file, attaching it to m.

@@ -1,0 +1,191 @@
+// Package resilience is the production-hardening layer for the HTTP
+// serving path: composable net/http middleware that keeps rneserver
+// alive and well-behaved under the paper's motivating high-volume
+// dispatch/range workloads. It provides panic recovery (a crashing
+// handler costs one 500, not the process), per-request deadlines,
+// an in-flight concurrency limiter that sheds load with 429 +
+// Retry-After, and request accounting surfaced on GET /statz.
+package resilience
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// Options configures the standard middleware stack assembled by Wrap.
+// Zero values select the documented defaults; Timeout and MaxInFlight
+// can be disabled explicitly with negative values.
+type Options struct {
+	// MaxInFlight caps concurrently-served requests; excess requests
+	// are shed with 429 + Retry-After. Default 256; negative disables.
+	MaxInFlight int
+	// RetryAfter is the hint returned with shed requests (default 1s).
+	RetryAfter time.Duration
+	// Timeout bounds each request via its context deadline; requests
+	// that exceed it receive 503. Default 30s; negative disables.
+	Timeout time.Duration
+	// Logf receives panic reports and request logs (default log.Printf
+	// behavior is supplied by the caller; nil disables logging).
+	Logf func(format string, args ...any)
+	// Stats, when non-nil, accumulates request/latency/status counters
+	// for /statz.
+	Stats *Stats
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = 256
+	}
+	if o.RetryAfter == 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 30 * time.Second
+	}
+	return o
+}
+
+// Wrap assembles the standard production stack around next, outermost
+// first: stats/logging, panic recovery, concurrency limiting, then the
+// per-request deadline. Recovery sits inside accounting so panics are
+// counted as 500s; the limiter sits inside recovery so even a limiter
+// bug cannot kill the process; the deadline is innermost so shed
+// requests never consume a timer.
+func Wrap(next http.Handler, o Options) http.Handler {
+	o = o.withDefaults()
+	h := next
+	if o.Timeout > 0 {
+		h = Timeout(h, o.Timeout)
+	}
+	if o.MaxInFlight > 0 {
+		h = Limiter(h, o.MaxInFlight, o.RetryAfter, o.Stats)
+	}
+	h = Recover(h, o.Logf, o.Stats)
+	if o.Stats != nil || o.Logf != nil {
+		h = Observe(h, o.Stats, o.Logf)
+	}
+	return h
+}
+
+// statusRecorder captures the status code a handler wrote so the
+// observing middleware can account for it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(p)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// Recover converts a handler panic into a 500 response and a stack
+// log, leaving the server alive. The repanic of http.ErrAbortHandler
+// is preserved so deliberate connection aborts keep their stdlib
+// semantics.
+func Recover(next http.Handler, logf func(string, ...any), st *Stats) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			if st != nil {
+				st.panics.Add(1)
+			}
+			if logf != nil {
+				logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			}
+			// Only answer if the handler had not started a response;
+			// otherwise the connection is already poisoned and closing
+			// it is all we can do.
+			if sr.status == 0 {
+				writeJSONError(w, http.StatusInternalServerError, "internal server error")
+			}
+		}()
+		next.ServeHTTP(sr, r)
+	})
+}
+
+// Timeout attaches a deadline to each request's context and answers
+// 503 if the handler has not finished by then. Response bodies are
+// buffered by the underlying http.TimeoutHandler, so a handler racing
+// its deadline can never interleave a half-written body with the
+// timeout response.
+func Timeout(next http.Handler, d time.Duration) http.Handler {
+	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf("request exceeded %v deadline", d)})
+	return http.TimeoutHandler(next, d, string(body))
+}
+
+// Limiter sheds load once maxInFlight requests are already being
+// served, answering 429 with a Retry-After hint instead of queueing
+// unboundedly. Admission is a non-blocking semaphore acquire, so shed
+// requests cost O(1) regardless of saturation.
+func Limiter(next http.Handler, maxInFlight int, retryAfter time.Duration, st *Stats) http.Handler {
+	sem := make(chan struct{}, maxInFlight)
+	retrySecs := strconv.Itoa(int((retryAfter + time.Second - 1) / time.Second))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, r)
+		default:
+			if st != nil {
+				st.shed.Add(1)
+			}
+			w.Header().Set("Retry-After", retrySecs)
+			writeJSONError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("server saturated (%d requests in flight); retry after %s s", maxInFlight, retrySecs))
+		}
+	})
+}
+
+// Observe records per-request status and latency into st and, when
+// logf is non-nil, emits one access-log line per request.
+func Observe(next http.Handler, st *Stats, logf func(string, ...any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if st != nil {
+			st.inFlight.Add(1)
+		}
+		sr := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			elapsed := time.Since(start)
+			status := sr.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			if st != nil {
+				st.inFlight.Add(-1)
+				st.observe(status, elapsed)
+			}
+			if logf != nil {
+				logf("%s %s -> %d (%v)", r.Method, r.URL.Path, status, elapsed.Round(time.Microsecond))
+			}
+		}()
+		next.ServeHTTP(sr, r)
+	})
+}

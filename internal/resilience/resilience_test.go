@@ -1,0 +1,247 @@
+package resilience
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// A panicking handler gets a 500 and the server keeps serving.
+func TestRecoverSurvivesPanic(t *testing.T) {
+	st := NewStats()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "fine")
+	})
+	var logged atomic.Int64
+	h := Wrap(mux, Options{Stats: st, Logf: func(string, ...any) { logged.Add(1) }})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, body := get(t, ts.URL+"/boom")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panic handler: status %d, body %q", resp.StatusCode, body)
+	}
+	var e map[string]string
+	if err := json.Unmarshal([]byte(body), &e); err != nil || e["error"] == "" {
+		t.Fatalf("panic response not a JSON error: %q", body)
+	}
+	// Server is still alive and serving.
+	resp, body = get(t, ts.URL+"/ok")
+	if resp.StatusCode != http.StatusOK || body != "fine" {
+		t.Fatalf("server did not survive panic: %d %q", resp.StatusCode, body)
+	}
+	snap := st.Snapshot()
+	if snap.Panics != 1 {
+		t.Fatalf("panics counter = %d", snap.Panics)
+	}
+	if snap.ByClass["5xx"] != 1 || snap.ByClass["2xx"] != 1 {
+		t.Fatalf("status classes wrong: %+v", snap.ByClass)
+	}
+	if logged.Load() == 0 {
+		t.Fatal("panic was not logged")
+	}
+}
+
+// Requests past the in-flight cap get 429 + Retry-After.
+func TestLimiterShedsPastCap(t *testing.T) {
+	st := NewStats()
+	const cap = 4
+	release := make(chan struct{})
+	entered := make(chan struct{}, cap)
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+	h := Wrap(slow, Options{MaxInFlight: cap, RetryAfter: 2 * time.Second, Stats: st})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < cap; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	// Wait until the cap is fully occupied.
+	for i := 0; i < cap; i++ {
+		select {
+		case <-entered:
+		case <-time.After(5 * time.Second):
+			t.Fatal("handlers did not start")
+		}
+	}
+	resp, body := get(t, ts.URL)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: status %d body %q", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want 2", ra)
+	}
+	close(release)
+	wg.Wait()
+	if shed := st.Snapshot().Shed; shed != 1 {
+		t.Fatalf("shed counter = %d", shed)
+	}
+}
+
+// The deadline middleware turns an over-budget handler into a 503.
+func TestTimeoutDeadline(t *testing.T) {
+	stuck := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(10 * time.Second):
+		}
+	})
+	h := Wrap(stuck, Options{Timeout: 50 * time.Millisecond})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, body := get(t, ts.URL)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d body %q", resp.StatusCode, body)
+	}
+}
+
+// Graceful shutdown drains a slow in-flight request to completion.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	started := make(chan struct{})
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		time.Sleep(300 * time.Millisecond)
+		fmt.Fprint(w, "drained")
+	})
+	st := NewStats()
+	srv := &http.Server{Handler: Wrap(slow, Options{Stats: st})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+
+	type result struct {
+		status int
+		body   string
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String())
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		resCh <- result{status: resp.StatusCode, body: string(b)}
+	}()
+
+	<-started
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	res := <-resCh
+	if res.err != nil {
+		t.Fatalf("in-flight request failed during shutdown: %v", res.err)
+	}
+	if res.status != http.StatusOK || res.body != "drained" {
+		t.Fatalf("in-flight request not drained: %d %q", res.status, res.body)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// Counters stay consistent under concurrent load (run with -race).
+func TestStatsConcurrent(t *testing.T) {
+	st := NewStats()
+	ok := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	h := Wrap(ok, Options{Stats: st, MaxInFlight: 64})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				resp, err := http.Get(ts.URL)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := st.Snapshot()
+	if snap.Requests != workers*per {
+		t.Fatalf("requests = %d, want %d", snap.Requests, workers*per)
+	}
+	if snap.ByClass["2xx"] != workers*per {
+		t.Fatalf("2xx = %d", snap.ByClass["2xx"])
+	}
+	if snap.InFlight != 0 {
+		t.Fatalf("in_flight = %d after drain", snap.InFlight)
+	}
+	if snap.LatencyMaxMS < 0 || snap.LatencyMeanMS < 0 {
+		t.Fatalf("negative latency: %+v", snap)
+	}
+}
+
+// The stats handler serves valid JSON.
+func TestStatsHandler(t *testing.T) {
+	st := NewStats()
+	st.observe(200, time.Millisecond)
+	ts := httptest.NewServer(st.Handler())
+	defer ts.Close()
+	resp, body := get(t, ts.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("bad JSON %q: %v", body, err)
+	}
+	if snap.Requests != 1 || snap.ByClass["2xx"] != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}

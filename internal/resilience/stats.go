@@ -1,0 +1,92 @@
+package resilience
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Stats accumulates request counters with atomics only, so the
+// middleware stays contention-free on the nanosecond-scale query
+// path. One Stats instance is shared by the whole middleware stack
+// and served as JSON on GET /statz.
+type Stats struct {
+	start time.Time
+
+	inFlight atomic.Int64
+	byClass  [6]atomic.Int64 // index status/100: [0]=other, 1xx..5xx
+	requests atomic.Int64
+	shed     atomic.Int64 // 429s issued by the limiter
+	panics   atomic.Int64 // handler panics converted to 500s
+
+	latencySumNS atomic.Int64
+	latencyMaxNS atomic.Int64
+}
+
+// NewStats returns a zeroed Stats anchored at the current time.
+func NewStats() *Stats {
+	return &Stats{start: time.Now()}
+}
+
+func (s *Stats) observe(status int, elapsed time.Duration) {
+	s.requests.Add(1)
+	class := status / 100
+	if class < 1 || class > 5 {
+		class = 0
+	}
+	s.byClass[class].Add(1)
+	ns := elapsed.Nanoseconds()
+	s.latencySumNS.Add(ns)
+	for {
+		cur := s.latencyMaxNS.Load()
+		if ns <= cur || s.latencyMaxNS.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Snapshot is the JSON shape served on /statz.
+type Snapshot struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Requests      int64            `json:"requests"`
+	InFlight      int64            `json:"in_flight"`
+	ByClass       map[string]int64 `json:"by_status_class"`
+	Shed          int64            `json:"shed_429"`
+	Panics        int64            `json:"panics"`
+	LatencyMeanMS float64          `json:"latency_mean_ms"`
+	LatencyMaxMS  float64          `json:"latency_max_ms"`
+}
+
+// Snapshot returns a consistent-enough point-in-time view of the
+// counters (each counter individually atomic).
+func (s *Stats) Snapshot() Snapshot {
+	n := s.requests.Load()
+	snap := Snapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      n,
+		InFlight:      s.inFlight.Load(),
+		ByClass:       make(map[string]int64, 5),
+		Shed:          s.shed.Load(),
+		Panics:        s.panics.Load(),
+		LatencyMaxMS:  float64(s.latencyMaxNS.Load()) / 1e6,
+	}
+	if n > 0 {
+		snap.LatencyMeanMS = float64(s.latencySumNS.Load()) / float64(n) / 1e6
+	}
+	classes := [...]string{"other", "1xx", "2xx", "3xx", "4xx", "5xx"}
+	for i, name := range classes {
+		if v := s.byClass[i].Load(); v > 0 {
+			snap.ByClass[name] = v
+		}
+	}
+	return snap
+}
+
+// Handler serves the stats snapshot as JSON (the /statz endpoint).
+func (s *Stats) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.Snapshot())
+	})
+}

@@ -7,34 +7,73 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/resilience"
 )
+
+// Config tunes the production-hardening layer wrapped around the
+// route table. Zero values select the documented defaults.
+type Config struct {
+	// MaxInFlight caps concurrently-served requests; excess load is
+	// shed with 429 + Retry-After (default 256, negative disables).
+	MaxInFlight int
+	// RequestTimeout bounds each request (default 30s, negative
+	// disables); over-budget requests receive 503.
+	RequestTimeout time.Duration
+	// MaxBatchBytes caps the /batch request body; larger bodies get
+	// 413 (default 8 MiB).
+	MaxBatchBytes int64
+	// Logf receives panic reports and access logs (nil disables).
+	Logf func(format string, args ...any)
+}
+
+const defaultMaxBatchBytes = 8 << 20
 
 // Server wires a model (and optionally a spatial index over a target
 // set) into an http.Handler.
 type Server struct {
 	model *core.Model
 	idx   *index.Tree // nil disables /knn and /range
+	cfg   Config
+	stats *resilience.Stats
 }
 
-// New returns a server for the model; idx may be nil for distance-only
-// serving (e.g. when the model was loaded from disk and the partition
-// tree is gone).
+// New returns a server for the model with default hardening; idx may
+// be nil for distance-only serving (e.g. when the model was loaded
+// from disk and the partition tree is gone) — the server then reports
+// degraded readiness and answers /knn and /range with 501.
 func New(model *core.Model, idx *index.Tree) (*Server, error) {
+	return NewWithConfig(model, idx, Config{})
+}
+
+// NewWithConfig returns a server with explicit resilience settings.
+func NewWithConfig(model *core.Model, idx *index.Tree, cfg Config) (*Server, error) {
 	if model == nil {
 		return nil, fmt.Errorf("server: nil model")
 	}
-	return &Server{model: model, idx: idx}, nil
+	if cfg.MaxBatchBytes == 0 {
+		cfg.MaxBatchBytes = defaultMaxBatchBytes
+	}
+	return &Server{model: model, idx: idx, cfg: cfg, stats: resilience.NewStats()}, nil
 }
 
-// Handler returns the route table:
+// Stats exposes the request counters backing /statz.
+func (s *Server) Stats() *resilience.Stats { return s.stats }
+
+// Handler returns the route table wrapped in the resilience stack
+// (panic recovery, per-request deadline, load shedding, request
+// accounting):
 //
 //	GET  /healthz                    liveness + model shape
+//	GET  /readyz                     readiness (degraded without spatial index)
+//	GET  /statz                      request/latency/status counters
 //	GET  /distance?s=<id>&t=<id>     one estimate
 //	POST /batch                      {"pairs":[[s,t],...]} -> {"distances":[...]}
 //	GET  /knn?s=<id>&k=<n>           k nearest indexed targets
@@ -42,11 +81,18 @@ func New(model *core.Model, idx *index.Tree) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.Handle("GET /statz", s.stats.Handler())
 	mux.HandleFunc("GET /distance", s.handleDistance)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("GET /knn", s.handleKNN)
 	mux.HandleFunc("GET /range", s.handleRange)
-	return mux
+	return resilience.Wrap(mux, resilience.Options{
+		MaxInFlight: s.cfg.MaxInFlight,
+		Timeout:     s.cfg.RequestTimeout,
+		Logf:        s.cfg.Logf,
+		Stats:       s.stats,
+	})
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -84,6 +130,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReady reports readiness, distinct from /healthz liveness: a
+// live process may still be degraded. With no spatial index loaded the
+// server can serve /distance and /batch but not /knn or /range, so it
+// answers "degraded" and lists the missing capability; orchestrators
+// that require the full API can gate on status == "ready".
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.idx == nil {
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "degraded",
+			"degraded": []string{"spatial index absent: /knn and /range answer 501"},
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ready",
+		"targets": s.idx.Size(),
+	})
+}
+
 func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	src, err := s.vertexParam(r, "s")
 	if err != nil {
@@ -108,8 +173,17 @@ type batchRequest struct {
 const maxBatch = 1 << 20
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	// Bound request memory before decoding: a client cannot make the
+	// decoder buffer an unbounded body.
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d byte limit", tooLarge.Limit)
+			return
+		}
 		s.fail(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}

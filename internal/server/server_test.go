@@ -206,3 +206,136 @@ func TestNewValidation(t *testing.T) {
 		t.Fatal("nil model accepted")
 	}
 }
+
+func TestReadyzReadyAndDegraded(t *testing.T) {
+	ts, _ := newTestServer(t, true)
+	out := getJSON(t, ts.URL+"/readyz", http.StatusOK)
+	if out["status"] != "ready" {
+		t.Fatalf("with index: %v", out)
+	}
+
+	ts2, _ := newTestServer(t, false)
+	out = getJSON(t, ts2.URL+"/readyz", http.StatusOK)
+	if out["status"] != "degraded" {
+		t.Fatalf("without index: %v", out)
+	}
+	if reasons, ok := out["degraded"].([]any); !ok || len(reasons) == 0 {
+		t.Fatalf("degraded reasons missing: %v", out)
+	}
+}
+
+func TestStatzCountsRequests(t *testing.T) {
+	ts, _ := newTestServer(t, false)
+	getJSON(t, ts.URL+"/distance?s=1&t=2", http.StatusOK)
+	getJSON(t, ts.URL+"/distance?s=-9&t=2", http.StatusBadRequest)
+	out := getJSON(t, ts.URL+"/statz", http.StatusOK)
+	if out["requests"].(float64) < 2 {
+		t.Fatalf("requests = %v", out["requests"])
+	}
+	classes := out["by_status_class"].(map[string]any)
+	if classes["2xx"].(float64) < 1 || classes["4xx"].(float64) < 1 {
+		t.Fatalf("status classes: %v", classes)
+	}
+}
+
+func TestBatchBodyTooLargeGets413(t *testing.T) {
+	g, err := gen.Grid(6, 6, gen.DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions(2)
+	opt.Dim = 8
+	opt.Epochs = 1
+	opt.VertexSampleRatio = 5
+	opt.FineTuneRounds = 1
+	opt.HierSampleCap = 1000
+	opt.ValidationPairs = 50
+	m, _, err := core.Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewWithConfig(m, nil, Config{MaxBatchBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// Under the cap works.
+	small, _ := json.Marshal(map[string]any{"pairs": [][2]int32{{0, 1}}})
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small batch: status %d", resp.StatusCode)
+	}
+
+	// Over the cap gets a specific 413, not a generic 400.
+	pairs := make([][2]int32, 64)
+	big, _ := json.Marshal(map[string]any{"pairs": pairs})
+	resp, err = http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: status %d, want 413", resp.StatusCode)
+	}
+	var e map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
+		t.Fatalf("413 body not a JSON error: %v %v", e, err)
+	}
+}
+
+func TestHandlerSurvivesBurstPastCap(t *testing.T) {
+	// A tiny in-flight cap under a concurrent burst: every request gets
+	// either a successful answer or a well-formed 429, and the server
+	// keeps serving afterwards.
+	g, err := gen.Grid(6, 6, gen.DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions(4)
+	opt.Dim = 8
+	opt.Epochs = 1
+	opt.VertexSampleRatio = 5
+	opt.FineTuneRounds = 1
+	opt.HierSampleCap = 1000
+	opt.ValidationPairs = 50
+	m, _, err := core.Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewWithConfig(m, nil, Config{MaxInFlight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	var wg sync.WaitGroup
+	bad := make(chan string, 64)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/distance?s=0&t=5")
+			if err != nil {
+				bad <- err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+				bad <- fmt.Sprintf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(bad)
+	for msg := range bad {
+		t.Fatal(msg)
+	}
+	getJSON(t, ts.URL+"/healthz", http.StatusOK)
+}

@@ -18,7 +18,10 @@
 package rne
 
 import (
+	"fmt"
 	"io"
+	"math"
+	"math/rand"
 
 	"repro/internal/alt"
 	"repro/internal/core"
@@ -104,6 +107,33 @@ func LoadModel(path string) (*Model, error) { return core.LoadFile(path) }
 // SpatialIndex is the Section VI tree index over an object set
 // (e.g. taxis, POIs) supporting embedding-space range and kNN queries.
 type SpatialIndex = index.Tree
+
+// SampleTargets draws a deterministic random set of ~frac*|V| distinct
+// vertices to index as spatial targets (the taxis/POIs of the paper's
+// Section VI workloads). frac must be non-negative; the sample size is
+// clamped to [1, |V|], so frac >= 1 simply indexes every vertex.
+func SampleTargets(g *Graph, frac float64, seed int64) ([]int32, error) {
+	if g == nil || g.NumVertices() == 0 {
+		return nil, fmt.Errorf("rne: sampling targets over an empty graph")
+	}
+	if frac < 0 || math.IsNaN(frac) {
+		return nil, fmt.Errorf("rne: target fraction must be non-negative, got %v", frac)
+	}
+	n := g.NumVertices()
+	k := int(frac * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	targets := make([]int32, k)
+	for i := 0; i < k; i++ {
+		targets[i] = int32(perm[i])
+	}
+	return targets, nil
+}
 
 // NewSpatialIndex builds the tree index over the given target vertices.
 // The model must come fresh from Build with hierarchical training
