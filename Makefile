@@ -1,9 +1,9 @@
 # Pre-merge gate: `make ci` must pass before any change lands.
 GO ?= go
 
-.PHONY: ci build vet test race bench
+.PHONY: ci build vet test race shuffle fuzz-smoke vulncheck bench
 
-ci: vet race ## full pre-merge gate
+ci: vet race shuffle fuzz-smoke vulncheck ## full pre-merge gate
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,25 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Shuffled order flushes out tests that depend on package-level state
+# left behind by earlier tests (e.g. a failpoint someone forgot to Reset).
+shuffle:
+	$(GO) test -shuffle=on ./...
+
+# Ten seconds of coverage-guided fuzzing over the DIMACS parser — a
+# smoke pass catching regressions in input hardening, not a deep campaign.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseDIMACS -fuzztime=10s ./internal/graph
+
+# Known-vulnerability scan; skips gracefully where govulncheck or the
+# vulndb is unavailable (offline CI, hermetic builders).
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || exit 1; \
+	else \
+		echo "vulncheck: govulncheck not installed; skipping"; \
+	fi
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

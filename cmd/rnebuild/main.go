@@ -14,6 +14,13 @@
 //
 //	rnebuild -preset usw-mini -o usw.rne -checkpoint usw.ckpt
 //	rnebuild -preset usw-mini -o usw.rne -checkpoint usw.ckpt -resume
+//
+// Training runs under a divergence sentinel: a non-finite embedding or
+// a validation-error spike rolls training back to the last good state,
+// halves the learning rate, and retries, up to -max-recoveries times.
+// An unusable -resume checkpoint is discarded with a warning unless
+// -strict-resume is set. -alt-out additionally saves an ALT landmark
+// index for rneserver's guard mode.
 package main
 
 import (
@@ -39,6 +46,10 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "write training checkpoints to this file (removed on success)")
 	ckptEvery := flag.Int("checkpoint-every", 1, "epochs between checkpoint writes (with -checkpoint)")
 	resume := flag.Bool("resume", false, "resume from -checkpoint if it exists")
+	strictResume := flag.Bool("strict-resume", false, "fail instead of restarting when the -resume checkpoint is unusable")
+	maxRecoveries := flag.Int("max-recoveries", 3, "divergence-sentinel rollbacks before the build fails")
+	altOut := flag.String("alt-out", "", "also build and save an ALT landmark index here (for rneserver -alt-index)")
+	altLandmarks := flag.Int("alt-landmarks", 16, "landmark count for -alt-out")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -47,6 +58,14 @@ func main() {
 	}
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "rnebuild: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+	if *strictResume && !*resume {
+		fmt.Fprintln(os.Stderr, "rnebuild: -strict-resume requires -resume")
+		os.Exit(2)
+	}
+	if *altOut != "" && *altLandmarks < 1 {
+		fmt.Fprintf(os.Stderr, "rnebuild: -alt-landmarks must be >= 1, got %d\n", *altLandmarks)
 		os.Exit(2)
 	}
 	if *targetFrac < 0 || math.IsNaN(*targetFrac) {
@@ -82,6 +101,11 @@ func main() {
 	opt.CheckpointPath = *checkpoint
 	opt.CheckpointEvery = *ckptEvery
 	opt.Resume = *resume
+	opt.StrictResume = *strictResume
+	opt.MaxRecoveries = *maxRecoveries
+	opt.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "rnebuild: "+format+"\n", args...)
+	}
 
 	fmt.Fprintf(os.Stderr, "rnebuild: training d=%d over %d vertices...\n", opt.Dim, g.NumVertices())
 	model, stats, err := rne.Build(g, opt)
@@ -93,6 +117,18 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "rnebuild: built in %v (%d samples), validation %s\n",
 		stats.Total.Round(1e6), stats.SamplesUsed, stats.Validation)
+	if stats.SamplesSkipped > 0 {
+		fmt.Fprintf(os.Stderr, "rnebuild: skipped %d samples with non-finite distances\n", stats.SamplesSkipped)
+	}
+	if stats.Recoveries > 0 {
+		fmt.Fprintf(os.Stderr, "rnebuild: sentinel recovered %d time(s), final lr %.4g:\n", stats.Recoveries, stats.FinalLR)
+		for _, rb := range stats.Rollbacks {
+			fmt.Fprintf(os.Stderr, "rnebuild:   rollback at %s\n", rb)
+		}
+	}
+	if stats.CheckpointFailures > 0 {
+		fmt.Fprintf(os.Stderr, "rnebuild: tolerated %d failed checkpoint write(s)\n", stats.CheckpointFailures)
+	}
 	if err := model.SaveFile(*out); err != nil {
 		fail(err)
 	}
@@ -118,5 +154,17 @@ func main() {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "rnebuild: saved spatial index %s over %d targets\n", *indexOut, idx.Size())
+	}
+
+	if *altOut != "" {
+		lt, err := rne.BuildALTIndex(g, *altLandmarks, *seed+2)
+		if err != nil {
+			fail(err)
+		}
+		if err := lt.SaveFile(*altOut); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "rnebuild: saved ALT index %s (%d landmarks, %d bytes)\n",
+			*altOut, lt.NumLandmarks(), lt.IndexBytes())
 	}
 }

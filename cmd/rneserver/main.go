@@ -6,6 +6,12 @@
 // /batch only (the partition tree is not persisted) — /readyz then
 // reports degraded mode unless -index supplies a saved spatial index.
 //
+// With -alt-index (a file saved by rnebuild -alt-out) or, in training
+// mode, -alt-landmarks, the server runs in guard mode: every /distance
+// and /batch estimate is clamped into the certified landmark interval
+// [lo, hi] containing the true distance, responses report the interval
+// and whether clamping occurred, and clamp counters appear on /statz.
+//
 // The server runs hardened for production traffic: handler panics are
 // converted to 500s, requests past -max-inflight are shed with 429 +
 // Retry-After, every request carries a -request-timeout deadline,
@@ -42,6 +48,8 @@ func main() {
 	graphPath := flag.String("graph", "", "graph file: train on startup, full API")
 	preset := flag.String("preset", "", "built-in preset instead of -graph")
 	targetFrac := flag.Float64("target-frac", 0.1, "fraction of vertices indexed as spatial targets (clamped to [0,1])")
+	altIndexPath := flag.String("alt-index", "", "ALT index saved by rnebuild -alt-out: guard mode clamps every estimate into certified landmark bounds")
+	altLandmarks := flag.Int("alt-landmarks", 0, "with -graph/-preset: build an ALT guard index with this many landmarks at startup (0 disables)")
 	seed := flag.Int64("seed", 42, "training seed")
 	maxInFlight := flag.Int("max-inflight", 256, "in-flight request cap before shedding with 429 (negative disables)")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (negative disables)")
@@ -53,6 +61,7 @@ func main() {
 
 	var model *rne.Model
 	var idx *rne.SpatialIndex
+	var altIdx *rne.ALTIndex
 	switch {
 	case *modelPath != "":
 		var err error
@@ -99,14 +108,42 @@ func main() {
 			log.Fatal("rneserver: ", err)
 		}
 		log.Printf("spatial index over %d targets", idx.Size())
+
+		if *altIndexPath == "" && *altLandmarks > 0 {
+			altIdx, err = rne.BuildALTIndex(g, *altLandmarks, *seed+2)
+			if err != nil {
+				log.Fatal("rneserver: ", err)
+			}
+			log.Printf("built ALT guard index with %d landmarks", altIdx.NumLandmarks())
+		}
 	default:
 		log.Fatal("rneserver: need -model, -graph or -preset")
+	}
+
+	var guard *rne.BoundedEstimator
+	if *altIndexPath != "" {
+		var err error
+		altIdx, err = rne.LoadALTIndex(*altIndexPath)
+		if err != nil {
+			log.Fatal("rneserver: ", err)
+		}
+		log.Printf("loaded ALT index: %d landmarks over %d vertices",
+			altIdx.NumLandmarks(), altIdx.NumVertices())
+	}
+	if altIdx != nil {
+		var err error
+		guard, err = rne.NewBoundedEstimatorFromIndex(model, altIdx)
+		if err != nil {
+			log.Fatal("rneserver: ", err)
+		}
+		log.Printf("guard mode on: /distance and /batch clamped into certified landmark bounds")
 	}
 
 	srv, err := server.NewWithConfig(model, idx, server.Config{
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *reqTimeout,
 		Logf:           log.Printf,
+		Guard:          guard,
 	})
 	if err != nil {
 		log.Fatal("rneserver: ", err)

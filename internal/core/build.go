@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"time"
@@ -11,7 +12,8 @@ import (
 
 // BuildStats records what Build did, mirroring the quantities of
 // Tables III/IV: wall-clock time per phase, total samples consumed and
-// the final validation error.
+// the final validation error, plus the self-healing counters of the
+// divergence sentinel.
 type BuildStats struct {
 	// Setup covers hierarchy construction, landmark selection, grid and
 	// validation-set preparation.
@@ -24,15 +26,45 @@ type BuildStats struct {
 	// On a resumed build this includes the samples restored from the
 	// checkpoint, so it matches an uninterrupted build.
 	SamplesUsed int64
+	// SamplesSkipped counts presentations skipped because the sample
+	// carried a non-finite target distance. Nonzero means a sample
+	// source produced garbage labels that SGD refused to train on.
+	SamplesSkipped int64
 	// Resumed reports whether the build restored state from a
 	// checkpoint instead of starting from scratch.
 	Resumed bool
+	// CheckpointDiscarded reports that Options.Resume found a
+	// checkpoint that was corrupt or from a different build and
+	// (without StrictResume) restarted training from scratch.
+	CheckpointDiscarded bool
+	// CheckpointFailures counts checkpoint writes that failed and were
+	// tolerated (without StrictCheckpoints): the build continued, only
+	// resumability was degraded until a later write succeeded.
+	CheckpointFailures int
+	// Recoveries counts divergence-sentinel rollbacks: each one
+	// restored the last good training state and halved the learning
+	// rate before retrying the failed unit of work.
+	Recoveries int
+	// Rollbacks describes each recovery ("vertex epoch 3: non-finite
+	// embedding value at parameter 17"), in order.
+	Rollbacks []string
+	// FinalLR is the dimension-normalized base learning rate training
+	// finished with; it is below the starting rate exactly when the
+	// sentinel recovered from a divergence.
+	FinalLR float64
 	// Validation is the final held-out error.
 	Validation metrics.ErrorStats
 }
 
 // Build runs the full Algorithm 1 pipeline over g and returns the
 // query model together with build statistics.
+//
+// Training runs under a divergence sentinel: after every hierarchy
+// level, vertex epoch and fine-tune round the embedding is scanned for
+// non-finite values and the held-out validation error is compared
+// against the best seen; a corrupt or diverged state is rolled back to
+// an in-memory last-good snapshot, the learning rate halved, and the
+// unit retried, up to Options.MaxRecoveries times.
 //
 // With Options.CheckpointPath set, training state is checkpointed
 // atomically as phases complete; with Options.Resume also set and an
@@ -54,13 +86,42 @@ func Build(g *graph.Graph, opt Options) (*Model, BuildStats, error) {
 	if opt.Resume {
 		if _, statErr := os.Stat(opt.CheckpointPath); statErr == nil {
 			phase, level, epoch, err = tr.RestoreCheckpoint(opt.CheckpointPath)
-			if err != nil {
+			switch {
+			case err == nil:
+				st.Resumed = true
+			case opt.StrictResume:
 				return nil, st, fmt.Errorf("core: resuming build: %w", err)
+			default:
+				// An unusable checkpoint costs a restart, not the build:
+				// warn, restart from scratch, and let the first healthy
+				// checkpoint write replace the bad file.
+				opt.logf("core: discarding unusable checkpoint %s (training restarts from scratch): %v",
+					opt.CheckpointPath, err)
+				st.CheckpointDiscarded = true
+				phase, level, epoch = ckptPhaseNone, 0, 0
 			}
-			st.Resumed = true
 		}
 	}
-	ck := &checkpointer{path: opt.CheckpointPath, every: opt.CheckpointEvery}
+	sen, err := newSentinel(tr, opt, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	ck := &checkpointer{
+		path:   opt.CheckpointPath,
+		every:  opt.CheckpointEvery,
+		strict: opt.StrictCheckpoints,
+		logf:   opt.logf,
+		stats:  &st,
+	}
+	// guard runs after each completed unit of work: sentinel audit
+	// first (nil, errRetryUnit, or terminal), checkpoint tick only on a
+	// healthy verdict — checkpoints never capture a diverged state.
+	guard := func(label string, epochs, phase, level, epoch int) error {
+		if err := sen.check(label, phase, level, epoch); err != nil {
+			return err
+		}
+		return ck.tick(tr, epochs, phase, level, epoch)
+	}
 	st.Setup = time.Since(t0)
 
 	t0 = time.Now()
@@ -70,7 +131,7 @@ func Build(g *graph.Graph, opt Options) (*Model, BuildStats, error) {
 			fromLevel = level + 1
 		}
 		err := tr.RunHierPhaseFrom(fromLevel, func(lev int) error {
-			return ck.tick(tr, opt.Epochs, ckptPhaseHier, lev, 0)
+			return guard(fmt.Sprintf("hierarchy level %d", lev), opt.Epochs, ckptPhaseHier, lev, 0)
 		})
 		if err != nil {
 			return nil, st, err
@@ -85,7 +146,7 @@ func Build(g *graph.Graph, opt Options) (*Model, BuildStats, error) {
 			fromEpoch = epoch
 		}
 		err := tr.RunVertexPhaseFrom(fromEpoch, func(e int) error {
-			return ck.tick(tr, 1, ckptPhaseVertex, 0, e+1)
+			return guard(fmt.Sprintf("vertex epoch %d", e), 1, ckptPhaseVertex, 0, e+1)
 		})
 		if err != nil {
 			return nil, st, err
@@ -99,17 +160,23 @@ func Build(g *graph.Graph, opt Options) (*Model, BuildStats, error) {
 		if phase == ckptPhaseFineTune {
 			fromRound = epoch
 		}
-		for k := fromRound; k < opt.FineTuneRounds; k++ {
+		for k := fromRound; k < opt.FineTuneRounds; {
 			tr.RunFineTuneRound(k)
-			if err := ck.tick(tr, 1, ckptPhaseFineTune, 0, k+1); err != nil {
+			switch err := guard(fmt.Sprintf("fine-tune round %d", k), 1, ckptPhaseFineTune, 0, k+1); {
+			case errors.Is(err, errRetryUnit):
+				continue // rolled back: redo this round at the reduced rate
+			case err != nil:
 				return nil, st, err
 			}
+			k++
 		}
 		st.FineTune = time.Since(t0)
 	}
 
 	st.Total = time.Since(start)
 	st.SamplesUsed = tr.SamplesUsed()
+	st.SamplesSkipped = tr.SamplesSkipped()
+	st.FinalLR = tr.LR()
 	st.Validation = tr.Validate()
 	return tr.Finalize(), st, nil
 }

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/fsx"
+	"repro/internal/graph"
+)
+
+// chaosOptions is a small config with checkpointing enabled.
+func chaosOptions(path string) Options {
+	opt := DefaultOptions(7)
+	opt.Dim = 8
+	opt.Epochs = 4
+	opt.VertexSampleRatio = 10
+	opt.HierSampleCap = 2000
+	opt.ValidationPairs = 150
+	opt.FineTuneRounds = 2
+	opt.CheckpointPath = path
+	return opt
+}
+
+func finiteVal(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// The acceptance chaos scenario: one build takes a NaN sample batch, a
+// direct embedding corruption, and a failed checkpoint write — and
+// still completes with at least one recovery and a validation error
+// within 2x of an uninjected build.
+func TestChaosBuildSurvivesNaNAndCheckpointFailure(t *testing.T) {
+	g := ckptTestGraph(t)
+	dir := t.TempDir()
+
+	clean, cleanStats, err := Build(g, chaosOptions(filepath.Join(dir, "clean.ckpt")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean == nil || cleanStats.Recoveries != 0 {
+		t.Fatalf("clean build recovered %d times", cleanStats.Recoveries)
+	}
+
+	defer faultinject.Reset()
+	// A full vertex-phase batch of NaN labels (skipped and counted),
+	// one exploding step corrupting the embedding mid-vertex-phase
+	// (rolled back), and one failed checkpoint write (tolerated).
+	faultinject.Enable(FailpointVertexSamplesNaN, faultinject.Fault{})
+	faultinject.Enable(FailpointEmbeddingCorrupt, faultinject.Fault{After: 2})
+	faultinject.Enable(fsx.FailpointWriteAtomic, faultinject.Fault{After: 1})
+
+	_, st, err := Build(g, chaosOptions(filepath.Join(dir, "chaos.ckpt")))
+	if err != nil {
+		t.Fatalf("chaotic build failed: %v", err)
+	}
+	if st.Recoveries < 1 {
+		t.Fatalf("Recoveries = %d, want >= 1 (rollbacks: %v)", st.Recoveries, st.Rollbacks)
+	}
+	if len(st.Rollbacks) != st.Recoveries {
+		t.Fatalf("Rollbacks %v inconsistent with Recoveries %d", st.Rollbacks, st.Recoveries)
+	}
+	if st.SamplesSkipped == 0 {
+		t.Fatal("SamplesSkipped = 0, want the injected NaN batch counted")
+	}
+	if st.CheckpointFailures < 1 {
+		t.Fatal("CheckpointFailures = 0, want the injected write failure counted")
+	}
+	if st.FinalLR >= cleanStats.FinalLR {
+		t.Fatalf("FinalLR %v not reduced from clean %v despite recovery", st.FinalLR, cleanStats.FinalLR)
+	}
+	if !finiteVal(st.Validation.MeanRel) {
+		t.Fatalf("validation error %v not finite", st.Validation.MeanRel)
+	}
+	if st.Validation.MeanRel > 2*cleanStats.Validation.MeanRel {
+		t.Fatalf("chaotic validation %.4g worse than 2x clean %.4g",
+			st.Validation.MeanRel, cleanStats.Validation.MeanRel)
+	}
+	// The tolerated failure must not have poisoned later writes: a
+	// valid checkpoint landed on disk eventually.
+	if _, err := os.Stat(filepath.Join(dir, "chaos.ckpt")); err != nil {
+		t.Fatalf("no checkpoint on disk after tolerated failure: %v", err)
+	}
+}
+
+// Persistent embedding corruption exhausts the recovery budget and
+// fails with a descriptive error instead of returning a garbage model.
+func TestChaosPersistentCorruptionFailsDescriptively(t *testing.T) {
+	g := ckptTestGraph(t)
+	defer faultinject.Reset()
+	faultinject.Enable(FailpointEmbeddingCorrupt, faultinject.Fault{Count: -1})
+
+	opt := chaosOptions(filepath.Join(t.TempDir(), "c.ckpt"))
+	opt.MaxRecoveries = 2
+	_, st, err := Build(g, opt)
+	if err == nil {
+		t.Fatal("build with persistent corruption succeeded")
+	}
+	if st.Recoveries != 2 {
+		t.Fatalf("Recoveries = %d, want exactly MaxRecoveries = 2", st.Recoveries)
+	}
+	for _, want := range []string{"diverged", "recoveries", "non-finite"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// A build killed mid-phase (here: by strict checkpointing over a
+// persistently failing disk) resumes from the last good checkpoint once
+// the fault clears.
+func TestChaosMidPhaseCrashThenResume(t *testing.T) {
+	g := ckptTestGraph(t)
+	path := filepath.Join(t.TempDir(), "crash.ckpt")
+
+	faultinject.Reset()
+	// Let two checkpoint writes succeed, then fail every later one;
+	// strict mode turns the third write into a mid-phase crash.
+	faultinject.Enable(FailpointCheckpointSave, faultinject.Fault{After: 2, Count: -1})
+	opt := chaosOptions(path)
+	opt.StrictCheckpoints = true
+	_, _, err := Build(g, opt)
+	faultinject.Reset()
+	if err == nil {
+		t.Fatal("build survived persistent strict checkpoint failure")
+	}
+	if _, statErr := os.Stat(path); statErr != nil {
+		t.Fatalf("no checkpoint from before the crash: %v", statErr)
+	}
+
+	opt = chaosOptions(path)
+	opt.Resume = true
+	model, st, err := Build(g, opt)
+	if err != nil {
+		t.Fatalf("resume after crash failed: %v", err)
+	}
+	if !st.Resumed {
+		t.Fatal("stats.Resumed = false after crash resume")
+	}
+	if model == nil || !finiteVal(st.Validation.MeanRel) {
+		t.Fatal("resumed build produced no usable model")
+	}
+}
+
+// Resuming from a corrupted checkpoint warns and restarts from scratch
+// by default, and errors under StrictResume.
+func TestChaosResumeFromCorruptCheckpoint(t *testing.T) {
+	g := ckptTestGraph(t)
+	path := filepath.Join(t.TempDir(), "corrupt.ckpt")
+	if err := os.WriteFile(path, []byte("RNECKPT1\nthis is not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warned bool
+	opt := chaosOptions(path)
+	opt.Resume = true
+	opt.Logf = func(format string, args ...any) { warned = true }
+	model, st, err := Build(g, opt)
+	if err != nil {
+		t.Fatalf("default resume over corrupt checkpoint failed: %v", err)
+	}
+	if st.Resumed || !st.CheckpointDiscarded {
+		t.Fatalf("Resumed=%v CheckpointDiscarded=%v, want false/true", st.Resumed, st.CheckpointDiscarded)
+	}
+	if !warned {
+		t.Fatal("discarding a corrupt checkpoint did not log a warning")
+	}
+	if model == nil || st.SamplesUsed == 0 {
+		t.Fatal("fresh restart did not train")
+	}
+
+	// Same corruption under strict mode: fatal.
+	if err := os.WriteFile(path, []byte("RNECKPT1\nstill not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opt = chaosOptions(path)
+	opt.Resume = true
+	opt.StrictResume = true
+	if _, _, err := Build(g, opt); err == nil {
+		t.Fatal("StrictResume accepted a corrupt checkpoint")
+	}
+}
+
+// A version-mismatched checkpoint (same framing, different build
+// options) is likewise discarded, not fatal.
+func TestChaosResumeFromMismatchedCheckpoint(t *testing.T) {
+	g := ckptTestGraph(t)
+	path := filepath.Join(t.TempDir(), "mismatch.ckpt")
+
+	// Checkpoint taken under a different seed.
+	other := chaosOptions(path)
+	other.Seed = 999
+	tr, err := NewTrainer(g, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SaveCheckpoint(path, ckptPhaseHier, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	opt := chaosOptions(path)
+	opt.Resume = true
+	_, st, err := Build(g, opt)
+	if err != nil {
+		t.Fatalf("resume over mismatched checkpoint failed: %v", err)
+	}
+	if st.Resumed || !st.CheckpointDiscarded {
+		t.Fatalf("Resumed=%v CheckpointDiscarded=%v, want false/true", st.Resumed, st.CheckpointDiscarded)
+	}
+}
+
+// An injected graph-load failure surfaces as a load error (proving the
+// loader hook is wired), not a crash.
+func TestChaosGraphLoadFailpoint(t *testing.T) {
+	g := ckptTestGraph(t)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := graph.WriteFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	faultinject.Enable(graph.FailpointRead, faultinject.Fault{})
+	if _, err := graph.ReadFile(path); err == nil {
+		t.Fatal("injected graph read failure not surfaced")
+	}
+	if _, err := graph.ReadFile(path); err != nil {
+		t.Fatalf("graph load still failing after failpoint exhausted: %v", err)
+	}
+}

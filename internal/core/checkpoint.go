@@ -8,7 +8,18 @@ import (
 	"os"
 
 	"repro/internal/emb"
+	"repro/internal/faultinject"
 	"repro/internal/fsx"
+)
+
+// Chaos-test hooks for the checkpoint path.
+const (
+	// FailpointCheckpointSave makes SaveCheckpoint fail before touching
+	// the filesystem.
+	FailpointCheckpointSave = "core/checkpoint-save"
+	// FailpointCheckpointLoad makes RestoreCheckpoint fail before
+	// reading the file.
+	FailpointCheckpointLoad = "core/checkpoint-load"
 )
 
 // Checkpointing makes the multi-hour hierarchical builds the paper
@@ -78,32 +89,43 @@ func (t *Trainer) ckptMeta(phase, level, epoch int) ckptMeta {
 	return meta
 }
 
+// writeCheckpoint streams the full checkpoint encoding — magic, payload
+// length, meta + embedding matrix payload, CRC trailer — to w. It is
+// shared by on-disk checkpoints and the sentinel's in-memory last-good
+// snapshots, so rollback restores exercise the same codec as -resume.
+func (t *Trainer) writeCheckpoint(w io.Writer, phase, level, epoch int) error {
+	meta := t.ckptMeta(phase, level, epoch)
+	mat := t.ckptMatrix()
+	plen := int64(binary.Size(meta)) + emb.MatrixFileSize(mat.Rows(), mat.Dim())
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(ckptMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, plen); err != nil {
+		return err
+	}
+	cw := fsx.NewCRCWriter(bw)
+	if err := binary.Write(cw, binary.LittleEndian, meta); err != nil {
+		return err
+	}
+	if _, err := mat.WriteTo(cw); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
 // SaveCheckpoint atomically writes the trainer's current embedding
 // state and progress cursor to path, in the same length+CRC framed
 // format as model files (magic RNECKPT1).
 func (t *Trainer) SaveCheckpoint(path string, phase, level, epoch int) error {
-	meta := t.ckptMeta(phase, level, epoch)
-	mat := t.ckptMatrix()
-	plen := int64(binary.Size(meta)) + emb.MatrixFileSize(mat.Rows(), mat.Dim())
+	if err := faultinject.Check(FailpointCheckpointSave); err != nil {
+		return err
+	}
 	return fsx.WriteAtomic(path, func(w io.Writer) error {
-		bw := bufio.NewWriter(w)
-		if _, err := bw.WriteString(ckptMagic); err != nil {
-			return err
-		}
-		if err := binary.Write(bw, binary.LittleEndian, plen); err != nil {
-			return err
-		}
-		cw := fsx.NewCRCWriter(bw)
-		if err := binary.Write(cw, binary.LittleEndian, meta); err != nil {
-			return err
-		}
-		if _, err := mat.WriteTo(cw); err != nil {
-			return err
-		}
-		if err := binary.Write(bw, binary.LittleEndian, cw.Sum32()); err != nil {
-			return err
-		}
-		return bw.Flush()
+		return t.writeCheckpoint(w, phase, level, epoch)
 	})
 }
 
@@ -114,13 +136,22 @@ func (t *Trainer) SaveCheckpoint(path string, phase, level, epoch int) error {
 // file's length/checksum framing is validated before any state is
 // adopted.
 func (t *Trainer) RestoreCheckpoint(path string) (phase, level, epoch int, err error) {
+	if err := faultinject.Check(FailpointCheckpointLoad); err != nil {
+		return 0, 0, 0, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, 0, 0, err
 	}
 	defer f.Close()
+	return t.readCheckpoint(f)
+}
 
-	br := bufio.NewReader(f)
+// readCheckpoint decodes and adopts a checkpoint stream produced by
+// writeCheckpoint, validating framing and build-configuration match
+// before any trainer state is touched.
+func (t *Trainer) readCheckpoint(r io.Reader) (phase, level, epoch int, err error) {
+	br := bufio.NewReader(r)
 	magic := make([]byte, len(ckptMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return 0, 0, 0, fmt.Errorf("core: reading checkpoint magic: %w", err)
@@ -174,7 +205,7 @@ func (t *Trainer) RestoreCheckpoint(path string) (phase, level, epoch int, err e
 		err = fmt.Errorf("invalid sample counter %d", meta.SamplesUsed)
 	}
 	if err != nil {
-		return 0, 0, 0, fmt.Errorf("core: checkpoint %s does not match this build: %w", path, err)
+		return 0, 0, 0, fmt.Errorf("core: checkpoint does not match this build: %w", err)
 	}
 	dst := t.ckptMatrix()
 	if mat.Rows() != dst.Rows() || mat.Dim() != dst.Dim() {
@@ -188,10 +219,19 @@ func (t *Trainer) RestoreCheckpoint(path string) (phase, level, epoch int, err e
 
 // checkpointer throttles checkpoint writes to every CheckpointEvery
 // completed epochs across phases. A nil path disables it.
+//
+// Checkpoints exist only to make builds resumable, so by default a
+// failed write must not kill the hours of training it was protecting:
+// the failure is counted, logged, and the write retried at the next
+// tick (the previous on-disk checkpoint, if any, stays valid because
+// writes are atomic). strict restores fail-fast behavior.
 type checkpointer struct {
-	path  string
-	every int
-	since int
+	path   string
+	every  int
+	since  int
+	strict bool
+	logf   func(format string, args ...any)
+	stats  *BuildStats
 }
 
 // tick records that epochs more training epochs completed, leaving the
@@ -205,7 +245,13 @@ func (c *checkpointer) tick(tr *Trainer, epochs, phase, level, epoch int) error 
 		return nil
 	}
 	if err := tr.SaveCheckpoint(c.path, phase, level, epoch); err != nil {
-		return fmt.Errorf("core: writing checkpoint: %w", err)
+		if c.strict {
+			return fmt.Errorf("core: writing checkpoint: %w", err)
+		}
+		c.stats.CheckpointFailures++
+		c.logf("core: checkpoint write failed (build continues, resumability degraded): %v", err)
+		// Leave `since` accumulated so the very next tick retries.
+		return nil
 	}
 	c.since = 0
 	return nil

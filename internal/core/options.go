@@ -103,10 +103,44 @@ type Options struct {
 	// checkpoint must match the graph and options; resumed builds are
 	// statistically equivalent to uninterrupted ones but not
 	// bit-identical (the sampling RNG restarts at the resume point).
+	// A checkpoint that is corrupt or belongs to a different build is
+	// discarded with a warning and training restarts from scratch,
+	// unless StrictResume is set.
 	Resume bool
+	// StrictResume makes an unusable checkpoint (corrupt, truncated,
+	// or taken under different options) a fatal error instead of a
+	// warn-and-restart.
+	StrictResume bool
+	// StrictCheckpoints makes a failed checkpoint write abort the
+	// build. By default a failed write only costs resumability: it is
+	// counted in BuildStats.CheckpointFailures, logged, and retried at
+	// the next checkpoint tick, while training continues.
+	StrictCheckpoints bool
+
+	// MaxRecoveries bounds how many times the divergence sentinel may
+	// roll training back to the last good snapshot (halving the
+	// learning rate each time) before the build fails (default 3;
+	// negative makes any divergence immediately fatal).
+	MaxRecoveries int
+	// DivergenceFactor is the sentinel's spike threshold: a validation
+	// error worse than DivergenceFactor times the best seen so far
+	// triggers a rollback (default 4; must be > 1 when set).
+	DivergenceFactor float64
+
+	// Logf, when non-nil, receives build-progress warnings: sentinel
+	// rollbacks, tolerated checkpoint-write failures, discarded resume
+	// checkpoints. The build never logs on the happy path.
+	Logf func(format string, args ...any)
 
 	// Seed makes the build deterministic.
 	Seed int64
+}
+
+// logf forwards to Logf when set.
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
 }
 
 // DefaultOptions returns the paper-style defaults for dimension d.
@@ -133,6 +167,8 @@ func DefaultOptions(seed int64) Options {
 		ProbesPerBucket:     30,
 		PerSource:           64,
 		ValidationPairs:     2000,
+		MaxRecoveries:       3,
+		DivergenceFactor:    4,
 		Seed:                seed,
 	}
 }
@@ -203,11 +239,22 @@ func (o Options) withDefaults() (Options, error) {
 	if o.CheckpointPath != "" && o.CheckpointEvery == 0 {
 		o.CheckpointEvery = 1
 	}
+	if o.MaxRecoveries == 0 {
+		o.MaxRecoveries = def.MaxRecoveries
+	}
+	if o.MaxRecoveries < 0 {
+		o.MaxRecoveries = 0 // any divergence is fatal
+	}
+	if o.DivergenceFactor == 0 {
+		o.DivergenceFactor = def.DivergenceFactor
+	}
 	switch {
 	case o.CheckpointEvery < 0:
 		return o, fmt.Errorf("core: CheckpointEvery must be >= 0, got %d", o.CheckpointEvery)
 	case o.Resume && o.CheckpointPath == "":
 		return o, fmt.Errorf("core: Resume requires CheckpointPath")
+	case o.DivergenceFactor <= 1:
+		return o, fmt.Errorf("core: DivergenceFactor must be > 1, got %v", o.DivergenceFactor)
 	case o.Dim < 1:
 		return o, fmt.Errorf("core: Dim must be >= 1, got %d", o.Dim)
 	case o.P <= 0:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -35,7 +36,8 @@ type Trainer struct {
 	lr        float64     // dimension-normalized base rate α0
 	adam      *train.Adam // non-nil when Options.Optimizer == "adam"
 
-	samplesUsed int64
+	samplesUsed    int64
+	samplesSkipped int64 // non-finite sample distances skipped by SGD steps
 }
 
 // NewTrainer prepares a trainer: it builds the partition hierarchy (in
@@ -164,6 +166,28 @@ func (t *Trainer) Landmarks() []int32 { return t.landmarks }
 // sample-count x-axes).
 func (t *Trainer) SamplesUsed() int64 { return t.samplesUsed }
 
+// SamplesSkipped reports how many sample presentations were skipped for
+// carrying non-finite target distances — a nonzero value means a
+// sample source produced garbage labels that SGD refused to train on.
+func (t *Trainer) SamplesSkipped() int64 { return t.samplesSkipped }
+
+// LR returns the current dimension-normalized base learning rate; the
+// divergence sentinel halves it on every rollback, so a build that
+// recovered reports a lower final rate than it started with.
+func (t *Trainer) LR() float64 { return t.lr }
+
+// ScaleLR multiplies the base learning rate by f (sentinel rollbacks
+// use f = 0.5).
+func (t *Trainer) ScaleLR(f float64) { t.lr *= f }
+
+// resetAdam clears optimizer moments after a rollback: moments
+// accumulated on the diverged trajectory must not steer the retry.
+func (t *Trainer) resetAdam() {
+	if t.adam != nil {
+		t.adam.Reset()
+	}
+}
+
 // Hierarchy returns the partition hierarchy (nil in naive mode).
 func (t *Trainer) Hierarchy() *partition.Hierarchy {
 	if t.hier == nil {
@@ -204,8 +228,9 @@ func (t *Trainer) RunHierPhase() {
 // RunHierPhaseFrom runs phase ① starting at fromLevel (levels below it
 // are assumed already trained, e.g. restored from a checkpoint),
 // invoking afterLevel — when non-nil — after each completed level. An
-// afterLevel error aborts the phase; it is how Build propagates
-// checkpoint-write failures. No-op in naive mode.
+// afterLevel error aborts the phase (it is how Build propagates fatal
+// checkpoint errors), except errRetryUnit, which re-runs the level —
+// the divergence sentinel's rollback path. No-op in naive mode.
 func (t *Trainer) RunHierPhaseFrom(fromLevel int, afterLevel func(lev int) error) error {
 	if t.hier == nil {
 		return nil
@@ -215,7 +240,7 @@ func (t *Trainer) RunHierPhaseFrom(fromLevel int, afterLevel func(lev int) error
 	if fromLevel < 1 {
 		fromLevel = 1
 	}
-	for lev := fromLevel; lev <= maxLevel; lev++ {
+	for lev := fromLevel; lev <= maxLevel; {
 		nNodes := len(h.CoverAtLevel(lev))
 		n := 150 * nNodes * nNodes
 		if n > t.opt.HierSampleCap {
@@ -225,20 +250,25 @@ func (t *Trainer) RunHierPhaseFrom(fromLevel int, afterLevel func(lev int) error
 			n = 500
 		}
 		samples := sample.SubgraphLevel(h, lev, n, t.opt.PerSource, t.oracle, t.rng)
+		poisonIfInjected(FailpointHierSamplesNaN, samples)
 		rates := train.LevelRates(t.lr, lev, maxLevel)
 		for e := 0; e < t.opt.Epochs; e++ {
 			if t.adam != nil {
-				train.HierStepAdam(t.hier, t.adam, rates, samples, t.opt.P, t.scale)
+				t.samplesSkipped += int64(train.HierStepAdam(t.hier, t.adam, rates, samples, t.opt.P, t.scale))
 			} else {
-				train.HierStep(t.hier, rates, samples, t.opt.P, t.scale)
+				t.samplesSkipped += int64(train.HierStep(t.hier, rates, samples, t.opt.P, t.scale))
 			}
 			t.samplesUsed += int64(len(samples))
 		}
 		if afterLevel != nil {
-			if err := afterLevel(lev); err != nil {
+			switch err := afterLevel(lev); {
+			case errors.Is(err, errRetryUnit):
+				continue // rolled back: redo this level at the reduced rate
+			case err != nil:
 				return err
 			}
 		}
+		lev++
 	}
 	return nil
 }
@@ -246,30 +276,35 @@ func (t *Trainer) RunHierPhaseFrom(fromLevel int, afterLevel func(lev int) error
 // GenVertexSamples draws n phase-② samples using the configured
 // strategy.
 func (t *Trainer) GenVertexSamples(n int) []sample.Sample {
+	var out []sample.Sample
 	switch t.opt.VertexStrategy {
 	case VertexRandom:
-		return sample.RandomPairs(t.g, n, t.opt.PerSource, t.oracle, t.rng)
+		out = sample.RandomPairs(t.g, n, t.opt.PerSource, t.oracle, t.rng)
 	default:
-		return sample.LandmarkBased(t.g, t.landmarks, n, t.oracle, t.rng)
+		out = sample.LandmarkBased(t.g, t.landmarks, n, t.oracle, t.rng)
 	}
+	poisonIfInjected(FailpointVertexSamplesNaN, out)
+	return out
 }
 
 // VertexStep applies one SGD pass over samples touching only the
 // vertex-level embeddings (phases ② and ③). In naive mode it trains
 // the flat matrix.
 func (t *Trainer) VertexStep(samples []sample.Sample, lr float64) {
+	var skipped int
 	if t.hier != nil {
 		rates := train.VertexOnlyRates(lr, t.hier.H.MaxDepth())
 		if t.adam != nil {
-			train.HierStepAdam(t.hier, t.adam, rates, samples, t.opt.P, t.scale)
+			skipped = train.HierStepAdam(t.hier, t.adam, rates, samples, t.opt.P, t.scale)
 		} else {
-			train.HierStep(t.hier, rates, samples, t.opt.P, t.scale)
+			skipped = train.HierStep(t.hier, rates, samples, t.opt.P, t.scale)
 		}
 	} else if t.adam != nil {
-		train.FlatStepAdam(t.flat, t.adam, samples, lr, t.opt.P, t.scale)
+		skipped = train.FlatStepAdam(t.flat, t.adam, samples, lr, t.opt.P, t.scale)
 	} else {
-		train.FlatStep(t.flat, samples, lr, t.opt.P, t.scale)
+		skipped = train.FlatStep(t.flat, samples, lr, t.opt.P, t.scale)
 	}
+	t.samplesSkipped += int64(skipped)
 	t.samplesUsed += int64(len(samples))
 }
 
@@ -277,16 +312,18 @@ func (t *Trainer) VertexStep(samples []sample.Sample, lr float64) {
 // level at the base rate. Naive mode uses it as its whole training; it
 // also backs ablations that bypass the level schedule.
 func (t *Trainer) FlatStepAllLevels(samples []sample.Sample, lr float64) {
+	var skipped int
 	if t.hier != nil {
 		maxLevel := t.hier.H.MaxDepth()
 		rates := make([]float64, maxLevel+1)
 		for l := 1; l <= maxLevel; l++ {
 			rates[l] = lr
 		}
-		train.HierStep(t.hier, rates, samples, t.opt.P, t.scale)
+		skipped = train.HierStep(t.hier, rates, samples, t.opt.P, t.scale)
 	} else {
-		train.FlatStep(t.flat, samples, lr, t.opt.P, t.scale)
+		skipped = train.FlatStep(t.flat, samples, lr, t.opt.P, t.scale)
 	}
+	t.samplesSkipped += int64(skipped)
 	t.samplesUsed += int64(len(samples))
 }
 
@@ -301,7 +338,9 @@ func (t *Trainer) RunVertexPhase() {
 // checkpoint), invoking afterEpoch — when non-nil — after each
 // completed epoch. The per-epoch learning-rate decay keys off the
 // absolute epoch number, so a resumed run continues the schedule
-// rather than restarting it.
+// rather than restarting it. An afterEpoch error aborts the phase,
+// except errRetryUnit, which re-runs the epoch after a sentinel
+// rollback.
 func (t *Trainer) RunVertexPhaseFrom(fromEpoch int, afterEpoch func(epoch int) error) error {
 	if fromEpoch >= t.opt.Epochs {
 		return nil
@@ -311,14 +350,18 @@ func (t *Trainer) RunVertexPhaseFrom(fromEpoch int, afterEpoch func(epoch int) e
 		n = 1000
 	}
 	samples := t.GenVertexSamples(n)
-	for e := fromEpoch; e < t.opt.Epochs; e++ {
+	for e := fromEpoch; e < t.opt.Epochs; {
 		lr := t.lr / (1 + 0.5*float64(e))
 		t.VertexStep(samples, lr)
 		if afterEpoch != nil {
-			if err := afterEpoch(e); err != nil {
+			switch err := afterEpoch(e); {
+			case errors.Is(err, errRetryUnit):
+				continue // rolled back: redo this epoch at the reduced rate
+			case err != nil:
 				return err
 			}
 		}
+		e++
 	}
 	return nil
 }
@@ -342,6 +385,7 @@ func (t *Trainer) RunFineTuneRound(round int) {
 	if len(samples) == 0 {
 		return
 	}
+	poisonIfInjected(FailpointFineTuneSamplesNaN, samples)
 	lr := t.lr / (2 + float64(round))
 	t.VertexStep(samples, lr)
 }

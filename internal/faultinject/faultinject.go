@@ -1,0 +1,156 @@
+// Package faultinject is a small deterministic failpoint registry for
+// chaos testing. Production code threads named hooks through its I/O
+// and training paths (file writes, graph loading, checkpoint save/load,
+// sample generation); tests arm individual failpoints by name to make
+// exactly the Nth hit of a site fail with a chosen error — or, for
+// numeric sites, to poison a value with NaN — and assert the system
+// recovers.
+//
+// When nothing is armed every hook reduces to a single atomic load, so
+// the registry is safe to leave compiled into hot paths: Check and
+// Fires cost ~1ns disarmed and allocate nothing.
+//
+// Typical test usage:
+//
+//	defer faultinject.Reset()
+//	faultinject.Enable("fsx/write-atomic", faultinject.Fault{After: 1})
+//	// ... the second WriteAtomic call now fails with ErrInjected.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the default error returned by firing Check sites when
+// the armed Fault carries no explicit error.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// Fault configures when and how an armed failpoint fires.
+type Fault struct {
+	// Err is the error Check returns when the failpoint fires; nil
+	// selects ErrInjected. Boolean sites (Fires) ignore it.
+	Err error
+	// After is the number of hits to let through before firing: 0
+	// fires on the first hit, 1 on the second, and so on.
+	After int
+	// Count bounds how many hits fire once triggering starts. 0 means
+	// exactly one; negative means every subsequent hit fires.
+	Count int
+}
+
+type point struct {
+	fault Fault
+	hits  int // total hits observed while armed
+	fired int // hits that fired
+}
+
+var (
+	// armed counts enabled failpoints; the disarmed fast path in Check
+	// and Fires is a single load of this counter.
+	armed  atomic.Int32
+	mu     sync.Mutex
+	points map[string]*point
+)
+
+// Enable arms the named failpoint, replacing any existing arming (hit
+// counters restart at zero).
+func Enable(name string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]*point)
+	}
+	if _, ok := points[name]; !ok {
+		armed.Add(1)
+	}
+	points[name] = &point{fault: f}
+}
+
+// Disable disarms the named failpoint. Disabling an unarmed name is a
+// no-op.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every failpoint. Tests should defer it after arming
+// anything.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int32(len(points)))
+	points = nil
+}
+
+// Active reports whether any failpoint is armed.
+func Active() bool { return armed.Load() > 0 }
+
+// hit records a hit on name and reports whether it fires.
+func hit(name string) (Fault, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	p, ok := points[name]
+	if !ok {
+		return Fault{}, false
+	}
+	p.hits++
+	if p.hits <= p.fault.After {
+		return Fault{}, false
+	}
+	limit := p.fault.Count
+	if limit == 0 {
+		limit = 1
+	}
+	if limit > 0 && p.fired >= limit {
+		return Fault{}, false
+	}
+	p.fired++
+	return p.fault, true
+}
+
+// Check is the error-injection hook: it returns nil unless the named
+// failpoint is armed and due, in which case it returns the configured
+// error (ErrInjected by default).
+func Check(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	f, fire := hit(name)
+	if !fire {
+		return nil
+	}
+	if f.Err != nil {
+		return fmt.Errorf("%s: %w", name, f.Err)
+	}
+	return fmt.Errorf("%s: %w", name, ErrInjected)
+}
+
+// Fires is the boolean hook for value-poisoning sites (e.g. "inject a
+// NaN batch here"): it reports whether the named failpoint is armed and
+// due on this hit.
+func Fires(name string) bool {
+	if armed.Load() == 0 {
+		return false
+	}
+	_, fire := hit(name)
+	return fire
+}
+
+// Hits returns how many times the named failpoint has been hit since it
+// was armed (0 when unarmed) — a test aid for asserting a hook is
+// actually wired through.
+func Hits(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.hits
+	}
+	return 0
+}

@@ -1,0 +1,131 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedHooksAreNoOps(t *testing.T) {
+	Reset()
+	if Active() {
+		t.Fatal("registry active with nothing armed")
+	}
+	if err := Check("anything"); err != nil {
+		t.Fatalf("disarmed Check returned %v", err)
+	}
+	if Fires("anything") {
+		t.Fatal("disarmed Fires fired")
+	}
+	if Hits("anything") != 0 {
+		t.Fatal("disarmed Hits nonzero")
+	}
+}
+
+func TestFireOnNthHit(t *testing.T) {
+	defer Reset()
+	Enable("p", Fault{After: 2}) // skip 2 hits, fire once on the 3rd
+	for i := 0; i < 2; i++ {
+		if err := Check("p"); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	if err := Check("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("3rd hit: got %v, want ErrInjected", err)
+	}
+	if err := Check("p"); err != nil {
+		t.Fatalf("after Count exhausted, got %v", err)
+	}
+	if got := Hits("p"); got != 4 {
+		t.Fatalf("Hits = %d, want 4", got)
+	}
+}
+
+func TestCountControlsRepeatFiring(t *testing.T) {
+	defer Reset()
+	Enable("forever", Fault{Count: -1})
+	for i := 0; i < 5; i++ {
+		if !Fires("forever") {
+			t.Fatalf("hit %d did not fire with Count=-1", i)
+		}
+	}
+	Enable("twice", Fault{Count: 2})
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if Fires("twice") {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2", fired)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("disk on fire")
+	Enable("p", Fault{Err: sentinel})
+	if err := Check("p"); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want wrapped custom error", err)
+	}
+}
+
+func TestDisableAndReset(t *testing.T) {
+	Enable("a", Fault{})
+	Enable("b", Fault{})
+	if !Active() {
+		t.Fatal("not active after Enable")
+	}
+	Disable("a")
+	Disable("a") // double-disable is a no-op
+	if !Active() {
+		t.Fatal("disabling one point deactivated the registry")
+	}
+	Reset()
+	if Active() {
+		t.Fatal("active after Reset")
+	}
+	if Fires("b") {
+		t.Fatal("b fired after Reset")
+	}
+}
+
+func TestReEnableRestartsCounters(t *testing.T) {
+	defer Reset()
+	Enable("p", Fault{})
+	if !Fires("p") {
+		t.Fatal("first arming did not fire")
+	}
+	Enable("p", Fault{}) // re-arm: counters restart
+	if !Fires("p") {
+		t.Fatal("re-armed point did not fire again")
+	}
+	if Active() && Hits("p") != 1 {
+		t.Fatalf("Hits after re-arm = %d, want 1", Hits("p"))
+	}
+}
+
+func TestConcurrentHitsRace(t *testing.T) {
+	defer Reset()
+	Enable("p", Fault{Count: 10})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if Fires("p") {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 10 {
+		t.Fatalf("fired %d times across goroutines, want exactly 10", fired)
+	}
+}

@@ -1,0 +1,47 @@
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// An injected write failure surfaces as an error, wraps ErrInjected,
+// and leaves any previous file contents untouched (atomicity holds even
+// for injected faults).
+func TestWriteAtomicFailpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	defer faultinject.Reset()
+	faultinject.Enable(FailpointWriteAtomic, faultinject.Fault{})
+	err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("overwrite"))
+		return err
+	})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("injected failure returned %v, want ErrInjected", err)
+	}
+	got, readErr := os.ReadFile(path)
+	if readErr != nil || string(got) != "precious" {
+		t.Fatalf("previous contents damaged by failed write: %q, %v", got, readErr)
+	}
+
+	// Failpoint exhausted: the next write goes through.
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("overwrite"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "overwrite" {
+		t.Fatalf("content after recovered write: %q", got)
+	}
+}

@@ -13,7 +13,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"repro/internal/faultinject"
 )
+
+// FailpointWriteAtomic is the chaos-test hook armed to make WriteAtomic
+// calls fail (simulating a full disk or lost mount) without touching
+// the filesystem.
+const FailpointWriteAtomic = "fsx/write-atomic"
 
 // WriteAtomic writes a file by streaming through write into a
 // temporary file in the destination directory, fsyncing it, and
@@ -21,6 +28,9 @@ import (
 // content is visible at path; a crash mid-save leaves at most a stray
 // *.tmp-* file, never a truncated target.
 func WriteAtomic(path string, write func(w io.Writer) error) (err error) {
+	if err := faultinject.Check(FailpointWriteAtomic); err != nil {
+		return fmt.Errorf("fsx: writing %s: %w", path, err)
+	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {

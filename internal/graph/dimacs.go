@@ -7,7 +7,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/faultinject"
 )
+
+// FailpointReadDIMACS is the chaos-test hook armed to make DIMACS
+// loading fail.
+const FailpointReadDIMACS = "graph/read-dimacs"
 
 // DIMACS support: the 9th DIMACS Implementation Challenge format that
 // the paper's FLA and US-W datasets ship in. A network is a pair of
@@ -18,6 +24,9 @@ import (
 
 // ReadDIMACS parses a DIMACS .gr/.co reader pair into a Graph.
 func ReadDIMACS(gr, co io.Reader) (*Graph, error) {
+	if err := faultinject.Check(FailpointReadDIMACS); err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
 	// Coordinates first: they declare the vertex count.
 	coSc := bufio.NewScanner(co)
 	coSc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -41,7 +50,7 @@ func ReadDIMACS(gr, co io.Reader) (*Graph, error) {
 			if err != nil || n <= 0 {
 				return nil, fmt.Errorf("graph: co line %d: bad vertex count", line)
 			}
-			b = NewBuilder(n, n*2)
+			b = NewBuilder(capHint(n), capHint(n)*2)
 		case "v":
 			if b == nil {
 				return nil, fmt.Errorf("graph: co line %d: vertex before problem line", line)
@@ -52,7 +61,7 @@ func ReadDIMACS(gr, co io.Reader) (*Graph, error) {
 			id, err0 := strconv.Atoi(fields[1])
 			x, err1 := strconv.ParseFloat(fields[2], 64)
 			y, err2 := strconv.ParseFloat(fields[3], 64)
-			if err0 != nil || err1 != nil || err2 != nil {
+			if err0 != nil || err1 != nil || err2 != nil || !finite(x) || !finite(y) {
 				return nil, fmt.Errorf("graph: co line %d: malformed vertex", line)
 			}
 			if got := b.AddVertex(x, y); int(got) != id-1 {

@@ -4,10 +4,17 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/faultinject"
 )
+
+// FailpointRead is the chaos-test hook armed to make graph loading fail
+// (simulating an unreadable or vanished dataset).
+const FailpointRead = "graph/read"
 
 // The text format mirrors the DIMACS shortest-path challenge style the
 // paper's datasets ship in, extended with coordinates:
@@ -37,6 +44,9 @@ func Write(w io.Writer, g *Graph) error {
 
 // Read parses a graph from the text edge-list format.
 func Read(r io.Reader) (*Graph, error) {
+	if err := faultinject.Check(FailpointRead); err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var b *Builder
@@ -58,7 +68,7 @@ func Read(r io.Reader) (*Graph, error) {
 			if err1 != nil || err2 != nil || n < 0 || m < 0 {
 				return nil, fmt.Errorf("graph: line %d: malformed problem line %q", line, text)
 			}
-			b = NewBuilder(n, m)
+			b = NewBuilder(capHint(n), capHint(m))
 		case "v":
 			if b == nil {
 				return nil, fmt.Errorf("graph: line %d: vertex before problem line", line)
@@ -69,7 +79,7 @@ func Read(r io.Reader) (*Graph, error) {
 			id, err0 := strconv.Atoi(fields[1])
 			x, err1 := strconv.ParseFloat(fields[2], 64)
 			y, err2 := strconv.ParseFloat(fields[3], 64)
-			if err0 != nil || err1 != nil || err2 != nil {
+			if err0 != nil || err1 != nil || err2 != nil || !finite(x) || !finite(y) {
 				return nil, fmt.Errorf("graph: line %d: malformed vertex line %q", line, text)
 			}
 			if got := b.AddVertex(x, y); int(got) != id {
@@ -102,6 +112,27 @@ func Read(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: empty input")
 	}
 	return b.Build(), nil
+}
+
+// finite reports whether v is a usable coordinate: NaN or infinite
+// coordinates would silently poison every geometry-derived structure
+// (grid buckets, spatial baselines), so loaders reject them at parse
+// time.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// capHint bounds a file-declared size before it becomes an allocation
+// hint. Counts in headers are untrusted input: a malformed (or
+// malicious) file declaring a billion vertices must not pre-allocate
+// gigabytes before the loader has seen a single record. Slices still
+// grow to any actual size; only the up-front reservation is capped.
+func capHint(n int) int {
+	const maxHint = 1 << 20
+	if n > maxHint {
+		return maxHint
+	}
+	return n
 }
 
 // WriteFile writes g to the named file in the text edge-list format.

@@ -24,10 +24,16 @@ type Estimator struct {
 }
 
 // New combines a trained model with a landmark index over the same
-// graph.
+// graph. The two must agree on the vertex count — mixing a model and an
+// index from different graphs would silently produce wrong "certified"
+// bounds, so the mismatch is rejected here.
 func New(m *core.Model, lt *alt.Index) (*Estimator, error) {
 	if m == nil || lt == nil {
 		return nil, fmt.Errorf("hybrid: need both a model and a landmark index")
+	}
+	if m.NumVertices() != lt.NumVertices() {
+		return nil, fmt.Errorf("hybrid: model covers %d vertices but landmark index covers %d (built from different graphs?)",
+			m.NumVertices(), lt.NumVertices())
 	}
 	return &Estimator{m: m, lt: lt}, nil
 }
@@ -65,7 +71,48 @@ func (e *Estimator) EstimateWithBounds(s, t int32) (est, lo, hi float64) {
 	return est, lo, hi
 }
 
+// GuardResult is one guarded estimate: the clamped value, the certified
+// interval it was clamped into, and whether clamping actually occurred
+// (i.e. the raw model estimate violated a bound).
+type GuardResult struct {
+	Est         float64
+	Lo, Hi      float64
+	ClampedLow  bool // raw estimate was below the certified lower bound
+	ClampedHigh bool // raw estimate was above the certified upper bound
+}
+
+// Guard evaluates one pair under the guardrail: the raw RNE estimate is
+// clamped into the landmark interval and the clamp directions reported,
+// so servers can both bound degradation and count how often the model
+// needed correcting.
+func (e *Estimator) Guard(s, t int32) GuardResult {
+	if s == t {
+		return GuardResult{}
+	}
+	lo, hi := e.lt.Bounds(s, t)
+	r := GuardResult{Est: e.m.Estimate(s, t), Lo: lo, Hi: hi}
+	if r.Est < lo {
+		r.Est, r.ClampedLow = lo, true
+	}
+	if r.Est > hi {
+		r.Est, r.ClampedHigh = hi, true
+	}
+	return r
+}
+
+// Bounds exposes the landmark interval for (s, t) without evaluating
+// the model.
+func (e *Estimator) Bounds(s, t int32) (lo, hi float64) {
+	if s == t {
+		return 0, 0
+	}
+	return e.lt.Bounds(s, t)
+}
+
 // IndexBytes reports the combined index footprint.
 func (e *Estimator) IndexBytes() int64 {
 	return e.m.IndexBytes() + e.lt.IndexBytes()
 }
+
+// NumVertices returns the vertex count both components cover.
+func (e *Estimator) NumVertices() int { return e.m.NumVertices() }

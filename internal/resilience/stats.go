@@ -3,6 +3,7 @@ package resilience
 import (
 	"encoding/json"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -22,6 +23,11 @@ type Stats struct {
 
 	latencySumNS atomic.Int64
 	latencyMaxNS atomic.Int64
+
+	// extra holds named feature counters (e.g. the server guard mode's
+	// clamp counts) registered at runtime via Counter.
+	extraMu sync.Mutex
+	extra   map[string]*atomic.Int64
 }
 
 // NewStats returns a zeroed Stats anchored at the current time.
@@ -46,6 +52,23 @@ func (s *Stats) observe(status int, elapsed time.Duration) {
 	}
 }
 
+// Counter returns the named extra counter, creating it on first use.
+// The returned pointer is stable: callers on hot paths should fetch it
+// once at setup and Add on the pointer, paying only the atomic.
+func (s *Stats) Counter(name string) *atomic.Int64 {
+	s.extraMu.Lock()
+	defer s.extraMu.Unlock()
+	if s.extra == nil {
+		s.extra = make(map[string]*atomic.Int64)
+	}
+	c, ok := s.extra[name]
+	if !ok {
+		c = new(atomic.Int64)
+		s.extra[name] = c
+	}
+	return c
+}
+
 // Snapshot is the JSON shape served on /statz.
 type Snapshot struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
@@ -56,6 +79,7 @@ type Snapshot struct {
 	Panics        int64            `json:"panics"`
 	LatencyMeanMS float64          `json:"latency_mean_ms"`
 	LatencyMaxMS  float64          `json:"latency_max_ms"`
+	Extra         map[string]int64 `json:"extra,omitempty"`
 }
 
 // Snapshot returns a consistent-enough point-in-time view of the
@@ -80,6 +104,14 @@ func (s *Stats) Snapshot() Snapshot {
 			snap.ByClass[name] = v
 		}
 	}
+	s.extraMu.Lock()
+	if len(s.extra) > 0 {
+		snap.Extra = make(map[string]int64, len(s.extra))
+		for name, c := range s.extra {
+			snap.Extra[name] = c.Load()
+		}
+	}
+	s.extraMu.Unlock()
 	return snap
 }
 

@@ -1,0 +1,41 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStatsExtraCounters(t *testing.T) {
+	s := NewStats()
+	if snap := s.Snapshot(); snap.Extra != nil {
+		t.Fatalf("fresh stats report extra counters: %v", snap.Extra)
+	}
+	c := s.Counter("guard_clamped_low")
+	if again := s.Counter("guard_clamped_low"); again != c {
+		t.Fatal("Counter returned a different pointer for the same name")
+	}
+	c.Add(3)
+	s.Counter("guard_checked").Add(7)
+	snap := s.Snapshot()
+	if snap.Extra["guard_clamped_low"] != 3 || snap.Extra["guard_checked"] != 7 {
+		t.Fatalf("extra counters = %v", snap.Extra)
+	}
+}
+
+func TestStatsExtraCountersConcurrent(t *testing.T) {
+	s := NewStats()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Counter("hits").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Snapshot().Extra["hits"]; got != 8000 {
+		t.Fatalf("hits = %d, want 8000", got)
+	}
+}

@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/hybrid"
 	"repro/internal/index"
 	"repro/internal/resilience"
 )
@@ -32,6 +34,12 @@ type Config struct {
 	MaxBatchBytes int64
 	// Logf receives panic reports and access logs (nil disables).
 	Logf func(format string, args ...any)
+	// Guard enables ALT-backed guardrails: every /distance and /batch
+	// estimate is clamped into the certified landmark interval
+	// [lo, hi] containing the true distance, responses report whether
+	// clamping occurred, and clamp counters are exported on /statz.
+	// nil serves raw model estimates (the default).
+	Guard *hybrid.Estimator
 }
 
 const defaultMaxBatchBytes = 8 << 20
@@ -43,6 +51,12 @@ type Server struct {
 	idx   *index.Tree // nil disables /knn and /range
 	cfg   Config
 	stats *resilience.Stats
+
+	// Guard-mode counters, cached as pointers at construction so the
+	// query path pays one atomic Add, not a map lookup under a mutex.
+	guardChecked     *atomic.Int64
+	guardClampedLow  *atomic.Int64
+	guardClampedHigh *atomic.Int64
 }
 
 // New returns a server for the model with default hardening; idx may
@@ -61,7 +75,17 @@ func NewWithConfig(model *core.Model, idx *index.Tree, cfg Config) (*Server, err
 	if cfg.MaxBatchBytes == 0 {
 		cfg.MaxBatchBytes = defaultMaxBatchBytes
 	}
-	return &Server{model: model, idx: idx, cfg: cfg, stats: resilience.NewStats()}, nil
+	if cfg.Guard != nil && cfg.Guard.NumVertices() != model.NumVertices() {
+		return nil, fmt.Errorf("server: guard estimator covers %d vertices but model covers %d",
+			cfg.Guard.NumVertices(), model.NumVertices())
+	}
+	s := &Server{model: model, idx: idx, cfg: cfg, stats: resilience.NewStats()}
+	if cfg.Guard != nil {
+		s.guardChecked = s.stats.Counter("guard_checked")
+		s.guardClampedLow = s.stats.Counter("guard_clamped_low")
+		s.guardClampedHigh = s.stats.Counter("guard_clamped_high")
+	}
+	return s, nil
 }
 
 // Stats exposes the request counters backing /statz.
@@ -127,6 +151,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"vertices": s.model.NumVertices(),
 		"dim":      s.model.Dim(),
 		"spatial":  s.idx != nil,
+		"guard":    s.cfg.Guard != nil,
 	})
 }
 
@@ -160,9 +185,31 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if s.cfg.Guard != nil {
+		g := s.guardedEstimate(src, dst)
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"s": src, "t": dst, "distance": g.Est,
+			"lo": g.Lo, "hi": g.Hi, "clamped": g.ClampedLow || g.ClampedHigh,
+		})
+		return
+	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"s": src, "t": dst, "distance": s.model.Estimate(src, dst),
 	})
+}
+
+// guardedEstimate evaluates one pair under the ALT guardrail and
+// maintains the /statz clamp counters.
+func (s *Server) guardedEstimate(src, dst int32) hybrid.GuardResult {
+	g := s.cfg.Guard.Guard(src, dst)
+	s.guardChecked.Add(1)
+	if g.ClampedLow {
+		s.guardClampedLow.Add(1)
+	}
+	if g.ClampedHigh {
+		s.guardClampedHigh.Add(1)
+	}
+	return g
 }
 
 // batchRequest is the /batch payload.
@@ -204,6 +251,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		ss[i], ts[i] = p[0], p[1]
+	}
+	if s.cfg.Guard != nil {
+		out := make([]float64, len(ss))
+		lo := make([]float64, len(ss))
+		hi := make([]float64, len(ss))
+		clamped := 0
+		for i := range ss {
+			g := s.guardedEstimate(ss[i], ts[i])
+			out[i], lo[i], hi[i] = g.Est, g.Lo, g.Hi
+			if g.ClampedLow || g.ClampedHigh {
+				clamped++
+			}
+		}
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"distances": out, "lo": lo, "hi": hi, "clamped_count": clamped,
+		})
+		return
 	}
 	out := make([]float64, len(ss))
 	if err := s.model.EstimateBatch(ss, ts, out, 0); err != nil {

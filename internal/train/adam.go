@@ -28,6 +28,18 @@ func NewAdam(rows, dim int) *Adam {
 	}
 }
 
+// Reset zeroes the moment estimates and step counter. The divergence
+// sentinel calls it after rolling an embedding back to a snapshot:
+// moments accumulated from the diverged trajectory (possibly non-finite
+// themselves) must not steer the retried epochs.
+func (a *Adam) Reset() {
+	for i := range a.m {
+		a.m[i] = 0
+		a.v[i] = 0
+	}
+	a.t = 0
+}
+
 // update applies one Adam step to row (starting at parameter offset
 // off) given the row gradient scaled by gscale.
 func (a *Adam) update(row []float64, off int, grad []float64, gscale, lr float64) {
@@ -42,11 +54,16 @@ func (a *Adam) update(row []float64, off int, grad []float64, gscale, lr float64
 	}
 }
 
-// FlatStepAdam is FlatStep with Adam updates.
-func FlatStepAdam(m *emb.Matrix, adam *Adam, samples []sample.Sample, lr, p, scale float64) {
+// FlatStepAdam is FlatStep with Adam updates. It returns the number of
+// samples skipped for carrying non-finite distances.
+func FlatStepAdam(m *emb.Matrix, adam *Adam, samples []sample.Sample, lr, p, scale float64) (skipped int) {
 	d := m.Dim()
 	grad := make([]float64, d)
 	for _, smp := range samples {
+		if !usable(smp) {
+			skipped++
+			continue
+		}
 		rs := m.Row(smp.S)
 		rt := m.Row(smp.T)
 		phiHat := vecmath.Lp(rs, rt, p)
@@ -59,17 +76,23 @@ func FlatStepAdam(m *emb.Matrix, adam *Adam, samples []sample.Sample, lr, p, sca
 		adam.update(rs, int(smp.S)*d, grad, 2*err, lr)
 		adam.update(rt, int(smp.T)*d, grad, -2*err, lr)
 	}
+	return skipped
 }
 
 // HierStepAdam is HierStep with Adam updates; lrByLevel scales the base
-// rate per level exactly as in HierStep.
-func HierStepAdam(hh *emb.Hier, adam *Adam, lrByLevel []float64, samples []sample.Sample, p, scale float64) {
+// rate per level exactly as in HierStep. It returns the number of
+// samples skipped for carrying non-finite distances.
+func HierStepAdam(hh *emb.Hier, adam *Adam, lrByLevel []float64, samples []sample.Sample, p, scale float64) (skipped int) {
 	d := hh.Local.Dim()
 	vs := make([]float64, d)
 	vt := make([]float64, d)
 	grad := make([]float64, d)
 	h := hh.H
 	for _, smp := range samples {
+		if !usable(smp) {
+			skipped++
+			continue
+		}
 		ancS := h.Ancestors(smp.S)
 		ancT := h.Ancestors(smp.T)
 		hh.GlobalInto(vs, smp.S)
@@ -96,4 +119,5 @@ func HierStepAdam(hh *emb.Hier, adam *Adam, lrByLevel []float64, samples []sampl
 			}
 		}
 	}
+	return skipped
 }

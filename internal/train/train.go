@@ -13,6 +13,8 @@
 package train
 
 import (
+	"math"
+
 	"repro/internal/emb"
 	"repro/internal/sample"
 	"repro/internal/vecmath"
@@ -34,14 +36,29 @@ func clampErr(err float64) float64 {
 	return err
 }
 
+// usable reports whether a sample carries a finite target distance. A
+// single NaN or Inf label would poison both endpoint rows (NaN
+// residuals pass the clamp untouched) and from there spread through
+// every later update, so non-finite samples are skipped and counted
+// rather than trained on; callers surface the count through build
+// statistics.
+func usable(smp sample.Sample) bool {
+	return !math.IsNaN(smp.Dist) && !math.IsInf(smp.Dist, 0)
+}
+
 // FlatStep performs one SGD pass of Function Training over samples on
 // the flat vertex matrix m: for each (v_s, v_t, φ) it descends the
 // squared error of the L_p estimate with learning rate lr. scale
-// divides the target distances.
-func FlatStep(m *emb.Matrix, samples []sample.Sample, lr, p, scale float64) {
+// divides the target distances. It returns the number of samples
+// skipped for carrying non-finite distances.
+func FlatStep(m *emb.Matrix, samples []sample.Sample, lr, p, scale float64) (skipped int) {
 	d := m.Dim()
 	grad := make([]float64, d)
 	for _, smp := range samples {
+		if !usable(smp) {
+			skipped++
+			continue
+		}
 		rs := m.Row(smp.S)
 		rt := m.Row(smp.T)
 		phiHat := vecmath.Lp(rs, rt, p)
@@ -55,6 +72,7 @@ func FlatStep(m *emb.Matrix, samples []sample.Sample, lr, p, scale float64) {
 		vecmath.AddScaled(rs, grad, -step)
 		vecmath.AddScaled(rt, grad, step)
 	}
+	return skipped
 }
 
 // HierStep performs one SGD pass of Function TrainingHier over samples
@@ -65,13 +83,20 @@ func FlatStep(m *emb.Matrix, samples []sample.Sample, lr, p, scale float64) {
 // Ancestors shared by both endpoints receive exactly cancelling
 // gradients in the paper's formulation, so they are skipped here — the
 // resulting parameters are identical, with less work.
-func HierStep(hh *emb.Hier, lrByLevel []float64, samples []sample.Sample, p, scale float64) {
+//
+// It returns the number of samples skipped for carrying non-finite
+// distances.
+func HierStep(hh *emb.Hier, lrByLevel []float64, samples []sample.Sample, p, scale float64) (skipped int) {
 	d := hh.Local.Dim()
 	vs := make([]float64, d)
 	vt := make([]float64, d)
 	grad := make([]float64, d)
 	h := hh.H
 	for _, smp := range samples {
+		if !usable(smp) {
+			skipped++
+			continue
+		}
 		ancS := h.Ancestors(smp.S)
 		ancT := h.Ancestors(smp.T)
 		hh.GlobalInto(vs, smp.S)
@@ -100,6 +125,7 @@ func HierStep(hh *emb.Hier, lrByLevel []float64, samples []sample.Sample, p, sca
 			}
 		}
 	}
+	return skipped
 }
 
 // nodeRate resolves the learning rate of a tree node. The hierarchy

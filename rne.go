@@ -177,3 +177,25 @@ func NewBoundedEstimator(g *Graph, m *Model, landmarks int, seed int64) (*Bounde
 	}
 	return hybrid.New(m, lt)
 }
+
+// ALTIndex is a landmark distance-label index: O(|U|) certified lower
+// and upper bounds on any shortest-path distance.
+type ALTIndex = alt.Index
+
+// BuildALTIndex selects landmarks by farthest selection over g and
+// precomputes their distance labels. Persist it with its SaveFile
+// method and reload it with LoadALTIndex.
+func BuildALTIndex(g *Graph, landmarks int, seed int64) (*ALTIndex, error) {
+	return alt.Build(g, landmarks, seed)
+}
+
+// LoadALTIndex reads an index saved with ALTIndex.SaveFile. The loaded
+// index answers bound and estimate queries without the graph (exact
+// ALT A* search needs an in-process build).
+func LoadALTIndex(path string) (*ALTIndex, error) { return alt.LoadFile(path) }
+
+// NewBoundedEstimatorFromIndex combines a model with a prebuilt (e.g.
+// loaded) landmark index over the same graph.
+func NewBoundedEstimatorFromIndex(m *Model, lt *ALTIndex) (*BoundedEstimator, error) {
+	return hybrid.New(m, lt)
+}
