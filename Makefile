@@ -1,9 +1,9 @@
 # Pre-merge gate: `make ci` must pass before any change lands.
 GO ?= go
 
-.PHONY: ci build vet test race shuffle fuzz-smoke vulncheck bench
+.PHONY: ci build vet test race shuffle fuzz-smoke vulncheck bench bench-smoke
 
-ci: vet race shuffle fuzz-smoke vulncheck ## full pre-merge gate
+ci: vet race shuffle fuzz-smoke vulncheck bench-smoke ## full pre-merge gate
 
 build:
 	$(GO) build ./...
@@ -38,3 +38,8 @@ vulncheck:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Telemetry smoke benchmark: quick traced build + timed queries through
+# the telemetry histograms; emits BENCH_telemetry.json with p50/p95/p99.
+bench-smoke:
+	$(GO) run ./cmd/rnebench -exp telemetry-smoke -quick

@@ -46,6 +46,10 @@ var experiments = map[string]func(io.Writer, bench.Config) error{
 	"ablation-hybrid":    bench.AblationHybrid,
 	"ablation-optimizer": bench.AblationOptimizer,
 	"ablation-topology":  bench.AblationTopology,
+
+	// Operational: exercises the telemetry histograms end to end and
+	// emits BENCH_telemetry.json with latency/error percentiles.
+	"telemetry-smoke": bench.TelemetrySmoke,
 }
 
 func main() {

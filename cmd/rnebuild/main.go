@@ -21,16 +21,64 @@
 // An unusable -resume checkpoint is discarded with a warning unless
 // -strict-resume is set. -alt-out additionally saves an ALT landmark
 // index for rneserver's guard mode.
+//
+// Every build is traced: phase durations, the per-unit loss/learning-
+// rate/recovery series and checkpoint accounting are written as JSON
+// to -report (build-report.json by default), progress is logged in
+// structured form (-log-level, -log-format), and -metrics-addr serves
+// the live rne_build_* gauges in Prometheus text on /metrics while the
+// build runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
 	"os"
+	"time"
 
 	rne "repro"
+	"repro/internal/fsx"
+	"repro/internal/telemetry"
 )
+
+// report is the machine-readable record of one rnebuild run: the build
+// inputs, the BuildStats quantities of Tables III/IV, and the full
+// telemetry trace (phase spans, per-unit loss/LR/recovery series,
+// checkpoint accounting).
+type report struct {
+	Graph    string `json:"graph"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Dim      int    `json:"dim"`
+	Seed     int64  `json:"seed"`
+
+	TotalMS       float64 `json:"total_ms"`
+	SetupMS       float64 `json:"setup_ms"`
+	HierPhaseMS   float64 `json:"hier_phase_ms"`
+	VertexPhaseMS float64 `json:"vertex_phase_ms"`
+	FineTuneMS    float64 `json:"finetune_ms"`
+
+	SamplesUsed    int64 `json:"samples_used"`
+	SamplesSkipped int64 `json:"samples_skipped"`
+
+	Resumed             bool     `json:"resumed"`
+	CheckpointDiscarded bool     `json:"checkpoint_discarded"`
+	CheckpointFailures  int      `json:"checkpoint_failures"`
+	Recoveries          int      `json:"recoveries"`
+	Rollbacks           []string `json:"rollbacks,omitempty"`
+	FinalLR             float64  `json:"final_lr"`
+
+	ValidationMeanRel float64 `json:"validation_mean_rel"`
+	ValidationP50Rel  float64 `json:"validation_p50_rel"`
+	ValidationP99Rel  float64 `json:"validation_p99_rel"`
+	ValidationMaxRel  float64 `json:"validation_max_rel"`
+
+	Trace telemetry.BuildReport `json:"trace"`
+}
 
 func main() {
 	graphPath := flag.String("graph", "", "input graph in edge-list format")
@@ -50,42 +98,65 @@ func main() {
 	maxRecoveries := flag.Int("max-recoveries", 3, "divergence-sentinel rollbacks before the build fails")
 	altOut := flag.String("alt-out", "", "also build and save an ALT landmark index here (for rneserver -alt-index)")
 	altLandmarks := flag.Int("alt-landmarks", 16, "landmark count for -alt-out")
+	reportPath := flag.String("report", "build-report.json", "write the machine-readable build report here (empty disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live build metrics on this address at /metrics while training (empty disables)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	flag.Parse()
 
-	fail := func(err error) {
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rnebuild:", err)
+		os.Exit(2)
+	}
+	logger := telemetry.NewLogger(os.Stderr, level, *logFormat)
+	fail := func(err error) {
+		logger.Error("build failed", "error", err)
 		os.Exit(1)
 	}
-	if *resume && *checkpoint == "" {
-		fmt.Fprintln(os.Stderr, "rnebuild: -resume requires -checkpoint")
+	usage := func(msg string) {
+		fmt.Fprintln(os.Stderr, "rnebuild: "+msg)
 		os.Exit(2)
+	}
+	if *resume && *checkpoint == "" {
+		usage("-resume requires -checkpoint")
 	}
 	if *strictResume && !*resume {
-		fmt.Fprintln(os.Stderr, "rnebuild: -strict-resume requires -resume")
-		os.Exit(2)
+		usage("-strict-resume requires -resume")
 	}
 	if *altOut != "" && *altLandmarks < 1 {
-		fmt.Fprintf(os.Stderr, "rnebuild: -alt-landmarks must be >= 1, got %d\n", *altLandmarks)
-		os.Exit(2)
+		usage(fmt.Sprintf("-alt-landmarks must be >= 1, got %d", *altLandmarks))
 	}
 	if *targetFrac < 0 || math.IsNaN(*targetFrac) {
-		fmt.Fprintf(os.Stderr, "rnebuild: -target-frac must be non-negative, got %v\n", *targetFrac)
-		os.Exit(2)
+		usage(fmt.Sprintf("-target-frac must be non-negative, got %v", *targetFrac))
 	}
 
 	var g *rne.Graph
-	var err error
+	source := *graphPath
 	switch {
 	case *graphPath != "":
 		g, err = rne.LoadGraph(*graphPath)
 	case *preset != "":
 		g, err = rne.Preset(*preset)
+		source = "preset:" + *preset
 	default:
 		err = fmt.Errorf("need -graph or -preset")
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rnebuild:", err)
-		os.Exit(2)
+		usage(err.Error())
+	}
+
+	reg := telemetry.NewRegistry()
+	trace := telemetry.NewTracer(logger, reg)
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		go func() {
+			logger.Info("serving build metrics", "addr", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				logger.Warn("metrics listener failed", "addr", *metricsAddr, "error", err)
+			}
+		}()
 	}
 
 	opt := rne.DefaultOptions(*seed)
@@ -103,41 +174,84 @@ func main() {
 	opt.Resume = *resume
 	opt.StrictResume = *strictResume
 	opt.MaxRecoveries = *maxRecoveries
-	opt.Logf = func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "rnebuild: "+format+"\n", args...)
-	}
+	opt.Logger = logger
+	opt.Trace = trace
 
-	fmt.Fprintf(os.Stderr, "rnebuild: training d=%d over %d vertices...\n", opt.Dim, g.NumVertices())
+	logger.Info("training", "dim", opt.Dim, "vertices", g.NumVertices(), "edges", g.NumEdges(), "seed", *seed)
 	model, stats, err := rne.Build(g, opt)
 	if err != nil {
 		fail(err)
 	}
 	if stats.Resumed {
-		fmt.Fprintf(os.Stderr, "rnebuild: resumed from checkpoint %s\n", *checkpoint)
+		logger.Info("resumed from checkpoint", "path", *checkpoint)
 	}
-	fmt.Fprintf(os.Stderr, "rnebuild: built in %v (%d samples), validation %s\n",
-		stats.Total.Round(1e6), stats.SamplesUsed, stats.Validation)
+	logger.Info("build done",
+		"total", stats.Total.Round(time.Millisecond), "samples", stats.SamplesUsed,
+		"validation", stats.Validation.String())
 	if stats.SamplesSkipped > 0 {
-		fmt.Fprintf(os.Stderr, "rnebuild: skipped %d samples with non-finite distances\n", stats.SamplesSkipped)
+		logger.Warn("skipped samples with non-finite distances", "count", stats.SamplesSkipped)
 	}
 	if stats.Recoveries > 0 {
-		fmt.Fprintf(os.Stderr, "rnebuild: sentinel recovered %d time(s), final lr %.4g:\n", stats.Recoveries, stats.FinalLR)
+		logger.Warn("sentinel recovered", "count", stats.Recoveries, "final_lr", stats.FinalLR)
 		for _, rb := range stats.Rollbacks {
-			fmt.Fprintf(os.Stderr, "rnebuild:   rollback at %s\n", rb)
+			logger.Warn("rollback", "at", rb)
 		}
 	}
 	if stats.CheckpointFailures > 0 {
-		fmt.Fprintf(os.Stderr, "rnebuild: tolerated %d failed checkpoint write(s)\n", stats.CheckpointFailures)
+		logger.Warn("tolerated failed checkpoint writes", "count", stats.CheckpointFailures)
 	}
+
+	if *reportPath != "" {
+		rep := report{
+			Graph:    source,
+			Vertices: g.NumVertices(),
+			Edges:    g.NumEdges(),
+			Dim:      opt.Dim,
+			Seed:     *seed,
+
+			TotalMS:       float64(stats.Total.Nanoseconds()) / 1e6,
+			SetupMS:       float64(stats.Setup.Nanoseconds()) / 1e6,
+			HierPhaseMS:   float64(stats.HierPhase.Nanoseconds()) / 1e6,
+			VertexPhaseMS: float64(stats.VertexPhase.Nanoseconds()) / 1e6,
+			FineTuneMS:    float64(stats.FineTune.Nanoseconds()) / 1e6,
+
+			SamplesUsed:    stats.SamplesUsed,
+			SamplesSkipped: stats.SamplesSkipped,
+
+			Resumed:             stats.Resumed,
+			CheckpointDiscarded: stats.CheckpointDiscarded,
+			CheckpointFailures:  stats.CheckpointFailures,
+			Recoveries:          stats.Recoveries,
+			Rollbacks:           stats.Rollbacks,
+			FinalLR:             stats.FinalLR,
+
+			ValidationMeanRel: stats.Validation.MeanRel,
+			ValidationP50Rel:  stats.Validation.P50Rel,
+			ValidationP99Rel:  stats.Validation.P99Rel,
+			ValidationMaxRel:  stats.Validation.MaxRel,
+
+			Trace: trace.Report(),
+		}
+		err := fsx.WriteAtomic(*reportPath, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		})
+		if err != nil {
+			fail(err)
+		}
+		logger.Info("wrote build report", "path", *reportPath)
+	}
+
 	if err := model.SaveFile(*out); err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "rnebuild: saved %s (%d bytes)\n", *out, model.IndexBytes())
+	logger.Info("saved model", "path", *out, "bytes", model.IndexBytes())
 	if *checkpoint != "" {
 		if err := os.Remove(*checkpoint); err == nil {
-			fmt.Fprintf(os.Stderr, "rnebuild: removed checkpoint %s\n", *checkpoint)
+			logger.Info("removed checkpoint", "path", *checkpoint)
 		} else if !os.IsNotExist(err) {
-			fmt.Fprintf(os.Stderr, "rnebuild: warning: could not remove checkpoint: %v\n", err)
+			logger.Warn("could not remove checkpoint", "path", *checkpoint, "error", err)
 		}
 	}
 
@@ -153,7 +267,7 @@ func main() {
 		if err := idx.SaveFile(*indexOut); err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "rnebuild: saved spatial index %s over %d targets\n", *indexOut, idx.Size())
+		logger.Info("saved spatial index", "path", *indexOut, "targets", idx.Size())
 	}
 
 	if *altOut != "" {
@@ -164,7 +278,7 @@ func main() {
 		if err := lt.SaveFile(*altOut); err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "rnebuild: saved ALT index %s (%d landmarks, %d bytes)\n",
-			*altOut, lt.NumLandmarks(), lt.IndexBytes())
+		logger.Info("saved ALT index", "path", *altOut,
+			"landmarks", lt.NumLandmarks(), "bytes", lt.IndexBytes())
 	}
 }

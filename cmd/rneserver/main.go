@@ -11,18 +11,23 @@
 // and /batch estimate is clamped into the certified landmark interval
 // [lo, hi] containing the true distance, responses report the interval
 // and whether clamping occurred, and clamp counters appear on /statz.
+// Guard mode also feeds the online accuracy-drift monitor on /metrics.
 //
 // The server runs hardened for production traffic: handler panics are
 // converted to 500s, requests past -max-inflight are shed with 429 +
-// Retry-After, every request carries a -request-timeout deadline,
-// request/latency counters are served on /statz, and SIGINT/SIGTERM
-// triggers a graceful shutdown that drains in-flight requests.
+// Retry-After, every request carries a -request-timeout deadline and an
+// X-Request-Id, request/latency counters are served on /statz (JSON)
+// and /metrics (Prometheus text), and SIGINT/SIGTERM triggers a
+// graceful shutdown that drains in-flight requests. -debug-addr serves
+// net/http/pprof profiles (plus a /metrics mirror) on a separate,
+// operator-only listener.
 //
 // Usage:
 //
 //	rneserver -preset bj-mini -addr :8080
 //	rneserver -model bj.rne -addr :8080
 //	curl 'localhost:8080/distance?s=17&t=4242'
+//	curl 'localhost:8080/metrics'
 package main
 
 import (
@@ -30,15 +35,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	rne "repro"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -54,9 +62,23 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 256, "in-flight request cap before shedding with 429 (negative disables)")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (negative disables)")
 	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "drain budget for graceful shutdown")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and a /metrics mirror on this operator-only address (empty disables)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	flag.Parse()
+
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rneserver:", err)
+		os.Exit(2)
+	}
+	logger := telemetry.NewLogger(os.Stderr, level, *logFormat)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 	if *targetFrac < 0 || math.IsNaN(*targetFrac) {
-		log.Fatalf("rneserver: -target-frac must be non-negative, got %v", *targetFrac)
+		fatal("-target-frac must be non-negative", "got", *targetFrac)
 	}
 
 	var model *rne.Model
@@ -67,17 +89,17 @@ func main() {
 		var err error
 		model, err = rne.LoadModel(*modelPath)
 		if err != nil {
-			log.Fatal("rneserver: ", err)
+			fatal("loading model", "error", err)
 		}
-		log.Printf("loaded model: %d vertices, d=%d", model.NumVertices(), model.Dim())
+		logger.Info("loaded model", "vertices", model.NumVertices(), "dim", model.Dim())
 		if *indexPath != "" {
 			idx, err = rne.LoadSpatialIndex(*indexPath, model)
 			if err != nil {
-				log.Fatal("rneserver: ", err)
+				fatal("loading spatial index", "error", err)
 			}
-			log.Printf("loaded spatial index over %d targets", idx.Size())
+			logger.Info("loaded spatial index", "targets", idx.Size())
 		} else {
-			log.Printf("no spatial index: serving degraded (/knn and /range disabled)")
+			logger.Warn("no spatial index: serving degraded (/knn and /range disabled)")
 		}
 	case *graphPath != "" || *preset != "":
 		var g *rne.Graph
@@ -88,36 +110,39 @@ func main() {
 			g, err = rne.Preset(*preset)
 		}
 		if err != nil {
-			log.Fatal("rneserver: ", err)
+			fatal("loading graph", "error", err)
 		}
-		log.Printf("training over %d vertices...", g.NumVertices())
+		logger.Info("training", "vertices", g.NumVertices())
 		start := time.Now()
 		var stats rne.BuildStats
-		model, stats, err = rne.Build(g, rne.DefaultOptions(*seed))
+		opt := rne.DefaultOptions(*seed)
+		opt.Logger = logger
+		model, stats, err = rne.Build(g, opt)
 		if err != nil {
-			log.Fatal("rneserver: ", err)
+			fatal("training", "error", err)
 		}
-		log.Printf("trained in %v, validation %s", time.Since(start).Round(time.Millisecond), stats.Validation)
+		logger.Info("trained", "duration", time.Since(start).Round(time.Millisecond),
+			"validation", stats.Validation.String())
 
 		targets, err := rne.SampleTargets(g, *targetFrac, *seed)
 		if err != nil {
-			log.Fatal("rneserver: ", err)
+			fatal("sampling targets", "error", err)
 		}
 		idx, err = rne.NewSpatialIndex(model, targets)
 		if err != nil {
-			log.Fatal("rneserver: ", err)
+			fatal("building spatial index", "error", err)
 		}
-		log.Printf("spatial index over %d targets", idx.Size())
+		logger.Info("spatial index ready", "targets", idx.Size())
 
 		if *altIndexPath == "" && *altLandmarks > 0 {
 			altIdx, err = rne.BuildALTIndex(g, *altLandmarks, *seed+2)
 			if err != nil {
-				log.Fatal("rneserver: ", err)
+				fatal("building ALT guard index", "error", err)
 			}
-			log.Printf("built ALT guard index with %d landmarks", altIdx.NumLandmarks())
+			logger.Info("built ALT guard index", "landmarks", altIdx.NumLandmarks())
 		}
 	default:
-		log.Fatal("rneserver: need -model, -graph or -preset")
+		fatal("need -model, -graph or -preset")
 	}
 
 	var guard *rne.BoundedEstimator
@@ -125,29 +150,34 @@ func main() {
 		var err error
 		altIdx, err = rne.LoadALTIndex(*altIndexPath)
 		if err != nil {
-			log.Fatal("rneserver: ", err)
+			fatal("loading ALT index", "error", err)
 		}
-		log.Printf("loaded ALT index: %d landmarks over %d vertices",
-			altIdx.NumLandmarks(), altIdx.NumVertices())
+		logger.Info("loaded ALT index",
+			"landmarks", altIdx.NumLandmarks(), "vertices", altIdx.NumVertices())
 	}
 	if altIdx != nil {
 		var err error
 		guard, err = rne.NewBoundedEstimatorFromIndex(model, altIdx)
 		if err != nil {
-			log.Fatal("rneserver: ", err)
+			fatal("enabling guard mode", "error", err)
 		}
-		log.Printf("guard mode on: /distance and /batch clamped into certified landmark bounds")
+		logger.Info("guard mode on: estimates clamped into certified landmark bounds, drift monitor active")
 	}
 
 	srv, err := server.NewWithConfig(model, idx, server.Config{
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *reqTimeout,
-		Logf:           log.Printf,
+		Logger:         logger,
 		Guard:          guard,
 	})
 	if err != nil {
-		log.Fatal("rneserver: ", err)
+		fatal("configuring server", "error", err)
 	}
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, srv, logger)
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -163,25 +193,42 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("rneserver listening on %s\n", *addr)
+		logger.Info("listening", "addr", *addr)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errCh:
-		log.Fatal("rneserver: ", err)
+		fatal("serving", "error", err)
 	case <-ctx.Done():
 		stop()
-		log.Printf("signal received; draining in-flight requests (up to %v)...", *shutdownGrace)
+		logger.Info("signal received; draining in-flight requests", "grace", *shutdownGrace)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("shutdown incomplete: %v; closing remaining connections", err)
+			logger.Warn("shutdown incomplete; closing remaining connections", "error", err)
 			httpSrv.Close()
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal("rneserver: ", err)
+			fatal("serving", "error", err)
 		}
-		log.Printf("shutdown complete")
+		logger.Info("shutdown complete")
+	}
+}
+
+// serveDebug runs the operator-only listener: net/http/pprof profiles
+// and a mirror of /metrics, kept off the public mux so profiling
+// endpoints are never exposed to query traffic.
+func serveDebug(addr string, srv *server.Server, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", srv.Stats().Registry().Handler())
+	logger.Info("debug listener up", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Warn("debug listener failed", "addr", addr, "error", err)
 	}
 }

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestTelemetrySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	var buf bytes.Buffer
+	if err := TelemetrySmoke(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "latency") {
+		t.Fatalf("no latency summary in output:\n%s", buf.String())
+	}
+
+	raw, err := os.ReadFile("BENCH_telemetry.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep telemetryReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 || rep.BuildSecs <= 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	if rep.LatencyP50US <= 0 || rep.LatencyP99US < rep.LatencyP50US {
+		t.Fatalf("implausible latency percentiles: %+v", rep)
+	}
+	if rep.RelErrP99 < rep.RelErrP50 {
+		t.Fatalf("error percentiles not monotone: %+v", rep)
+	}
+}

@@ -76,6 +76,7 @@ func Build(g *graph.Graph, opt Options) (*Model, BuildStats, error) {
 	start := time.Now()
 
 	t0 := time.Now()
+	sp := opt.Trace.StartSpan("setup")
 	tr, err := NewTrainer(g, opt)
 	if err != nil {
 		return nil, st, err
@@ -95,8 +96,8 @@ func Build(g *graph.Graph, opt Options) (*Model, BuildStats, error) {
 				// An unusable checkpoint costs a restart, not the build:
 				// warn, restart from scratch, and let the first healthy
 				// checkpoint write replace the bad file.
-				opt.logf("core: discarding unusable checkpoint %s (training restarts from scratch): %v",
-					opt.CheckpointPath, err)
+				opt.logger().Warn("discarding unusable checkpoint; training restarts from scratch",
+					"path", opt.CheckpointPath, "error", err)
 				st.CheckpointDiscarded = true
 				phase, level, epoch = ckptPhaseNone, 0, 0
 			}
@@ -110,26 +111,38 @@ func Build(g *graph.Graph, opt Options) (*Model, BuildStats, error) {
 		path:   opt.CheckpointPath,
 		every:  opt.CheckpointEvery,
 		strict: opt.StrictCheckpoints,
-		logf:   opt.logf,
+		logger: opt.Logger,
+		trace:  opt.Trace,
 		stats:  &st,
 	}
 	// guard runs after each completed unit of work: sentinel audit
 	// first (nil, errRetryUnit, or terminal), checkpoint tick only on a
-	// healthy verdict — checkpoints never capture a diverged state.
+	// healthy verdict — checkpoints never capture a diverged state. On
+	// a healthy verdict the unit is traced with the validation loss and
+	// learning rate it finished at; unitStart resets either way, so a
+	// retried unit is timed from its rollback, not its first attempt.
+	unitStart := time.Now()
 	guard := func(label string, epochs, phase, level, epoch int) error {
-		if err := sen.check(label, phase, level, epoch); err != nil {
+		dur := time.Since(unitStart)
+		unitStart = time.Now()
+		loss, err := sen.check(label, phase, level, epoch)
+		if err != nil {
 			return err
 		}
+		opt.Trace.Unit(phaseName(phase), label, loss, tr.LR(), st.Recoveries, dur)
 		return ck.tick(tr, epochs, phase, level, epoch)
 	}
 	st.Setup = time.Since(t0)
+	sp.End()
 
 	t0 = time.Now()
+	sp = opt.Trace.StartSpan("hier-phase")
 	if phase <= ckptPhaseHier {
 		fromLevel := 1
 		if phase == ckptPhaseHier {
 			fromLevel = level + 1
 		}
+		unitStart = time.Now()
 		err := tr.RunHierPhaseFrom(fromLevel, func(lev int) error {
 			return guard(fmt.Sprintf("hierarchy level %d", lev), opt.Epochs, ckptPhaseHier, lev, 0)
 		})
@@ -138,13 +151,16 @@ func Build(g *graph.Graph, opt Options) (*Model, BuildStats, error) {
 		}
 	}
 	st.HierPhase = time.Since(t0)
+	sp.End()
 
 	t0 = time.Now()
+	sp = opt.Trace.StartSpan("vertex-phase")
 	if phase <= ckptPhaseVertex {
 		fromEpoch := 0
 		if phase == ckptPhaseVertex {
 			fromEpoch = epoch
 		}
+		unitStart = time.Now()
 		err := tr.RunVertexPhaseFrom(fromEpoch, func(e int) error {
 			return guard(fmt.Sprintf("vertex epoch %d", e), 1, ckptPhaseVertex, 0, e+1)
 		})
@@ -153,13 +169,16 @@ func Build(g *graph.Graph, opt Options) (*Model, BuildStats, error) {
 		}
 	}
 	st.VertexPhase = time.Since(t0)
+	sp.End()
 
 	if opt.ActiveFineTune {
 		t0 = time.Now()
+		sp = opt.Trace.StartSpan("finetune-phase")
 		fromRound := 0
 		if phase == ckptPhaseFineTune {
 			fromRound = epoch
 		}
+		unitStart = time.Now()
 		for k := fromRound; k < opt.FineTuneRounds; {
 			tr.RunFineTuneRound(k)
 			switch err := guard(fmt.Sprintf("fine-tune round %d", k), 1, ckptPhaseFineTune, 0, k+1); {
@@ -171,12 +190,30 @@ func Build(g *graph.Graph, opt Options) (*Model, BuildStats, error) {
 			k++
 		}
 		st.FineTune = time.Since(t0)
+		sp.End()
 	}
 
-	st.Total = time.Since(start)
+	sp = opt.Trace.StartSpan("finalize")
 	st.SamplesUsed = tr.SamplesUsed()
 	st.SamplesSkipped = tr.SamplesSkipped()
 	st.FinalLR = tr.LR()
 	st.Validation = tr.Validate()
-	return tr.Finalize(), st, nil
+	m := tr.Finalize()
+	sp.End()
+	st.Total = time.Since(start)
+	return m, st, nil
+}
+
+// phaseName maps a checkpoint phase cursor to the build-report label.
+func phaseName(phase int) string {
+	switch phase {
+	case ckptPhaseHier:
+		return "hier"
+	case ckptPhaseVertex:
+		return "vertex"
+	case ckptPhaseFineTune:
+		return "finetune"
+	default:
+		return "setup"
+	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -152,10 +154,10 @@ func TestChaosResumeFromCorruptCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var warned bool
+	var logBuf bytes.Buffer
 	opt := chaosOptions(path)
 	opt.Resume = true
-	opt.Logf = func(format string, args ...any) { warned = true }
+	opt.Logger = slog.New(slog.NewTextHandler(&logBuf, nil))
 	model, st, err := Build(g, opt)
 	if err != nil {
 		t.Fatalf("default resume over corrupt checkpoint failed: %v", err)
@@ -163,8 +165,8 @@ func TestChaosResumeFromCorruptCheckpoint(t *testing.T) {
 	if st.Resumed || !st.CheckpointDiscarded {
 		t.Fatalf("Resumed=%v CheckpointDiscarded=%v, want false/true", st.Resumed, st.CheckpointDiscarded)
 	}
-	if !warned {
-		t.Fatal("discarding a corrupt checkpoint did not log a warning")
+	if !strings.Contains(logBuf.String(), "discarding unusable checkpoint") {
+		t.Fatalf("discarding a corrupt checkpoint did not log a warning; log:\n%s", logBuf.String())
 	}
 	if model == nil || st.SamplesUsed == 0 {
 		t.Fatal("fresh restart did not train")

@@ -5,11 +5,14 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
+	"time"
 
 	"repro/internal/emb"
 	"repro/internal/faultinject"
 	"repro/internal/fsx"
+	"repro/internal/telemetry"
 )
 
 // Chaos-test hooks for the checkpoint path.
@@ -230,7 +233,8 @@ type checkpointer struct {
 	every  int
 	since  int
 	strict bool
-	logf   func(format string, args ...any)
+	logger *slog.Logger
+	trace  *telemetry.Tracer
 	stats  *BuildStats
 }
 
@@ -244,12 +248,16 @@ func (c *checkpointer) tick(tr *Trainer, epochs, phase, level, epoch int) error 
 	if c.since < c.every {
 		return nil
 	}
-	if err := tr.SaveCheckpoint(c.path, phase, level, epoch); err != nil {
+	t0 := time.Now()
+	err := tr.SaveCheckpoint(c.path, phase, level, epoch)
+	c.trace.CheckpointWrite(time.Since(t0), err == nil)
+	if err != nil {
 		if c.strict {
 			return fmt.Errorf("core: writing checkpoint: %w", err)
 		}
 		c.stats.CheckpointFailures++
-		c.logf("core: checkpoint write failed (build continues, resumability degraded): %v", err)
+		telemetry.OrNop(c.logger).Warn("checkpoint write failed; build continues, resumability degraded",
+			"path", c.path, "error", err)
 		// Leave `since` accumulated so the very next tick retries.
 		return nil
 	}

@@ -6,8 +6,10 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 
 	"repro/internal/sample"
+	"repro/internal/telemetry"
 )
 
 // VertexStrategy selects how phase ② training pairs are drawn.
@@ -127,21 +129,24 @@ type Options struct {
 	// triggers a rollback (default 4; must be > 1 when set).
 	DivergenceFactor float64
 
-	// Logf, when non-nil, receives build-progress warnings: sentinel
-	// rollbacks, tolerated checkpoint-write failures, discarded resume
-	// checkpoints. The build never logs on the happy path.
-	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured build-progress
+	// warnings: sentinel rollbacks, tolerated checkpoint-write
+	// failures, discarded resume checkpoints. The build itself never
+	// logs on the happy path (the Trace does, at phase granularity).
+	Logger *slog.Logger
+
+	// Trace, when non-nil, records build telemetry: a span per build
+	// phase, the per-unit loss/learning-rate/recovery series, and
+	// checkpoint-write accounting — the data behind rnebuild's
+	// build-report.json and the rne_build_* metrics.
+	Trace *telemetry.Tracer
 
 	// Seed makes the build deterministic.
 	Seed int64
 }
 
-// logf forwards to Logf when set.
-func (o Options) logf(format string, args ...any) {
-	if o.Logf != nil {
-		o.Logf(format, args...)
-	}
-}
+// logger returns the configured logger, or a discarding one.
+func (o Options) logger() *slog.Logger { return telemetry.OrNop(o.Logger) }
 
 // DefaultOptions returns the paper-style defaults for dimension d.
 func DefaultOptions(seed int64) Options {

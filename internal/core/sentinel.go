@@ -82,33 +82,34 @@ func (s *sentinel) capture(phase, level, epoch int) error {
 
 // check audits the trainer after the unit of work described by label
 // completed, leaving training at the given checkpoint cursor. It
-// returns nil when the state is healthy (and snapshots it),
-// errRetryUnit when the unit must be re-run after a rollback, or a
-// terminal error once the recovery budget is spent.
-func (s *sentinel) check(label string, phase, level, epoch int) error {
+// returns the held-out validation error and nil when the state is
+// healthy (and snapshots it), errRetryUnit when the unit must be
+// re-run after a rollback, or a terminal error once the recovery
+// budget is spent.
+func (s *sentinel) check(label string, phase, level, epoch int) (float64, error) {
 	if faultinject.Fires(FailpointEmbeddingCorrupt) {
 		s.tr.ckptMatrix().Data()[0] = math.NaN()
 	}
 	for i, v := range s.tr.ckptMatrix().Data() {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return s.rollback(label, fmt.Sprintf("non-finite embedding value at parameter %d", i))
+			return 0, s.rollback(label, fmt.Sprintf("non-finite embedding value at parameter %d", i))
 		}
 	}
 	val := s.tr.Validate().MeanRel
 	if math.IsNaN(val) || math.IsInf(val, 0) {
-		return s.rollback(label, fmt.Sprintf("non-finite validation error %v", val))
+		return 0, s.rollback(label, fmt.Sprintf("non-finite validation error %v", val))
 	}
 	// Divergence spike: markedly worse than the best state seen. The
 	// epsilon keeps near-zero validation errors on trivial graphs from
 	// flagging numeric noise.
 	if val > s.opt.DivergenceFactor*s.best+1e-9 {
-		return s.rollback(label, fmt.Sprintf(
+		return 0, s.rollback(label, fmt.Sprintf(
 			"validation error %.4g spiked past %g x best %.4g", val, s.opt.DivergenceFactor, s.best))
 	}
 	if val < s.best {
 		s.best = val
 	}
-	return s.capture(phase, level, epoch)
+	return val, s.capture(phase, level, epoch)
 }
 
 // rollback restores the last good snapshot, halves the learning rate
@@ -127,7 +128,9 @@ func (s *sentinel) rollback(label, reason string) error {
 	s.tr.resetAdam()
 	s.st.Recoveries++
 	s.st.Rollbacks = append(s.st.Rollbacks, label+": "+reason)
-	s.opt.logf("core: sentinel: %s at %s; rolled back to last good state, lr halved to %.4g (recovery %d/%d)",
-		reason, label, s.tr.LR(), s.st.Recoveries, s.opt.MaxRecoveries)
+	s.opt.Trace.Recovery(label, reason)
+	s.opt.logger().Warn("sentinel rollback: restored last good state, lr halved",
+		"unit", label, "reason", reason, "lr", s.tr.LR(),
+		"recovery", s.st.Recoveries, "max_recoveries", s.opt.MaxRecoveries)
 	return errRetryUnit
 }

@@ -31,7 +31,7 @@ func newTestSentinel(t *testing.T) (*Trainer, *sentinel, *BuildStats) {
 // A healthy state passes the check and becomes the new rollback target.
 func TestSentinelHealthyStateSnapshots(t *testing.T) {
 	_, sen, st := newTestSentinel(t)
-	if err := sen.check("vertex epoch 0", ckptPhaseVertex, 0, 1); err != nil {
+	if _, err := sen.check("vertex epoch 0", ckptPhaseVertex, 0, 1); err != nil {
 		t.Fatalf("healthy check failed: %v", err)
 	}
 	if st.Recoveries != 0 {
@@ -49,7 +49,7 @@ func TestSentinelRollsBackEmbeddingNaN(t *testing.T) {
 	lr0 := tr.LR()
 	tr.ckptMatrix().Data()[3] = math.NaN()
 
-	err := sen.check("hierarchy level 1", ckptPhaseHier, 1, 0)
+	_, err := sen.check("hierarchy level 1", ckptPhaseHier, 1, 0)
 	if !errors.Is(err, errRetryUnit) {
 		t.Fatalf("check over NaN embedding returned %v, want errRetryUnit", err)
 	}
@@ -72,12 +72,12 @@ func TestSentinelRollsBackEmbeddingNaN(t *testing.T) {
 // A finite but spiking validation error triggers the divergence branch.
 func TestSentinelRollsBackValidationSpike(t *testing.T) {
 	_, sen, st := newTestSentinel(t)
-	if err := sen.check("vertex epoch 0", ckptPhaseVertex, 0, 1); err != nil {
+	if _, err := sen.check("vertex epoch 0", ckptPhaseVertex, 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	// Pretend the best seen was vastly better than the current state.
 	sen.best = sen.tr.Validate().MeanRel / (2 * sen.opt.DivergenceFactor)
-	err := sen.check("vertex epoch 1", ckptPhaseVertex, 0, 2)
+	_, err := sen.check("vertex epoch 1", ckptPhaseVertex, 0, 2)
 	if !errors.Is(err, errRetryUnit) {
 		t.Fatalf("spiking validation returned %v, want errRetryUnit", err)
 	}
@@ -93,12 +93,12 @@ func TestSentinelBudgetExhaustion(t *testing.T) {
 	sen.opt.MaxRecoveries = 2
 	for i := 0; i < 2; i++ {
 		tr.ckptMatrix().Data()[0] = math.Inf(1)
-		if err := sen.check("vertex epoch 0", ckptPhaseVertex, 0, 1); !errors.Is(err, errRetryUnit) {
+		if _, err := sen.check("vertex epoch 0", ckptPhaseVertex, 0, 1); !errors.Is(err, errRetryUnit) {
 			t.Fatalf("recovery %d: got %v, want errRetryUnit", i+1, err)
 		}
 	}
 	tr.ckptMatrix().Data()[0] = math.Inf(1)
-	err := sen.check("vertex epoch 0", ckptPhaseVertex, 0, 1)
+	_, err := sen.check("vertex epoch 0", ckptPhaseVertex, 0, 1)
 	if err == nil || errors.Is(err, errRetryUnit) {
 		t.Fatalf("third failure returned %v, want terminal error", err)
 	}
@@ -116,7 +116,7 @@ func TestSentinelNegativeBudgetIsFatal(t *testing.T) {
 	tr, sen, _ := newTestSentinel(t)
 	sen.opt.MaxRecoveries = 0
 	tr.ckptMatrix().Data()[0] = math.NaN()
-	err := sen.check("hierarchy level 1", ckptPhaseHier, 1, 0)
+	_, err := sen.check("hierarchy level 1", ckptPhaseHier, 1, 0)
 	if err == nil || errors.Is(err, errRetryUnit) {
 		t.Fatalf("zero-budget divergence returned %v, want terminal error", err)
 	}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// A traced build records every phase span and a per-unit series with
+// finite losses and learning rates — the raw material of
+// build-report.json.
+func TestBuildRecordsTrace(t *testing.T) {
+	g := testGraph(t, 10)
+	opt := fastOptions(7)
+	opt.Dim = 16
+	opt.Epochs = 3
+	opt.FineTuneRounds = 2
+	reg := telemetry.NewRegistry()
+	opt.Trace = telemetry.NewTracer(nil, reg)
+
+	if _, _, err := Build(g, opt); err != nil {
+		t.Fatal(err)
+	}
+	rep := opt.Trace.Report()
+
+	phases := map[string]bool{}
+	for _, p := range rep.Phases {
+		if p.DurationMS < 0 {
+			t.Fatalf("negative phase duration: %+v", p)
+		}
+		phases[p.Name] = true
+	}
+	for _, want := range []string{
+		"setup", "partition", "landmarks", "grid", "validation-set",
+		"hier-phase", "vertex-phase", "finetune-phase", "finalize",
+	} {
+		if !phases[want] {
+			t.Fatalf("phase %q missing from trace: %+v", want, rep.Phases)
+		}
+	}
+
+	if len(rep.Units) == 0 {
+		t.Fatal("no unit records traced")
+	}
+	seenPhase := map[string]bool{}
+	for _, u := range rep.Units {
+		if u.Phase != "hier" && u.Phase != "vertex" && u.Phase != "finetune" {
+			t.Fatalf("unexpected unit phase %q: %+v", u.Phase, u)
+		}
+		seenPhase[u.Phase] = true
+		if math.IsNaN(u.Loss) || math.IsInf(u.Loss, 0) || u.Loss < 0 {
+			t.Fatalf("bad unit loss: %+v", u)
+		}
+		if u.LR <= 0 || u.DurationMS < 0 {
+			t.Fatalf("bad unit LR/duration: %+v", u)
+		}
+	}
+	for _, want := range []string{"hier", "vertex", "finetune"} {
+		if !seenPhase[want] {
+			t.Fatalf("no units traced for phase %q: %+v", want, rep.Units)
+		}
+	}
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if err := telemetry.CheckExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("build metrics not valid exposition: %v", err)
+	}
+	for _, want := range []string{
+		`rne_build_phase_seconds{phase="vertex-phase"}`,
+		`rne_build_units_total{phase="finetune"}`,
+		"rne_build_lr",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("build metrics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -74,9 +74,11 @@ func NewTrainer(g *graph.Graph, opt Options) (*Trainer, error) {
 	}
 
 	if opt.Hierarchical {
+		sp := opt.Trace.StartSpan("partition")
 		h, err := partition.BuildHierarchy(g, partition.HierConfig{
 			Fanout: opt.Fanout, Leaf: opt.Leaf, Seed: opt.Seed,
 		})
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -110,20 +112,26 @@ func NewTrainer(g *graph.Graph, opt Options) (*Trainer, error) {
 	case "degree":
 		selectLandmarks = landmark.ByDegree
 	}
+	sp := opt.Trace.StartSpan("landmarks")
 	t.landmarks, err = selectLandmarks(g, nLandmarks, opt.Seed+1)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = opt.Trace.StartSpan("grid")
 	t.gb, err = sample.NewGridBuckets(g, opt.GridK)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
+	sp = opt.Trace.StartSpan("validation-set")
 	valSamples := sample.RandomPairs(g, opt.ValidationPairs, opt.PerSource, t.oracle, t.rng)
 	t.val = make([]metrics.Pair, len(valSamples))
 	for i, s := range valSamples {
 		t.val[i] = metrics.Pair{S: s.S, T: s.T, Dist: s.Dist}
 	}
+	sp.End()
 	return t, nil
 }
 

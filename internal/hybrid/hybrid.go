@@ -71,11 +71,15 @@ func (e *Estimator) EstimateWithBounds(s, t int32) (est, lo, hi float64) {
 	return est, lo, hi
 }
 
-// GuardResult is one guarded estimate: the clamped value, the certified
-// interval it was clamped into, and whether clamping actually occurred
-// (i.e. the raw model estimate violated a bound).
+// GuardResult is one guarded estimate: the clamped value, the raw
+// model estimate before clamping, the certified interval it was
+// clamped into, and whether clamping actually occurred (i.e. the raw
+// estimate violated a bound). Raw is what accuracy monitors want: the
+// clamp delta |Raw - Est| and the deviation of Raw from the interval
+// midpoint are label-free error signals available on every query.
 type GuardResult struct {
 	Est         float64
+	Raw         float64
 	Lo, Hi      float64
 	ClampedLow  bool // raw estimate was below the certified lower bound
 	ClampedHigh bool // raw estimate was above the certified upper bound
@@ -90,7 +94,8 @@ func (e *Estimator) Guard(s, t int32) GuardResult {
 		return GuardResult{}
 	}
 	lo, hi := e.lt.Bounds(s, t)
-	r := GuardResult{Est: e.m.Estimate(s, t), Lo: lo, Hi: hi}
+	raw := e.m.Estimate(s, t)
+	r := GuardResult{Est: raw, Raw: raw, Lo: lo, Hi: hi}
 	if r.Est < lo {
 		r.Est, r.ClampedLow = lo, true
 	}

@@ -4,16 +4,20 @@
 // dispatch/range workloads. It provides panic recovery (a crashing
 // handler costs one 500, not the process), per-request deadlines,
 // an in-flight concurrency limiter that sheds load with 429 +
-// Retry-After, and request accounting surfaced on GET /statz.
+// Retry-After, and request accounting surfaced on GET /statz (JSON)
+// and GET /metrics (Prometheus text, via internal/telemetry).
 package resilience
 
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Options configures the standard middleware stack assembled by Wrap.
@@ -28,11 +32,10 @@ type Options struct {
 	// Timeout bounds each request via its context deadline; requests
 	// that exceed it receive 503. Default 30s; negative disables.
 	Timeout time.Duration
-	// Logf receives panic reports and request logs (default log.Printf
-	// behavior is supplied by the caller; nil disables logging).
-	Logf func(format string, args ...any)
+	// Logger receives panic reports and access logs (nil disables).
+	Logger *slog.Logger
 	// Stats, when non-nil, accumulates request/latency/status counters
-	// for /statz.
+	// for /statz and /metrics.
 	Stats *Stats
 }
 
@@ -64,9 +67,9 @@ func Wrap(next http.Handler, o Options) http.Handler {
 	if o.MaxInFlight > 0 {
 		h = Limiter(h, o.MaxInFlight, o.RetryAfter, o.Stats)
 	}
-	h = Recover(h, o.Logf, o.Stats)
-	if o.Stats != nil || o.Logf != nil {
-		h = Observe(h, o.Stats, o.Logf)
+	h = Recover(h, o.Logger, o.Stats)
+	if o.Stats != nil || o.Logger != nil {
+		h = Observe(h, o.Stats, o.Logger)
 	}
 	return h
 }
@@ -101,8 +104,9 @@ func writeJSONError(w http.ResponseWriter, status int, msg string) {
 // Recover converts a handler panic into a 500 response and a stack
 // log, leaving the server alive. The repanic of http.ErrAbortHandler
 // is preserved so deliberate connection aborts keep their stdlib
-// semantics.
-func Recover(next http.Handler, logf func(string, ...any), st *Stats) http.Handler {
+// semantics. A nil logger discards the reports.
+func Recover(next http.Handler, logger *slog.Logger, st *Stats) http.Handler {
+	logger = telemetry.OrNop(logger)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sr := &statusRecorder{ResponseWriter: w}
 		defer func() {
@@ -114,11 +118,12 @@ func Recover(next http.Handler, logf func(string, ...any), st *Stats) http.Handl
 				panic(rec)
 			}
 			if st != nil {
-				st.panics.Add(1)
+				st.panics.Inc()
 			}
-			if logf != nil {
-				logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-			}
+			logger.Error("panic serving request",
+				"method", r.Method, "path", r.URL.Path,
+				"request_id", telemetry.RequestIDFrom(r.Context()),
+				"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 			// Only answer if the handler had not started a response;
 			// otherwise the connection is already poisoned and closing
 			// it is all we can do.
@@ -154,7 +159,7 @@ func Limiter(next http.Handler, maxInFlight int, retryAfter time.Duration, st *S
 			next.ServeHTTP(w, r)
 		default:
 			if st != nil {
-				st.shed.Add(1)
+				st.shed.Inc()
 			}
 			w.Header().Set("Retry-After", retrySecs)
 			writeJSONError(w, http.StatusTooManyRequests,
@@ -163,9 +168,12 @@ func Limiter(next http.Handler, maxInFlight int, retryAfter time.Duration, st *S
 	})
 }
 
-// Observe records per-request status and latency into st and, when
-// logf is non-nil, emits one access-log line per request.
-func Observe(next http.Handler, st *Stats, logf func(string, ...any)) http.Handler {
+// Observe records per-request status and latency into st (overall and
+// per-route histograms) and emits one structured access-log line per
+// request, tagged with the request ID when the telemetry.RequestID
+// middleware is installed. A nil logger discards the access log.
+func Observe(next http.Handler, st *Stats, logger *slog.Logger) http.Handler {
+	logger = telemetry.OrNop(logger)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		if st != nil {
@@ -181,10 +189,12 @@ func Observe(next http.Handler, st *Stats, logf func(string, ...any)) http.Handl
 			if st != nil {
 				st.inFlight.Add(-1)
 				st.observe(status, elapsed)
+				st.observeRoute(r.URL.Path, elapsed)
 			}
-			if logf != nil {
-				logf("%s %s -> %d (%v)", r.Method, r.URL.Path, status, elapsed.Round(time.Microsecond))
-			}
+			logger.Info("request",
+				"method", r.Method, "path", r.URL.Path, "status", status,
+				"duration", elapsed.Round(time.Microsecond),
+				"request_id", telemetry.RequestIDFrom(r.Context()))
 		}()
 		next.ServeHTTP(sr, r)
 	})

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -13,6 +14,14 @@ import (
 	"testing"
 	"time"
 )
+
+// countHandler is a slog.Handler counting the records it receives.
+type countHandler struct{ n *atomic.Int64 }
+
+func (countHandler) Enabled(context.Context, slog.Level) bool    { return true }
+func (h countHandler) Handle(context.Context, slog.Record) error { h.n.Add(1); return nil }
+func (h countHandler) WithAttrs([]slog.Attr) slog.Handler        { return h }
+func (h countHandler) WithGroup(string) slog.Handler             { return h }
 
 func get(t *testing.T, url string) (*http.Response, string) {
 	t.Helper()
@@ -39,7 +48,7 @@ func TestRecoverSurvivesPanic(t *testing.T) {
 		fmt.Fprint(w, "fine")
 	})
 	var logged atomic.Int64
-	h := Wrap(mux, Options{Stats: st, Logf: func(string, ...any) { logged.Add(1) }})
+	h := Wrap(mux, Options{Stats: st, Logger: slog.New(countHandler{n: &logged})})
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 

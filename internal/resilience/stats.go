@@ -6,44 +6,101 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
-// Stats accumulates request counters with atomics only, so the
-// middleware stays contention-free on the nanosecond-scale query
-// path. One Stats instance is shared by the whole middleware stack
-// and served as JSON on GET /statz.
+// Stats accumulates request counters for the serving path. It is
+// implemented on a telemetry.Registry, so one set of atomics feeds
+// both GET /statz (the backward-compatible JSON snapshot below) and
+// GET /metrics (Prometheus text exposition, including the request
+// latency histograms the JSON view only summarizes). One Stats
+// instance is shared by the whole middleware stack.
 type Stats struct {
 	start time.Time
+	reg   *telemetry.Registry
 
-	inFlight atomic.Int64
-	byClass  [6]atomic.Int64 // index status/100: [0]=other, 1xx..5xx
-	requests atomic.Int64
-	shed     atomic.Int64 // 429s issued by the limiter
-	panics   atomic.Int64 // handler panics converted to 500s
+	byClass  [6]*telemetry.Counter // index status/100: [0]=other, 1xx..5xx
+	inFlight *telemetry.Gauge
+	shed     *telemetry.Counter // 429s issued by the limiter
+	panics   *telemetry.Counter // handler panics converted to 500s
+	latency  *telemetry.Histogram
 
-	latencySumNS atomic.Int64
+	// latencyMaxNS tracks the maximum, which a fixed-bucket histogram
+	// cannot recover exactly; /statz reports it as before.
 	latencyMaxNS atomic.Int64
+
+	// routes maps tracked request paths to their per-route latency
+	// histograms; untracked paths fall into the "other" series. Built
+	// by TrackRoutes before serving, then read-only.
+	routeMu    sync.RWMutex
+	routes     map[string]*telemetry.Histogram
+	otherRoute *telemetry.Histogram
 
 	// extra holds named feature counters (e.g. the server guard mode's
 	// clamp counts) registered at runtime via Counter.
 	extraMu sync.Mutex
-	extra   map[string]*atomic.Int64
+	extra   map[string]*telemetry.Counter
 }
 
-// NewStats returns a zeroed Stats anchored at the current time.
-func NewStats() *Stats {
-	return &Stats{start: time.Now()}
+var statusClasses = [...]string{"other", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// NewStats returns a zeroed Stats anchored at the current time,
+// backed by its own fresh registry.
+func NewStats() *Stats { return NewStatsWith(telemetry.NewRegistry()) }
+
+// NewStatsWith returns a Stats registering its metrics on reg, so the
+// caller can expose them (plus its own) on a /metrics endpoint.
+func NewStatsWith(reg *telemetry.Registry) *Stats {
+	s := &Stats{
+		start: time.Now(),
+		reg:   reg,
+		inFlight: reg.Gauge("rne_http_in_flight_requests",
+			"Requests currently being served."),
+		shed: reg.Counter("rne_http_requests_shed_total",
+			"Requests shed with 429 by the in-flight limiter."),
+		panics: reg.Counter("rne_http_panics_total",
+			"Handler panics converted to 500 responses."),
+		latency: reg.Histogram("rne_http_request_duration_seconds",
+			"End-to-end request latency across all routes.", telemetry.LatencyBuckets),
+		routes: make(map[string]*telemetry.Histogram),
+		otherRoute: reg.Histogram("rne_http_route_duration_seconds",
+			"Request latency by route.", telemetry.LatencyBuckets, "route", "other"),
+	}
+	for i, class := range statusClasses {
+		s.byClass[i] = reg.Counter("rne_http_requests_total",
+			"HTTP requests served, by status class.", "class", class)
+	}
+	reg.GaugeFunc("rne_uptime_seconds", "Seconds since the stats epoch (process start).",
+		func() float64 { return time.Since(s.start).Seconds() })
+	return s
+}
+
+// Registry exposes the backing metrics registry (the /metrics data).
+func (s *Stats) Registry() *telemetry.Registry { return s.reg }
+
+// TrackRoutes registers a per-route latency histogram for each path.
+// Call once at setup, before serving; requests to unlisted paths are
+// accounted under route="other".
+func (s *Stats) TrackRoutes(paths ...string) {
+	s.routeMu.Lock()
+	defer s.routeMu.Unlock()
+	for _, p := range paths {
+		if _, ok := s.routes[p]; !ok {
+			s.routes[p] = s.reg.Histogram("rne_http_route_duration_seconds",
+				"Request latency by route.", telemetry.LatencyBuckets, "route", p)
+		}
+	}
 }
 
 func (s *Stats) observe(status int, elapsed time.Duration) {
-	s.requests.Add(1)
 	class := status / 100
 	if class < 1 || class > 5 {
 		class = 0
 	}
-	s.byClass[class].Add(1)
+	s.byClass[class].Inc()
+	s.latency.ObserveDuration(elapsed)
 	ns := elapsed.Nanoseconds()
-	s.latencySumNS.Add(ns)
 	for {
 		cur := s.latencyMaxNS.Load()
 		if ns <= cur || s.latencyMaxNS.CompareAndSwap(cur, ns) {
@@ -52,24 +109,39 @@ func (s *Stats) observe(status int, elapsed time.Duration) {
 	}
 }
 
-// Counter returns the named extra counter, creating it on first use.
-// The returned pointer is stable: callers on hot paths should fetch it
-// once at setup and Add on the pointer, paying only the atomic.
-func (s *Stats) Counter(name string) *atomic.Int64 {
+// observeRoute files the request under its route's latency histogram.
+func (s *Stats) observeRoute(path string, elapsed time.Duration) {
+	s.routeMu.RLock()
+	h := s.routes[path]
+	s.routeMu.RUnlock()
+	if h == nil {
+		h = s.otherRoute
+	}
+	h.ObserveDuration(elapsed)
+}
+
+// Counter returns the named extra counter, creating it on first use
+// (it appears on /metrics as rne_<name>_total). The returned pointer
+// is stable: callers on hot paths should fetch it once at setup and
+// Add on the pointer, paying only the atomic.
+func (s *Stats) Counter(name string) *telemetry.Counter {
 	s.extraMu.Lock()
 	defer s.extraMu.Unlock()
 	if s.extra == nil {
-		s.extra = make(map[string]*atomic.Int64)
+		s.extra = make(map[string]*telemetry.Counter)
 	}
 	c, ok := s.extra[name]
 	if !ok {
-		c = new(atomic.Int64)
+		c = s.reg.Counter("rne_"+telemetry.SanitizeName(name)+"_total",
+			"Feature counter "+name+".")
 		s.extra[name] = c
 	}
 	return c
 }
 
-// Snapshot is the JSON shape served on /statz.
+// Snapshot is the JSON shape served on /statz. It predates /metrics
+// and must stay byte-shape-compatible: fields, names and order are
+// frozen.
 type Snapshot struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Requests      int64            `json:"requests"`
@@ -85,22 +157,22 @@ type Snapshot struct {
 // Snapshot returns a consistent-enough point-in-time view of the
 // counters (each counter individually atomic).
 func (s *Stats) Snapshot() Snapshot {
-	n := s.requests.Load()
+	hs := s.latency.Snapshot()
+	n := hs.Count
 	snap := Snapshot{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      n,
-		InFlight:      s.inFlight.Load(),
+		InFlight:      int64(s.inFlight.Value()),
 		ByClass:       make(map[string]int64, 5),
-		Shed:          s.shed.Load(),
-		Panics:        s.panics.Load(),
+		Shed:          s.shed.Value(),
+		Panics:        s.panics.Value(),
 		LatencyMaxMS:  float64(s.latencyMaxNS.Load()) / 1e6,
 	}
 	if n > 0 {
-		snap.LatencyMeanMS = float64(s.latencySumNS.Load()) / float64(n) / 1e6
+		snap.LatencyMeanMS = hs.Sum * 1e3 / float64(n)
 	}
-	classes := [...]string{"other", "1xx", "2xx", "3xx", "4xx", "5xx"}
-	for i, name := range classes {
-		if v := s.byClass[i].Load(); v > 0 {
+	for i, name := range statusClasses {
+		if v := s.byClass[i].Value(); v > 0 {
 			snap.ByClass[name] = v
 		}
 	}
@@ -108,7 +180,7 @@ func (s *Stats) Snapshot() Snapshot {
 	if len(s.extra) > 0 {
 		snap.Extra = make(map[string]int64, len(s.extra))
 		for name, c := range s.extra {
-			snap.Extra[name] = c.Load()
+			snap.Extra[name] = c.Value()
 		}
 	}
 	s.extraMu.Unlock()

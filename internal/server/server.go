@@ -9,15 +9,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/hybrid"
 	"repro/internal/index"
 	"repro/internal/resilience"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the production-hardening layer wrapped around the
@@ -32,14 +33,21 @@ type Config struct {
 	// MaxBatchBytes caps the /batch request body; larger bodies get
 	// 413 (default 8 MiB).
 	MaxBatchBytes int64
-	// Logf receives panic reports and access logs (nil disables).
-	Logf func(format string, args ...any)
+	// Logger receives panic reports and structured access logs, each
+	// tagged with the request ID (nil disables logging; counters and
+	// /metrics still work).
+	Logger *slog.Logger
 	// Guard enables ALT-backed guardrails: every /distance and /batch
 	// estimate is clamped into the certified landmark interval
 	// [lo, hi] containing the true distance, responses report whether
 	// clamping occurred, and clamp counters are exported on /statz.
-	// nil serves raw model estimates (the default).
+	// Guard mode also feeds the online accuracy-drift monitor exported
+	// on /metrics. nil serves raw model estimates (the default).
 	Guard *hybrid.Estimator
+	// DriftBands and DriftWarmup tune the guard-mode drift monitor
+	// (<= 0 selects telemetry.DefaultDriftBands / DefaultDriftWarmup).
+	DriftBands  int
+	DriftWarmup int
 }
 
 const defaultMaxBatchBytes = 8 << 20
@@ -54,9 +62,13 @@ type Server struct {
 
 	// Guard-mode counters, cached as pointers at construction so the
 	// query path pays one atomic Add, not a map lookup under a mutex.
-	guardChecked     *atomic.Int64
-	guardClampedLow  *atomic.Int64
-	guardClampedHigh *atomic.Int64
+	guardChecked     *telemetry.Counter
+	guardClampedLow  *telemetry.Counter
+	guardClampedHigh *telemetry.Counter
+
+	// drift watches serving accuracy from the certified guard bounds;
+	// nil (guard disabled or degenerate model scale) is a no-op.
+	drift *telemetry.DriftMonitor
 }
 
 // New returns a server for the model with default hardening; idx may
@@ -80,10 +92,17 @@ func NewWithConfig(model *core.Model, idx *index.Tree, cfg Config) (*Server, err
 			cfg.Guard.NumVertices(), model.NumVertices())
 	}
 	s := &Server{model: model, idx: idx, cfg: cfg, stats: resilience.NewStats()}
+	s.stats.TrackRoutes("/distance", "/batch", "/knn", "/range")
 	if cfg.Guard != nil {
 		s.guardChecked = s.stats.Counter("guard_checked")
 		s.guardClampedLow = s.stats.Counter("guard_clamped_low")
 		s.guardClampedHigh = s.stats.Counter("guard_clamped_high")
+		// The model's distance normalizer approximates the graph
+		// diameter, which is exactly the scale the drift bands need.
+		if d, err := telemetry.NewDriftMonitor(s.stats.Registry(), model.Scale(),
+			cfg.DriftBands, cfg.DriftWarmup); err == nil {
+			s.drift = d
+		}
 	}
 	return s, nil
 }
@@ -97,26 +116,32 @@ func (s *Server) Stats() *resilience.Stats { return s.stats }
 //
 //	GET  /healthz                    liveness + model shape
 //	GET  /readyz                     readiness (degraded without spatial index)
-//	GET  /statz                      request/latency/status counters
+//	GET  /statz                      request/latency/status counters (JSON)
+//	GET  /metrics                    Prometheus text exposition
 //	GET  /distance?s=<id>&t=<id>     one estimate
 //	POST /batch                      {"pairs":[[s,t],...]} -> {"distances":[...]}
 //	GET  /knn?s=<id>&k=<n>           k nearest indexed targets
 //	GET  /range?s=<id>&tau=<dist>    indexed targets within tau
+//
+// Request-ID assignment sits outermost so every log line and error
+// response — including shed and timed-out requests — carries an ID.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.Handle("GET /statz", s.stats.Handler())
+	mux.Handle("GET /metrics", s.stats.Registry().Handler())
 	mux.HandleFunc("GET /distance", s.handleDistance)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("GET /knn", s.handleKNN)
 	mux.HandleFunc("GET /range", s.handleRange)
-	return resilience.Wrap(mux, resilience.Options{
+	h := resilience.Wrap(mux, resilience.Options{
 		MaxInFlight: s.cfg.MaxInFlight,
 		Timeout:     s.cfg.RequestTimeout,
-		Logf:        s.cfg.Logf,
+		Logger:      s.cfg.Logger,
 		Stats:       s.stats,
 	})
+	return telemetry.RequestID(h)
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -198,17 +223,19 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// guardedEstimate evaluates one pair under the ALT guardrail and
-// maintains the /statz clamp counters.
+// guardedEstimate evaluates one pair under the ALT guardrail,
+// maintains the /statz clamp counters, and feeds the accuracy-drift
+// monitor with the raw estimate against the certified interval.
 func (s *Server) guardedEstimate(src, dst int32) hybrid.GuardResult {
 	g := s.cfg.Guard.Guard(src, dst)
-	s.guardChecked.Add(1)
+	s.guardChecked.Inc()
 	if g.ClampedLow {
-		s.guardClampedLow.Add(1)
+		s.guardClampedLow.Inc()
 	}
 	if g.ClampedHigh {
-		s.guardClampedHigh.Add(1)
+		s.guardClampedHigh.Inc()
 	}
+	s.drift.Observe(g.Raw, g.Lo, g.Hi)
 	return g
 }
 

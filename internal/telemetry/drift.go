@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Drift-monitor defaults: 31 distance bands mirror the paper's
+// fine-tuning grid resolution (R = 2K-1 with K = 16); the baseline is
+// frozen after the first 500 observations.
+const (
+	DefaultDriftBands  = 31
+	DefaultDriftWarmup = 500
+)
+
+// DriftMonitor watches serving accuracy online, without ground truth.
+// In guard mode every query carries a certified interval [lo, hi]
+// containing the true distance; the raw model estimate's relative
+// deviation from the interval midpoint is a label-free error proxy
+// (when the model clamps, it is the clamp delta). Each observation is
+// filed into one of the equal-width distance bands the paper buckets
+// fine-tuning by, giving operators per-distance-band error histograms
+// — the Figure 17 view, continuously, from live traffic.
+//
+// Drift is summarized as rne_drift_score: the exponentially-weighted
+// recent mean error divided by a baseline frozen after warmup. A score
+// near 1 means accuracy matches the post-deploy baseline; a sustained
+// rise means the model is decaying on current traffic (e.g. the graph
+// changed) and wants re-training or fine-tuning.
+type DriftMonitor struct {
+	maxDist float64
+	bands   []*Histogram
+	total   *Counter
+
+	scoreG    *Gauge
+	recentG   *Gauge
+	baselineG *Gauge
+
+	mu       sync.Mutex
+	warmup   int
+	seen     int
+	baseSum  float64
+	baseline float64
+	ewma     float64
+}
+
+// NewDriftMonitor registers the drift metric family on reg. maxDist
+// scales the distance bands (use the model's diameter estimate);
+// bands and warmup fall back to the defaults when <= 0.
+func NewDriftMonitor(reg *Registry, maxDist float64, bands, warmup int) (*DriftMonitor, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("telemetry: drift monitor needs a registry")
+	}
+	if !(maxDist > 0) || math.IsInf(maxDist, 0) {
+		return nil, fmt.Errorf("telemetry: drift monitor needs a positive finite max distance, got %v", maxDist)
+	}
+	if bands <= 0 {
+		bands = DefaultDriftBands
+	}
+	if warmup <= 0 {
+		warmup = DefaultDriftWarmup
+	}
+	d := &DriftMonitor{
+		maxDist: maxDist,
+		bands:   make([]*Histogram, bands),
+		warmup:  warmup,
+		total: reg.Counter("rne_drift_observations_total",
+			"Guarded queries observed by the accuracy-drift monitor."),
+		scoreG: reg.Gauge("rne_drift_score",
+			"Recent mean deviation over the frozen baseline (1 = no drift)."),
+		recentG: reg.Gauge("rne_drift_recent_error",
+			"Exponentially-weighted recent mean relative deviation."),
+		baselineG: reg.Gauge("rne_drift_baseline_error",
+			"Baseline mean relative deviation frozen after warmup."),
+	}
+	d.scoreG.Set(1)
+	for i := range d.bands {
+		d.bands[i] = reg.Histogram("rne_drift_band_error",
+			"Relative deviation of raw estimates from certified-bound midpoints, by distance band.",
+			RelErrorBuckets, "band", fmt.Sprintf("%02d", i))
+	}
+	return d, nil
+}
+
+// Observe files one guarded query: raw is the unclamped model
+// estimate, [lo, hi] the certified interval. Degenerate intervals
+// (s == t, or non-finite bounds) are skipped.
+func (d *DriftMonitor) Observe(raw, lo, hi float64) {
+	if d == nil {
+		return
+	}
+	mid := (lo + hi) / 2
+	if !(mid > 0) || math.IsInf(mid, 0) || math.IsNaN(raw) || math.IsInf(raw, 0) {
+		return
+	}
+	errv := math.Abs(raw-mid) / mid
+	band := int(float64(len(d.bands)) * mid / d.maxDist)
+	if band < 0 {
+		band = 0
+	}
+	if band >= len(d.bands) {
+		band = len(d.bands) - 1
+	}
+	d.bands[band].Observe(errv)
+	d.total.Inc()
+
+	d.mu.Lock()
+	d.seen++
+	if d.seen <= d.warmup {
+		d.baseSum += errv
+		d.baseline = d.baseSum / float64(d.seen)
+		d.ewma = d.baseline
+	} else {
+		// Half-life of ~350 observations: responsive within minutes at
+		// production QPS while smoothing per-query noise.
+		const alpha = 0.002
+		d.ewma += alpha * (errv - d.ewma)
+	}
+	baseline, ewma := d.baseline, d.ewma
+	d.mu.Unlock()
+
+	d.baselineG.Set(baseline)
+	d.recentG.Set(ewma)
+	if baseline > 1e-12 {
+		d.scoreG.Set(ewma / baseline)
+	} else {
+		d.scoreG.Set(1)
+	}
+}
+
+// Bands returns the number of distance bands.
+func (d *DriftMonitor) Bands() int { return len(d.bands) }

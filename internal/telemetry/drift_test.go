@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewDriftMonitorValidation(t *testing.T) {
+	if _, err := NewDriftMonitor(nil, 100, 0, 0); err == nil {
+		t.Fatal("nil registry accepted")
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewDriftMonitor(NewRegistry(), bad, 0, 0); err == nil {
+			t.Fatalf("max distance %v accepted", bad)
+		}
+	}
+	d, err := NewDriftMonitor(NewRegistry(), 100, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Bands() != DefaultDriftBands {
+		t.Fatalf("bands = %d, want default %d", d.Bands(), DefaultDriftBands)
+	}
+}
+
+// A nil monitor ignores observations — guard-disabled servers need no
+// checks on the query path.
+func TestNilDriftMonitorObserve(t *testing.T) {
+	var d *DriftMonitor
+	d.Observe(1, 0.5, 1.5)
+}
+
+func TestDriftScoreRisesOnDecay(t *testing.T) {
+	reg := NewRegistry()
+	d, err := NewDriftMonitor(reg, 1000, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warmup traffic: raw estimates within 1% of the certified midpoint.
+	for i := 0; i < 100; i++ {
+		d.Observe(101, 90, 110) // mid = 100, err = 1%
+	}
+	if got := d.scoreG.Value(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("score after clean warmup = %v, want 1", got)
+	}
+	base := d.baselineG.Value()
+	if math.Abs(base-0.01) > 1e-9 {
+		t.Fatalf("baseline = %v, want 0.01", base)
+	}
+	// The model decays: 50% deviation. The EWMA is slow by design, but
+	// the score must move up and the baseline stay frozen.
+	for i := 0; i < 2000; i++ {
+		d.Observe(150, 90, 110)
+	}
+	if got := d.baselineG.Value(); got != base {
+		t.Fatalf("baseline moved after warmup: %v -> %v", base, got)
+	}
+	if got := d.scoreG.Value(); got < 2 {
+		t.Fatalf("drift score = %v after sustained decay, want substantially > 1", got)
+	}
+
+	// Degenerate observations are skipped entirely.
+	n := d.total.Value()
+	d.Observe(1, 0, 0)                     // zero midpoint
+	d.Observe(math.NaN(), 90, 110)         // NaN raw
+	d.Observe(5, math.Inf(1), math.Inf(1)) // infinite bounds
+	if got := d.total.Value(); got != n {
+		t.Fatalf("degenerate observations counted: %d -> %d", n, got)
+	}
+}
+
+// Observations land in the distance band of their certified midpoint,
+// and the band histograms export cleanly.
+func TestDriftBandsPartitionByDistance(t *testing.T) {
+	reg := NewRegistry()
+	d, err := NewDriftMonitor(reg, 100, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Observe(10, 9, 11)     // mid 10  -> band 0
+	d.Observe(60, 55, 65)    // mid 60  -> band 2
+	d.Observe(990, 980, 1e3) // mid 990 beyond maxDist -> clamped to last band
+	for band, want := range map[int]int64{0: 1, 1: 0, 2: 1, 3: 1} {
+		if got := d.bands[band].Count(); got != want {
+			t.Fatalf("band %d count = %d, want %d", band, got, want)
+		}
+	}
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckExposition(strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `rne_drift_band_error_bucket{band="02",`) {
+		t.Fatalf("band label missing:\n%s", sb.String())
+	}
+}

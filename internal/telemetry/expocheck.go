@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Exposition line grammar. Sample lines are
+// `name{label="value",...} value` with an optional timestamp; the
+// label block is validated separately so escape sequences are handled.
+var (
+	helpLineRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$`)
+	typeLineRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	sampleLineRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (NaN|[+-]Inf|[0-9eE.+-]+)( [0-9]+)?$`)
+	labelPairRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"`)
+)
+
+// CheckExposition validates that r holds well-formed Prometheus text
+// exposition output: every line parses under the name/label/value
+// grammar, every sample belongs to a family declared by a preceding
+// # TYPE line (histogram samples may use the _bucket/_sum/_count
+// suffixes), no series (name plus label set) appears twice, histogram
+// le buckets are cumulative, and each histogram's _count equals its
+// +Inf bucket. It backs the end-to-end /metrics tests and is usable as
+// a lint for any exposition producer.
+func CheckExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	types := make(map[string]string)
+	seen := make(map[string]bool)
+	// Histogram bookkeeping, keyed by series name+labels (minus le).
+	lastCum := make(map[string]float64)
+	infBucket := make(map[string]float64)
+	counts := make(map[string]float64)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if m := typeLineRe.FindStringSubmatch(line); m != nil {
+				if _, dup := types[m[1]]; dup {
+					return fmt.Errorf("line %d: duplicate # TYPE for %s", lineNo, m[1])
+				}
+				types[m[1]] = m[2]
+				continue
+			}
+			if helpLineRe.MatchString(line) {
+				continue
+			}
+			return fmt.Errorf("line %d: malformed comment line %q", lineNo, line)
+		}
+		m := sampleLineRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample line %q", lineNo, line)
+		}
+		name, labelBlock, valueStr := m[1], m[2], m[3]
+		labels, leValue, err := parseLabelBlock(labelBlock)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		famName, suffix := name, ""
+		famType, ok := types[name]
+		if !ok {
+			for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, sfx)
+				if base != name && types[base] == "histogram" {
+					famName, famType, suffix, ok = base, "histogram", sfx, true
+					break
+				}
+			}
+		}
+		if !ok {
+			return fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, name)
+		}
+		if famType == "histogram" && suffix == "" {
+			return fmt.Errorf("line %d: bare sample %s for histogram family", lineNo, name)
+		}
+		if (suffix == "_bucket") != (leValue != "") {
+			return fmt.Errorf("line %d: le label is required on _bucket samples and only there", lineNo)
+		}
+		seriesKey := name + "{" + labels + "}"
+		if leValue != "" {
+			seriesKey += `le=` + leValue
+		}
+		if seen[seriesKey] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, seriesKey)
+		}
+		seen[seriesKey] = true
+
+		value, err := parseValue(valueStr)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		histKey := famName + "{" + labels + "}"
+		switch suffix {
+		case "_bucket":
+			if value < lastCum[histKey] {
+				return fmt.Errorf("line %d: histogram %s buckets not cumulative", lineNo, histKey)
+			}
+			lastCum[histKey] = value
+			if leValue == `"+Inf"` {
+				infBucket[histKey] = value
+			}
+		case "_count":
+			counts[histKey] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for k, c := range counts {
+		inf, ok := infBucket[k]
+		if !ok {
+			return fmt.Errorf("histogram %s has no +Inf bucket", k)
+		}
+		if inf != c {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", k, c, inf)
+		}
+	}
+	return nil
+}
+
+// parseLabelBlock validates `{k="v",...}` and returns the block minus
+// any le pair (for series identity) plus the raw le value.
+func parseLabelBlock(block string) (labels, leValue string, err error) {
+	if block == "" {
+		return "", "", nil
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	var kept []string
+	for inner != "" {
+		m := labelPairRe.FindStringSubmatch(inner)
+		if m == nil {
+			return "", "", fmt.Errorf("malformed label pair at %q", inner)
+		}
+		if m[1] == "le" {
+			leValue = `"` + m[2] + `"`
+		} else {
+			kept = append(kept, m[0])
+		}
+		inner = inner[len(m[0]):]
+		if strings.HasPrefix(inner, ",") {
+			inner = inner[1:]
+			if inner == "" {
+				return "", "", fmt.Errorf("trailing comma in label block %q", block)
+			}
+		} else if inner != "" {
+			return "", "", fmt.Errorf("missing comma in label block %q", block)
+		}
+	}
+	return strings.Join(kept, ","), leValue, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "NaN":
+		return 0, nil // identity checks below never involve NaN samples
+	case "+Inf":
+		return strconv.ParseFloat("+inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-inf", 64)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}

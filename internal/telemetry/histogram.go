@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets spans 1µs to 2.5s in a 1-2.5-5 progression — wide
+// enough for both the nanosecond-scale query kernel (rounded up into
+// the first bucket) and slow, contended HTTP requests.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// RelErrorBuckets spans 0.1% to 250% relative error, matching the
+// sub-percent mean errors the paper reports while keeping room for the
+// heavy tails the drift monitor exists to catch.
+var RelErrorBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Histogram counts observations into fixed buckets with lock-free
+// atomics, cheap enough for the per-request serving path. Bucket
+// bounds are inclusive upper limits (Prometheus le semantics); values
+// above the last bound land in an implicit +Inf overflow bucket.
+type Histogram struct {
+	bounds  []float64      // strictly increasing, finite
+	counts  []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("telemetry: non-finite histogram bound %v", b))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not strictly increasing at %v", b))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. NaN observations are dropped — a NaN sum
+// would poison every later mean.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds, the Prometheus base unit.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// HistSnapshot is a point-in-time copy of a histogram. Each field is
+// read atomically but the fields are not mutually synchronized: under
+// concurrent writes the totals may disagree by in-flight observations,
+// which is the usual (and harmless) Prometheus client behavior.
+type HistSnapshot struct {
+	Bounds []float64 // upper bounds, +Inf implicit
+	Counts []int64   // per-bucket counts (not cumulative), len(Bounds)+1
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot copies the current bucket counts, total and sum.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the containing bucket, the same estimate
+// Prometheus's histogram_quantile computes. The first bucket
+// interpolates from zero (observations are assumed non-negative);
+// quantiles landing in the overflow bucket return the last finite
+// bound. Returns NaN on an empty histogram or out-of-range q.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	total := int64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Quantile is Snapshot().Quantile(q).
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, math.NaN()} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5 (NaN dropped)", got)
+	}
+	if got := h.Sum(); got != 556.5 {
+		t.Fatalf("sum = %v, want 556.5", got)
+	}
+	s := h.Snapshot()
+	// le semantics: 1 is inclusive in the first bucket.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	h.ObserveDuration(5 * time.Second)
+	if got := h.Snapshot().Counts[1]; got != 2 {
+		t.Fatalf("ObserveDuration(5s) not in the le=10 bucket: %d", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile not NaN")
+	}
+	// 10 observations uniform in (0,1]: the median interpolates inside
+	// the first bucket, from zero.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	if got := h.Quantile(0.5); got != 0.5 {
+		t.Fatalf("p50 = %v, want 0.5 (linear within first bucket)", got)
+	}
+	if got := h.Quantile(1); got != 1.0 {
+		t.Fatalf("p100 = %v, want upper bound 1", got)
+	}
+	h.Observe(100) // overflow
+	if got := h.Quantile(1); got != 4 {
+		t.Fatalf("overflow quantile = %v, want last finite bound 4", got)
+	}
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Fatal("out-of-range q not NaN")
+	}
+}
+
+// Concurrent Observe and Snapshot keep totals consistent: run under
+// -race, and the final counts must equal the observations made.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	h := newHistogram(LatencyBuckets)
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		// Concurrent readers: snapshots must never tear (no negative
+		// or wildly inconsistent totals) while writes are in flight.
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var sum int64
+			for _, c := range s.Counts {
+				sum += c
+			}
+			if sum > workers*per || s.Count > workers*per {
+				t.Errorf("snapshot overshoot: buckets %d count %d", sum, s.Count)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w*per+i) * 1e-6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	s := h.Snapshot()
+	var sum int64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if s.Count != workers*per || sum != workers*per {
+		t.Fatalf("count = %d bucket sum = %d, want %d", s.Count, sum, workers*per)
+	}
+}

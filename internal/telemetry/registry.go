@@ -1,0 +1,354 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric and label name grammar of the Prometheus exposition format.
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// SanitizeName maps an arbitrary string onto a valid metric-name
+// fragment: every run of invalid characters becomes one underscore.
+func SanitizeName(s string) string {
+	var b strings.Builder
+	lastUnderscore := false
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+			lastUnderscore = r == '_'
+		} else if !lastUnderscore {
+			b.WriteByte('_')
+			lastUnderscore = true
+		}
+	}
+	out := b.String()
+	if out == "" {
+		return "_"
+	}
+	return out
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter; counters are monotonic, so a negative
+// delta is a programming error and panics.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("telemetry: negative counter increment")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// series is one labeled instance within a family; exactly one of the
+// value fields is set, matching the family kind.
+type series struct {
+	labels  string // rendered, key-sorted label pairs without braces
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name, help string
+	kind       metricKind
+	bounds     []float64 // histogram upper bounds (families of kindHistogram)
+	series     map[string]*series
+	order      []string
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration methods are get-or-create: calling
+// them twice with the same name and labels returns the same metric, so
+// hot paths should fetch the pointer once at setup. All methods are
+// safe for concurrent use; metric updates are lock-free atomics.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// getFamily returns the named family, creating it with the given shape
+// on first use and panicking on a kind conflict (a programming error:
+// two call sites disagree about what the metric is).
+func (r *Registry) getFamily(name, help string, kind metricKind, bounds []float64) *family {
+	if !metricNameRe.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, series: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// getSeries returns the labeled series within f, creating it via mk on
+// first use.
+func (r *Registry) getSeries(f *family, labels []string, mk func() *series) *series {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = mk()
+		s.labels = key
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter registers (or fetches) a counter. labels are alternating
+// key/value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	f := r.getFamily(name, help, kindCounter, nil)
+	return r.getSeries(f, labels, func() *series { return &series{counter: new(Counter)} }).counter
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	f := r.getFamily(name, help, kindGauge, nil)
+	return r.getSeries(f, labels, func() *series { return &series{gauge: new(Gauge)} }).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// exposition time (e.g. uptime). Re-registering the same series keeps
+// the original function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	f := r.getFamily(name, help, kindGauge, nil)
+	r.getSeries(f, labels, func() *series { return &series{gaugeFn: fn} })
+}
+
+// Histogram registers (or fetches) a histogram with the given bucket
+// upper bounds (strictly increasing, finite; +Inf is implicit). The
+// bounds of the first registration win for the whole family.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	f := r.getFamily(name, help, kindHistogram, bounds)
+	return r.getSeries(f, labels, func() *series { return &series{hist: newHistogram(f.bounds)} }).hist
+}
+
+// renderLabels validates and renders alternating key/value pairs into
+// the canonical sorted `k="v",k2="v2"` form.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd label list %q", labels))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		if !labelNameRe.MatchString(labels[i]) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q", labels[i]))
+		}
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, p.k, escapeLabelValue(p.v))
+	}
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabelValue(v string) string { return labelEscaper.Replace(v) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// formatValue renders a sample value per the exposition format.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// seriesLine renders one `name{labels} value` sample.
+func seriesLine(w *bufio.Writer, name, labels, extraLabel, value string) {
+	w.WriteString(name)
+	if labels != "" || extraLabel != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		if labels != "" && extraLabel != "" {
+			w.WriteByte(',')
+		}
+		w.WriteString(extraLabel)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+// WriteTo renders every family in Prometheus text exposition format:
+// families sorted by name, series in registration order, histograms
+// with cumulative le buckets plus _sum and _count.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	// Snapshot the family/series structure under the lock; values are
+	// read from atomics afterwards.
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	type snap struct {
+		f      *family
+		series []*series
+	}
+	snaps := make([]snap, len(fams))
+	for i, f := range fams {
+		ss := make([]*series, 0, len(f.order))
+		for _, key := range f.order {
+			ss = append(ss, f.series[key])
+		}
+		snaps[i] = snap{f: f, series: ss}
+	}
+	r.mu.Unlock()
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].f.name < snaps[j].f.name })
+
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	for _, sn := range snaps {
+		f := sn.f
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, helpEscaper.Replace(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range sn.series {
+			switch f.kind {
+			case kindCounter:
+				seriesLine(bw, f.name, s.labels, "", strconv.FormatInt(s.counter.Value(), 10))
+			case kindGauge:
+				v := 0.0
+				if s.gaugeFn != nil {
+					v = s.gaugeFn()
+				} else {
+					v = s.gauge.Value()
+				}
+				seriesLine(bw, f.name, s.labels, "", formatValue(v))
+			case kindHistogram:
+				hs := s.hist.Snapshot()
+				var cum int64
+				for i, b := range hs.Bounds {
+					cum += hs.Counts[i]
+					seriesLine(bw, f.name+"_bucket", s.labels,
+						`le="`+formatValue(b)+`"`, strconv.FormatInt(cum, 10))
+				}
+				cum += hs.Counts[len(hs.Bounds)]
+				seriesLine(bw, f.name+"_bucket", s.labels, `le="+Inf"`, strconv.FormatInt(cum, 10))
+				seriesLine(bw, f.name+"_sum", s.labels, "", formatValue(hs.Sum))
+				seriesLine(bw, f.name+"_count", s.labels, "", strconv.FormatInt(cum, 10))
+			}
+		}
+	}
+	err := bw.Flush()
+	return cw.n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// ExpositionContentType is the Content-Type of the Prometheus text
+// exposition format.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the registry in exposition format (the /metrics
+// endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ExpositionContentType)
+		_, _ = r.WriteTo(w)
+	})
+}

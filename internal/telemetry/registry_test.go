@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rne_test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative counter Add did not panic")
+			}
+		}()
+		c.Add(-1)
+	}()
+
+	g := r.Gauge("rne_test_gauge", "help")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+// Registration is get-or-create: same name and labels yield the same
+// metric pointer, so hot paths can cache it.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("rne_dup_total", "help", "class", "2xx")
+	b := r.Counter("rne_dup_total", "other help ignored", "class", "2xx")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	other := r.Counter("rne_dup_total", "help", "class", "5xx")
+	if a == other {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	h1 := r.Histogram("rne_dup_seconds", "help", LatencyBuckets)
+	h2 := r.Histogram("rne_dup_seconds", "help", LatencyBuckets)
+	if h1 != h2 {
+		t.Fatal("same histogram series returned distinct histograms")
+	}
+}
+
+func TestRegistryPanicsOnBadRegistration(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rne_kind_total", "help")
+	for name, fn := range map[string]func(){
+		"kind conflict":   func() { r.Gauge("rne_kind_total", "help") },
+		"invalid name":    func() { r.Counter("0bad name!", "help") },
+		"odd labels":      func() { r.Counter("rne_odd_total", "help", "only_key") },
+		"bad label name":  func() { r.Counter("rne_lbl_total", "help", "bad-label", "v") },
+		"empty hist":      func() { r.Histogram("rne_h_seconds", "help", nil) },
+		"unsorted bounds": func() { r.Histogram("rne_h2_seconds", "help", []float64{1, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// The rendered exposition passes the package's own validator and has
+// the shape Prometheus expects: sorted families, TYPE lines, cumulative
+// buckets, escaped label values.
+func TestWriteToExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rne_b_total", "second family").Add(3)
+	r.Counter("rne_a_total", "first family", "class", "2xx").Inc()
+	r.Gauge("rne_gauge", `quoted "help"`, "path", `with"quote\and`+"\nnewline").Set(1.25)
+	r.GaugeFunc("rne_fn_gauge", "computed", func() float64 { return 42 })
+	h := r.Histogram("rne_lat_seconds", "latency", []float64{0.1, 1}, "route", "/x")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(99) // overflow bucket
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if err := CheckExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("own exposition rejected: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE rne_a_total counter",
+		`rne_a_total{class="2xx"} 1`,
+		"rne_b_total 3",
+		"rne_fn_gauge 42",
+		`rne_lat_seconds_bucket{route="/x",le="0.1"} 1`,
+		`rne_lat_seconds_bucket{route="/x",le="1"} 2`,
+		`rne_lat_seconds_bucket{route="/x",le="+Inf"} 3`,
+		`rne_lat_seconds_count{route="/x"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "rne_a_total") > strings.Index(out, "rne_b_total") {
+		t.Fatal("families not sorted by name")
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rne_x_total", "help").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); got != ExpositionContentType {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	if err := CheckExposition(rec.Body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":          "rne_x_total 1\n",
+		"malformed sample": "# TYPE rne_x_total counter\nrne_x_total one\n",
+		"duplicate series": "# TYPE rne_x_total counter\nrne_x_total 1\nrne_x_total 2\n",
+		"bare histogram":   "# TYPE rne_h histogram\nrne_h 1\n",
+		"le off bucket":    "# TYPE rne_h histogram\nrne_h_sum{le=\"1\"} 1\n",
+		"non-cumulative": "# TYPE rne_h histogram\n" +
+			"rne_h_bucket{le=\"1\"} 5\nrne_h_bucket{le=\"+Inf\"} 3\nrne_h_count 3\n",
+		"count != +Inf": "# TYPE rne_h histogram\n" +
+			"rne_h_bucket{le=\"1\"} 1\nrne_h_bucket{le=\"+Inf\"} 2\nrne_h_sum 1\nrne_h_count 3\n",
+		"duplicate TYPE": "# TYPE rne_x_total counter\n# TYPE rne_x_total counter\n",
+	}
+	for name, in := range cases {
+		if err := CheckExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted invalid exposition:\n%s", name, in)
+		}
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"guard_checked":  "guard_checked",
+		"weird name-42!": "weird_name_42_",
+		"":               "_",
+		"123abc":         "_23abc",
+	} {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// RequestIDHeader is the header request IDs arrive on and are echoed
+// back through, so callers and upstream proxies can correlate logs
+// across services.
+const RequestIDHeader = "X-Request-Id"
+
+type requestIDKey struct{}
+
+// WithRequestID attaches a request ID to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the context's request ID, or "" when none was
+// attached (e.g. the middleware is not installed).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// fallbackSeq numbers request IDs when crypto/rand is unavailable.
+var fallbackSeq atomic.Int64
+
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%d", fallbackSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID accepts a client-supplied ID only if it is short
+// and printable-safe; anything else is discarded so log injection via
+// the header is impossible.
+func sanitizeRequestID(s string) string {
+	if len(s) == 0 || len(s) > 64 {
+		return ""
+	}
+	for _, r := range s {
+		ok := r == '-' || r == '_' || r == '.' ||
+			(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !ok {
+			return ""
+		}
+	}
+	return s
+}
+
+// RequestID is middleware that accepts a well-formed X-Request-Id from
+// the client (or mints a fresh one), echoes it on the response, and
+// stores it in the request context for access logging.
+func RequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get(RequestIDHeader))
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		next.ServeHTTP(w, r.WithContext(WithRequestID(r.Context(), id)))
+	})
+}

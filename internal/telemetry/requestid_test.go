@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRequestIDMintsAndEchoes(t *testing.T) {
+	var seen string
+	h := RequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFrom(r.Context())
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	id := rec.Header().Get(RequestIDHeader)
+	if id == "" || id != seen {
+		t.Fatalf("header %q, context %q: want one fresh ID in both", id, seen)
+	}
+}
+
+func TestRequestIDPropagatesClientID(t *testing.T) {
+	var seen string
+	h := RequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFrom(r.Context())
+	}))
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set(RequestIDHeader, "upstream-42.a_b")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "upstream-42.a_b" || rec.Header().Get(RequestIDHeader) != seen {
+		t.Fatalf("client ID not propagated: context %q header %q", seen, rec.Header().Get(RequestIDHeader))
+	}
+}
+
+// Hostile header values are replaced, not echoed: no log injection.
+func TestRequestIDSanitizesHostileValues(t *testing.T) {
+	for _, bad := range []string{
+		"evil\nX-Injected: 1", "spaces here", strings.Repeat("a", 65), "quote\"",
+	} {
+		h := RequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+		req := httptest.NewRequest("GET", "/", nil)
+		req.Header["X-Request-Id"] = []string{bad}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if got := rec.Header().Get(RequestIDHeader); got == bad || got == "" {
+			t.Fatalf("hostile ID %q handled as %q, want fresh replacement", bad, got)
+		}
+	}
+}
+
+func TestRequestIDFromEmptyContext(t *testing.T) {
+	if got := RequestIDFrom(httptest.NewRequest("GET", "/", nil).Context()); got != "" {
+		t.Fatalf("ID from bare context = %q, want empty", got)
+	}
+}

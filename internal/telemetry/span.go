@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// PhaseRecord is one completed build phase (a closed Span).
+type PhaseRecord struct {
+	Name       string  `json:"name"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// UnitRecord is one completed unit of training work — a hierarchy
+// level, vertex epoch or fine-tune round — with the loss/LR/recovery
+// state it finished in. The sequence of UnitRecords is the per-level
+// training series of build-report.json.
+type UnitRecord struct {
+	Phase      string  `json:"phase"` // "hier", "vertex" or "finetune"
+	Unit       string  `json:"unit"`  // e.g. "hierarchy level 3"
+	Loss       float64 `json:"loss_mean_rel"`
+	LR         float64 `json:"lr"`
+	Recoveries int     `json:"recoveries"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// BuildReport is the machine-readable trace of one build: phase
+// durations, the per-unit loss/LR/recovery series, and checkpoint
+// accounting. rnebuild embeds it in build-report.json.
+type BuildReport struct {
+	Phases             []PhaseRecord `json:"phases"`
+	Units              []UnitRecord  `json:"units"`
+	Recoveries         int           `json:"recoveries"`
+	CheckpointWrites   int           `json:"checkpoint_writes"`
+	CheckpointFailures int           `json:"checkpoint_failures"`
+}
+
+// Tracer collects spans and training-unit records from a build,
+// logging each as it completes and mirroring the latest values into a
+// metrics registry (both optional). A nil *Tracer is valid and makes
+// every method a no-op, so instrumented code needs no nil checks.
+type Tracer struct {
+	logger *slog.Logger
+	reg    *Registry
+
+	mu     sync.Mutex
+	report BuildReport
+}
+
+// NewTracer returns a tracer logging to logger (nil discards) and
+// exporting gauges to reg (nil disables the metric mirror).
+func NewTracer(logger *slog.Logger, reg *Registry) *Tracer {
+	return &Tracer{logger: OrNop(logger), reg: reg}
+}
+
+// Span is an in-flight phase timer started by StartSpan.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+	attrs []any
+}
+
+// StartSpan opens a span over a named build phase; attrs are
+// alternating slog key/value pairs echoed when the span ends.
+func (t *Tracer) StartSpan(name string, attrs ...any) *Span {
+	if t == nil {
+		return nil
+	}
+	t.logger.Debug("phase start", "phase", name)
+	return &Span{t: t, name: name, start: time.Now(), attrs: attrs}
+}
+
+// End closes the span: the duration is recorded into the report,
+// logged, and exported as rne_build_phase_seconds{phase=...}.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	t := s.t
+	t.mu.Lock()
+	t.report.Phases = append(t.report.Phases, PhaseRecord{Name: s.name, DurationMS: ms(d)})
+	t.mu.Unlock()
+	if t.reg != nil {
+		t.reg.Gauge("rne_build_phase_seconds",
+			"Wall-clock duration of the named build phase.", "phase", s.name).Set(d.Seconds())
+	}
+	t.logger.Info("phase done", append([]any{"phase", s.name, "duration", d}, s.attrs...)...)
+	return d
+}
+
+// Unit records one completed training unit with the validation loss,
+// learning rate and cumulative recovery count it finished at.
+func (t *Tracer) Unit(phase, unit string, loss, lr float64, recoveries int, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.report.Units = append(t.report.Units, UnitRecord{
+		Phase: phase, Unit: unit, Loss: loss, LR: lr,
+		Recoveries: recoveries, DurationMS: ms(d),
+	})
+	t.mu.Unlock()
+	if t.reg != nil {
+		t.reg.Gauge("rne_build_unit_loss",
+			"Held-out mean relative error after the named training unit.",
+			"phase", phase, "unit", unit).Set(loss)
+		t.reg.Gauge("rne_build_lr", "Current dimension-normalized base learning rate.").Set(lr)
+		t.reg.Gauge("rne_build_recoveries",
+			"Divergence-sentinel rollbacks so far this build.").Set(float64(recoveries))
+		t.reg.Counter("rne_build_units_total",
+			"Completed training units by phase.", "phase", phase).Inc()
+	}
+	t.logger.Info("training unit done",
+		"phase", phase, "unit", unit, "loss_mean_rel", loss, "lr", lr,
+		"recoveries", recoveries, "duration", d)
+}
+
+// Recovery records one divergence-sentinel rollback.
+func (t *Tracer) Recovery(unit, reason string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.report.Recoveries++
+	n := t.report.Recoveries
+	t.mu.Unlock()
+	if t.reg != nil {
+		t.reg.Gauge("rne_build_recoveries",
+			"Divergence-sentinel rollbacks so far this build.").Set(float64(n))
+	}
+	t.logger.Warn("sentinel recovery", "unit", unit, "reason", reason, "recoveries", n)
+}
+
+// CheckpointWrite records one checkpoint write attempt.
+func (t *Tracer) CheckpointWrite(d time.Duration, ok bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.report.CheckpointWrites++
+	if !ok {
+		t.report.CheckpointFailures++
+	}
+	t.mu.Unlock()
+	if t.reg != nil {
+		outcome := "ok"
+		if !ok {
+			outcome = "error"
+		}
+		t.reg.Counter("rne_build_checkpoint_writes_total",
+			"Checkpoint write attempts by outcome.", "outcome", outcome).Inc()
+		t.reg.Gauge("rne_build_last_checkpoint_write_seconds",
+			"Duration of the most recent checkpoint write.").Set(d.Seconds())
+	}
+	t.logger.Debug("checkpoint write", "duration", d, "ok", ok)
+}
+
+// Report returns a copy of everything recorded so far.
+func (t *Tracer) Report() BuildReport {
+	if t == nil {
+		return BuildReport{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.report
+	r.Phases = append([]PhaseRecord(nil), t.report.Phases...)
+	r.Units = append([]UnitRecord(nil), t.report.Units...)
+	return r
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

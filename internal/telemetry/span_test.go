@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A nil tracer (and the nil span it hands out) is safe everywhere:
+// instrumented code carries no nil checks.
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("anything")
+	if d := sp.End(); d != 0 {
+		t.Fatalf("nil span End = %v", d)
+	}
+	tr.Unit("hier", "level 1", 0.1, 0.01, 0, time.Second)
+	tr.Recovery("level 1", "reason")
+	tr.CheckpointWrite(time.Millisecond, true)
+	if rep := tr.Report(); len(rep.Phases) != 0 || len(rep.Units) != 0 {
+		t.Fatalf("nil tracer produced a report: %+v", rep)
+	}
+}
+
+func TestTracerRecordsReportAndMetrics(t *testing.T) {
+	var logBuf bytes.Buffer
+	reg := NewRegistry()
+	tr := NewTracer(slog.New(slog.NewTextHandler(&logBuf, nil)), reg)
+
+	tr.StartSpan("setup").End()
+	tr.Unit("vertex", "vertex epoch 0", 0.05, 0.003, 0, 10*time.Millisecond)
+	tr.Unit("vertex", "vertex epoch 1", 0.04, 0.003, 1, 12*time.Millisecond)
+	tr.Recovery("vertex epoch 1", "spike")
+	tr.CheckpointWrite(2*time.Millisecond, true)
+	tr.CheckpointWrite(time.Millisecond, false)
+
+	rep := tr.Report()
+	if len(rep.Phases) != 1 || rep.Phases[0].Name != "setup" {
+		t.Fatalf("phases = %+v", rep.Phases)
+	}
+	if len(rep.Units) != 2 || rep.Units[1].Loss != 0.04 || rep.Units[1].Phase != "vertex" {
+		t.Fatalf("units = %+v", rep.Units)
+	}
+	if rep.Recoveries != 1 || rep.CheckpointWrites != 2 || rep.CheckpointFailures != 1 {
+		t.Fatalf("counters = %+v", rep)
+	}
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`rne_build_phase_seconds{phase="setup"}`,
+		`rne_build_unit_loss{phase="vertex",unit="vertex epoch 1"} 0.04`,
+		"rne_build_recoveries 1",
+		`rne_build_units_total{phase="vertex"} 2`,
+		`rne_build_checkpoint_writes_total{outcome="ok"} 1`,
+		`rne_build_checkpoint_writes_total{outcome="error"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckExposition(strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+	logs := logBuf.String()
+	for _, want := range []string{"phase done", "training unit done", "sentinel recovery"} {
+		if !strings.Contains(logs, want) {
+			t.Fatalf("log missing %q:\n%s", want, logs)
+		}
+	}
+
+	// Report returns a copy: appending to it must not alter the tracer.
+	rep.Phases = append(rep.Phases, PhaseRecord{Name: "bogus"})
+	if got := tr.Report(); len(got.Phases) != 1 {
+		t.Fatal("Report leaked internal state")
+	}
+}
