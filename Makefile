@@ -1,9 +1,9 @@
 # Pre-merge gate: `make ci` must pass before any change lands.
 GO ?= go
 
-.PHONY: ci build vet test race shuffle fuzz-smoke vulncheck bench bench-smoke
+.PHONY: ci build vet test race shuffle fuzz-smoke vulncheck bench bench-smoke replay-smoke
 
-ci: vet race shuffle fuzz-smoke vulncheck bench-smoke ## full pre-merge gate
+ci: vet race shuffle fuzz-smoke vulncheck bench-smoke replay-smoke ## full pre-merge gate
 
 build:
 	$(GO) build ./...
@@ -43,3 +43,17 @@ bench:
 # the telemetry histograms; emits BENCH_telemetry.json with p50/p95/p99.
 bench-smoke:
 	$(GO) run ./cmd/rnebench -exp telemetry-smoke -quick
+
+# Record → replay → diff smoke: generate a grid, score a workload
+# against the exact oracle while recording it as a query log, then
+# replay the log with the same deterministic training and assert the
+# diff verdict is "ok" (rnereplay exits 3 on a regression verdict).
+replay-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/genroad -rows 12 -cols 12 -seed 7 -o $$tmp/g.txt && \
+	$(GO) run ./cmd/rnereplay -graph $$tmp/g.txt -gen 300 -quick -landmarks 4 \
+		-qlog-out $$tmp/q.jsonl -out $$tmp/base.json >/dev/null && \
+	$(GO) run ./cmd/rnereplay -graph $$tmp/g.txt -log $$tmp/q.jsonl -quick -landmarks 4 \
+		-out $$tmp/replay.json -baseline $$tmp/base.json >$$tmp/replay.txt && \
+	grep "diff vs" $$tmp/replay.txt && \
+	echo "replay-smoke: verdict ok"

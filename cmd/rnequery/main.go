@@ -2,9 +2,23 @@
 // RNE model. Queries are "s t" vertex-id pairs, one per line on stdin,
 // or a single pair via -s/-t flags.
 //
+// -explain prints the estimate's provenance instead of the bare value:
+// the per-hierarchy-level contribution breakdown (models re-trained in
+// process; saved models drop the partition tree and report the total
+// only) and, with -alt-index, the certified guard interval with the
+// landmarks that produced it and the clamp direction.
+//
+// -knn and -range switch to spatial queries over a saved index
+// (-index, from rnebuild -index-out): the k nearest indexed targets to
+// -s, or all targets within -tau. Both print the triangle-inequality
+// pruning counters with -explain.
+//
 // Usage:
 //
 //	rnequery -model bj.rne -s 17 -t 4242
+//	rnequery -model bj.rne -alt-index bj.alt -s 17 -t 4242 -explain
+//	rnequery -model bj.rne -index bj.idx -s 17 -knn 5
+//	rnequery -model bj.rne -index bj.idx -s 17 -range 2500
 //	shuf pairs.txt | rnequery -model bj.rne
 package main
 
@@ -21,33 +35,75 @@ import (
 
 func main() {
 	modelPath := flag.String("model", "", "model file from rnebuild")
-	s := flag.Int("s", -1, "source vertex (with -t)")
+	indexPath := flag.String("index", "", "spatial index from rnebuild -index-out (for -knn/-range)")
+	altPath := flag.String("alt-index", "", "ALT index from rnebuild -alt-out: adds certified bounds and clamp provenance")
+	s := flag.Int("s", -1, "source vertex (with -t, -knn or -range)")
 	t := flag.Int("t", -1, "target vertex")
+	k := flag.Int("knn", 0, "return the k nearest indexed targets to -s (requires -index)")
+	tau := flag.Float64("range", -1, "return indexed targets within this distance of -s (requires -index)")
+	explain := flag.Bool("explain", false, "print estimate provenance (per-level contributions, guard bounds, traversal stats)")
 	flag.Parse()
 
+	fatal := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "rnequery: "+format+"\n", args...)
+		os.Exit(1)
+	}
 	if *modelPath == "" {
 		fmt.Fprintln(os.Stderr, "rnequery: -model required")
 		os.Exit(2)
 	}
 	model, err := rne.LoadModel(*modelPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rnequery:", err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
 	n := model.NumVertices()
+
+	var guard *rne.BoundedEstimator
+	if *altPath != "" {
+		altIdx, err := rne.LoadALTIndex(*altPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		guard, err = rne.NewBoundedEstimatorFromIndex(model, altIdx)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	if *k > 0 || *tau >= 0 {
+		if *indexPath == "" {
+			fatal("-knn and -range need -index")
+		}
+		if *s < 0 || *s >= n {
+			fatal("-knn and -range need a valid -s, got %d", *s)
+		}
+		idx, err := rne.LoadSpatialIndex(*indexPath, model)
+		if err != nil {
+			fatal("%v", err)
+		}
+		spatial(model, idx, int32(*s), *k, *tau, *explain)
+		return
+	}
 
 	answer := func(s, t int) error {
 		if s < 0 || s >= n || t < 0 || t >= n {
 			return fmt.Errorf("pair (%d,%d) outside [0,%d)", s, t, n)
 		}
-		fmt.Printf("%d %d %.2f\n", s, t, model.Estimate(int32(s), int32(t)))
+		if *explain {
+			explainPair(model, guard, int32(s), int32(t))
+			return nil
+		}
+		est := model.Estimate(int32(s), int32(t))
+		if guard != nil {
+			est = guard.Estimate(int32(s), int32(t))
+		}
+		fmt.Printf("%d %d %.2f\n", s, t, est)
 		return nil
 	}
 
 	if *s >= 0 && *t >= 0 {
 		if err := answer(*s, *t); err != nil {
-			fmt.Fprintln(os.Stderr, "rnequery:", err)
-			os.Exit(1)
+			fatal("%v", err)
 		}
 		return
 	}
@@ -62,22 +118,76 @@ func main() {
 		}
 		fields := strings.Fields(text)
 		if len(fields) != 2 {
-			fmt.Fprintf(os.Stderr, "rnequery: line %d: want 's t', got %q\n", line, text)
-			os.Exit(1)
+			fatal("line %d: want 's t', got %q", line, text)
 		}
 		sv, err1 := strconv.Atoi(fields[0])
 		tv, err2 := strconv.Atoi(fields[1])
 		if err1 != nil || err2 != nil {
-			fmt.Fprintf(os.Stderr, "rnequery: line %d: bad vertex ids %q\n", line, text)
-			os.Exit(1)
+			fatal("line %d: bad vertex ids %q", line, text)
 		}
 		if err := answer(sv, tv); err != nil {
-			fmt.Fprintf(os.Stderr, "rnequery: line %d: %v\n", line, err)
-			os.Exit(1)
+			fatal("line %d: %v", line, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "rnequery:", err)
-		os.Exit(1)
+		fatal("%v", err)
+	}
+}
+
+// explainPair prints the provenance view of one estimate.
+func explainPair(model *rne.Model, guard *rne.BoundedEstimator, s, t int32) {
+	ex := model.ExplainEstimate(s, t)
+	est := ex.Estimate
+	var prov rne.GuardProvenance
+	if guard != nil {
+		prov = guard.Explain(s, t)
+		est = prov.Est
+	}
+	fmt.Printf("%d %d %.2f\n", s, t, est)
+	if ex.HasHierarchy {
+		fmt.Printf("  raw model estimate %.2f, dominant level %d\n", ex.Estimate, ex.DominantLevel())
+		for _, lc := range ex.Levels {
+			shared := ""
+			if lc.Shared {
+				shared = "  (shared subtree)"
+			}
+			fmt.Printf("  level %2d  nodes (%d,%d)  partial %10.2f  contribution %+10.2f%s\n",
+				lc.Level, lc.NodeS, lc.NodeT, lc.Partial, lc.Contribution, shared)
+		}
+	} else {
+		fmt.Printf("  raw model estimate %.2f (no hierarchy retained: per-level breakdown unavailable)\n", ex.Estimate)
+	}
+	if guard != nil {
+		clamp := "within bounds"
+		switch {
+		case prov.ClampedLow:
+			clamp = "clamped up to lo"
+		case prov.ClampedHigh:
+			clamp = "clamped down to hi"
+		}
+		fmt.Printf("  guard: certified [%.2f, %.2f] via landmarks (lo %d, hi %d), raw %.2f %s\n",
+			prov.Lo, prov.Hi, prov.LoLandmark, prov.HiLandmark, prov.Raw, clamp)
+	}
+}
+
+// spatial runs one -knn or -range query, with traversal counters under
+// -explain.
+func spatial(model *rne.Model, idx *rne.SpatialIndex, s int32, k int, tau float64, explain bool) {
+	var targets []int32
+	var st rne.IndexQueryStats
+	what := ""
+	if k > 0 {
+		targets, st = idx.KNNStats(s, k)
+		what = fmt.Sprintf("knn k=%d", k)
+	} else {
+		targets, st = idx.RangeStats(s, tau)
+		what = fmt.Sprintf("range tau=%.2f", tau)
+	}
+	for _, v := range targets {
+		fmt.Printf("%d %d %.2f\n", s, v, model.Estimate(s, v))
+	}
+	if explain {
+		fmt.Printf("  %s: %d results; visited %d nodes, pruned %d, scanned %d vertices\n",
+			what, len(targets), st.NodesVisited, st.NodesPruned, st.VertsScanned)
 	}
 }

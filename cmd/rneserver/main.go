@@ -20,7 +20,9 @@
 // and /metrics (Prometheus text), and SIGINT/SIGTERM triggers a
 // graceful shutdown that drains in-flight requests. -debug-addr serves
 // net/http/pprof profiles (plus a /metrics mirror) on a separate,
-// operator-only listener.
+// operator-only listener. -qlog records a 1-in-N sample of served
+// queries as JSONL (never blocking the serving path; overflow is
+// dropped and counted on /metrics) for offline replay with rnereplay.
 //
 // Usage:
 //
@@ -45,6 +47,7 @@ import (
 	"time"
 
 	rne "repro"
+	"repro/internal/qlog"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 )
@@ -63,6 +66,8 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (negative disables)")
 	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "drain budget for graceful shutdown")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and a /metrics mirror on this operator-only address (empty disables)")
+	qlogPath := flag.String("qlog", "", "record a sampled query log (JSONL, replayable with rnereplay) at this path (empty disables)")
+	qlogSample := flag.Int("qlog-sample", 100, "with -qlog: record 1 in N served queries")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	flag.Parse()
@@ -169,9 +174,13 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		Logger:         logger,
 		Guard:          guard,
+		QueryLog:       qlog.Config{Path: *qlogPath, SampleEvery: *qlogSample},
 	})
 	if err != nil {
 		fatal("configuring server", "error", err)
+	}
+	if *qlogPath != "" {
+		logger.Info("query log on", "path", *qlogPath, "sample", fmt.Sprintf("1-in-%d", *qlogSample))
 	}
 
 	if *debugAddr != "" {
@@ -211,6 +220,11 @@ func main() {
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal("serving", "error", err)
+		}
+		// Flush and close the sampled query log after the drain so every
+		// served request is either on disk or counted as dropped.
+		if err := srv.Close(); err != nil {
+			logger.Warn("closing query log", "error", err)
 		}
 		logger.Info("shutdown complete")
 	}

@@ -102,6 +102,43 @@ func (idx *Index) Bounds(s, t int32) (lo, hi float64) {
 	return lo, hi
 }
 
+// BoundsInfo is the provenance of one landmark interval: the bounds
+// plus the landmark vertex that produced each (the tightest of the
+// |U| candidates). Landmark fields are -1 when no landmark had finite
+// labels for both endpoints (disconnected components).
+type BoundsInfo struct {
+	Lo, Hi                 float64
+	LoLandmark, HiLandmark int32
+}
+
+// BoundsDetail returns the landmark bounds on d(s,t) together with the
+// landmark responsible for each side of the interval, for query
+// explainability. The interval matches Bounds exactly.
+func (idx *Index) BoundsDetail(s, t int32) BoundsInfo {
+	info := BoundsInfo{Hi: sssp.Inf, LoLandmark: -1, HiLandmark: -1}
+	for i := 0; i < len(idx.landmarks); i++ {
+		ds := idx.labels[i*idx.n+int(s)]
+		dt := idx.labels[i*idx.n+int(t)]
+		if ds == sssp.Inf || dt == sssp.Inf {
+			continue
+		}
+		diff := ds - dt
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > info.Lo || info.LoLandmark < 0 {
+			info.Lo, info.LoLandmark = diff, idx.landmarks[i]
+		}
+		if sum := ds + dt; sum < info.Hi {
+			info.Hi, info.HiLandmark = sum, idx.landmarks[i]
+		}
+	}
+	if info.Lo > info.Hi {
+		info.Lo = info.Hi
+	}
+	return info
+}
+
 // Estimate returns the LT distance estimate: the midpoint of the
 // landmark lower and upper bounds. The true distance always lies within
 // [lo, hi], so the midpoint's error is at most (hi-lo)/2.

@@ -144,3 +144,34 @@ func TestBuildWithLandmarksAndValidation(t *testing.T) {
 		t.Fatalf("IndexBytes = %d, want %d", idx.IndexBytes(), wantBytes)
 	}
 }
+
+// BoundsDetail must agree with Bounds on the interval and name
+// landmarks that actually produce it.
+func TestBoundsDetailMatchesBounds(t *testing.T) {
+	g := testGraph(t)
+	idx, err := Build(g, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inLandmarks := func(v int32) bool {
+		for _, u := range idx.Landmarks() {
+			if u == v {
+				return true
+			}
+		}
+		return false
+	}
+	rng := rand.New(rand.NewSource(7))
+	n := int32(g.NumVertices())
+	for trial := 0; trial < 300; trial++ {
+		s, u := rng.Int31n(n), rng.Int31n(n)
+		lo, hi := idx.Bounds(s, u)
+		info := idx.BoundsDetail(s, u)
+		if info.Lo != lo || info.Hi != hi {
+			t.Fatalf("(%d,%d): BoundsDetail [%v,%v] != Bounds [%v,%v]", s, u, info.Lo, info.Hi, lo, hi)
+		}
+		if !inLandmarks(info.LoLandmark) || !inLandmarks(info.HiLandmark) {
+			t.Fatalf("(%d,%d): provenance names non-landmarks %d/%d", s, u, info.LoLandmark, info.HiLandmark)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"repro/internal/vecmath"
+)
+
+// LevelContribution is one hierarchy level's share of a distance
+// estimate. The decomposition follows the model's sum-of-ancestors
+// structure (Section IV): truncating both embeddings to their first
+// k+1 ancestor levels yields a partial estimate, and the contribution
+// of level k is the increment Partial_k - Partial_{k-1}. Contributions
+// telescope, so they sum exactly to Model.Estimate; a large
+// contribution at level k means the level-k local embeddings move the
+// estimate the most for this pair.
+type LevelContribution struct {
+	// Level is the hierarchy depth: 0 is the root, MaxDepth the
+	// vertex nodes.
+	Level int `json:"level"`
+	// NodeS and NodeT are the ancestor node ids of s and t at this
+	// level, or -1 where a shallow branch's path has already ended.
+	NodeS int32 `json:"node_s"`
+	NodeT int32 `json:"node_t"`
+	// Shared marks levels where both vertices sit under the same node;
+	// the local-embedding delta is zero there by construction.
+	Shared bool `json:"shared"`
+	// Partial is the estimate truncated to levels <= Level.
+	Partial float64 `json:"partial"`
+	// Contribution is Partial minus the previous level's Partial.
+	Contribution float64 `json:"contribution"`
+}
+
+// Explanation decomposes one estimate for debugging and error
+// attribution: which hierarchy levels produced the value.
+type Explanation struct {
+	S        int32   `json:"s"`
+	T        int32   `json:"t"`
+	Estimate float64 `json:"estimate"`
+	// HasHierarchy reports whether a per-level breakdown was possible.
+	// Loaded models and naive (flat) builds do not retain the partition
+	// tree, so only the total estimate is reported for them.
+	HasHierarchy bool                `json:"has_hierarchy"`
+	Levels       []LevelContribution `json:"levels,omitempty"`
+}
+
+// DominantLevel returns the level with the largest absolute
+// contribution, or -1 when no per-level breakdown is available.
+func (e Explanation) DominantLevel() int {
+	best, bestAbs := -1, 0.0
+	for _, lc := range e.Levels {
+		abs := lc.Contribution
+		if abs < 0 {
+			abs = -abs
+		}
+		if best < 0 || abs > bestAbs {
+			best, bestAbs = lc.Level, abs
+		}
+	}
+	return best
+}
+
+// ExplainEstimate decomposes the estimate for (s, t) into per-level
+// contributions. The partial sums accumulate local-embedding rows in
+// the same root-first order the build's Flatten step used, so the
+// deepest partial — and therefore the contribution total — is
+// bit-identical to Estimate on hierarchical models.
+func (m *Model) ExplainEstimate(s, t int32) Explanation {
+	ex := Explanation{S: s, T: t, Estimate: m.Estimate(s, t)}
+	if m.hier == nil {
+		return ex
+	}
+	ex.HasHierarchy = true
+
+	ancS := m.hier.H.Ancestors(s)
+	ancT := m.hier.H.Ancestors(t)
+	levels := len(ancS)
+	if len(ancT) > levels {
+		levels = len(ancT)
+	}
+	d := m.Dim()
+	prefS := make([]float64, d)
+	prefT := make([]float64, d)
+	ex.Levels = make([]LevelContribution, 0, levels)
+	prev := 0.0
+	for lev := 0; lev < levels; lev++ {
+		lc := LevelContribution{Level: lev, NodeS: -1, NodeT: -1}
+		if lev < len(ancS) {
+			lc.NodeS = ancS[lev]
+			vecmath.Sum(prefS, m.hier.Local.Row(lc.NodeS))
+		}
+		if lev < len(ancT) {
+			lc.NodeT = ancT[lev]
+			vecmath.Sum(prefT, m.hier.Local.Row(lc.NodeT))
+		}
+		lc.Shared = lc.NodeS >= 0 && lc.NodeS == lc.NodeT
+		lc.Partial = vecmath.Lp(prefS, prefT, m.p) * m.scale
+		lc.Contribution = lc.Partial - prev
+		prev = lc.Partial
+		ex.Levels = append(ex.Levels, lc)
+	}
+	return ex
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// The provenance invariant: per-level contributions telescope, so they
+// sum to exactly the estimate the query path serves. Asserted as a
+// property over random vertex pairs.
+func TestExplainEstimateContributionsSumToEstimate(t *testing.T) {
+	g := testGraph(t, 12)
+	opt := fastOptions(7)
+	opt.Epochs = 3
+	opt.FineTuneRounds = 1
+	m, _, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newRng(11)
+	n := int32(m.NumVertices())
+	for trial := 0; trial < 500; trial++ {
+		s, u := rng.Int31n(n), rng.Int31n(n)
+		ex := m.ExplainEstimate(s, u)
+		if !ex.HasHierarchy {
+			t.Fatal("fresh hierarchical build should explain per level")
+		}
+		want := m.Estimate(s, u)
+		if ex.Estimate != want {
+			t.Fatalf("(%d,%d): Explanation.Estimate %v != Estimate %v", s, u, ex.Estimate, want)
+		}
+		var sum float64
+		for _, lc := range ex.Levels {
+			sum += lc.Contribution
+		}
+		if math.Abs(sum-want) > 1e-9 {
+			t.Fatalf("(%d,%d): contributions sum to %v, estimate is %v (diff %g)",
+				s, u, sum, want, sum-want)
+		}
+		// Deepest partial must equal the estimate bit-identically: the
+		// prefix sums replay the build's flatten order.
+		if last := ex.Levels[len(ex.Levels)-1].Partial; last != want {
+			t.Fatalf("(%d,%d): deepest partial %v != estimate %v", s, u, last, want)
+		}
+	}
+}
+
+func TestExplainEstimateStructure(t *testing.T) {
+	g := testGraph(t, 10)
+	opt := fastOptions(3)
+	opt.Epochs = 2
+	opt.FineTuneRounds = 1
+	m, _, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical pair: zero estimate, every level shared with zero
+	// contribution.
+	ex := m.ExplainEstimate(4, 4)
+	if ex.Estimate != 0 {
+		t.Fatalf("self pair estimate %v", ex.Estimate)
+	}
+	for _, lc := range ex.Levels {
+		if !lc.Shared || lc.Contribution != 0 {
+			t.Fatalf("self pair level %d: shared=%v contribution=%v", lc.Level, lc.Shared, lc.Contribution)
+		}
+	}
+
+	// Distinct pair: level 0 is always the shared root, and the shared
+	// prefix contributes nothing.
+	ex = m.ExplainEstimate(0, int32(m.NumVertices()-1))
+	if len(ex.Levels) == 0 {
+		t.Fatal("no levels")
+	}
+	if !ex.Levels[0].Shared {
+		t.Fatalf("root level not shared: %+v", ex.Levels[0])
+	}
+	for _, lc := range ex.Levels {
+		if lc.Shared && lc.Contribution != 0 {
+			t.Fatalf("shared level %d contributes %v", lc.Level, lc.Contribution)
+		}
+	}
+	if dom := ex.DominantLevel(); dom < 0 || dom >= len(ex.Levels) {
+		t.Fatalf("dominant level %d out of range", dom)
+	}
+}
+
+// Loaded and naive models carry no hierarchy; the explanation degrades
+// to the total estimate instead of failing.
+func TestExplainEstimateWithoutHierarchy(t *testing.T) {
+	g, err := gen.Grid(8, 8, gen.DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastOptions(2)
+	opt.Hierarchical = false
+	opt.ActiveFineTune = false
+	opt.Epochs = 2
+	m, _, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := m.ExplainEstimate(1, 5)
+	if ex.HasHierarchy || len(ex.Levels) != 0 {
+		t.Fatalf("naive model explained per level: %+v", ex)
+	}
+	if ex.Estimate != m.Estimate(1, 5) {
+		t.Fatalf("estimate %v != %v", ex.Estimate, m.Estimate(1, 5))
+	}
+	if ex.DominantLevel() != -1 {
+		t.Fatalf("dominant level %d without hierarchy", ex.DominantLevel())
+	}
+}

@@ -68,6 +68,18 @@ func WriteAtomic(path string, write func(w io.Writer) error) (err error) {
 	return nil
 }
 
+// Rotate atomically moves path aside to path+".1", replacing any
+// previous rotation, so an appender (e.g. the query log) can reopen a
+// fresh file at path without ever presenting a truncated or
+// half-renamed log to readers. A missing source file is not an error:
+// rotating an empty log is a no-op.
+func Rotate(path string) error {
+	if err := os.Rename(path, path+".1"); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
 // CRCWriter counts and checksums everything written through it.
 // Wrap the destination while writing a payload section, then store
 // Sum32 as the trailer.

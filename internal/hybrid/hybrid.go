@@ -105,6 +105,38 @@ func (e *Estimator) Guard(s, t int32) GuardResult {
 	return r
 }
 
+// Provenance is the full guard-side explanation of one estimate: the
+// guarded result plus which landmark produced each side of the
+// certified interval. Landmark fields are -1 for identical pairs and
+// endpoint pairs no landmark reaches.
+type Provenance struct {
+	GuardResult
+	LoLandmark, HiLandmark int32
+}
+
+// Explain evaluates one pair like Guard and additionally reports the
+// tightest landmarks: the provenance an operator needs to see *why* an
+// estimate was clamped, not just that it was.
+func (e *Estimator) Explain(s, t int32) Provenance {
+	if s == t {
+		return Provenance{LoLandmark: -1, HiLandmark: -1}
+	}
+	info := e.lt.BoundsDetail(s, t)
+	raw := e.m.Estimate(s, t)
+	p := Provenance{
+		GuardResult: GuardResult{Est: raw, Raw: raw, Lo: info.Lo, Hi: info.Hi},
+		LoLandmark:  info.LoLandmark,
+		HiLandmark:  info.HiLandmark,
+	}
+	if p.Est < p.Lo {
+		p.Est, p.ClampedLow = p.Lo, true
+	}
+	if p.Est > p.Hi {
+		p.Est, p.ClampedHigh = p.Hi, true
+	}
+	return p
+}
+
 // Bounds exposes the landmark interval for (s, t) without evaluating
 // the model.
 func (e *Estimator) Bounds(s, t int32) (lo, hi float64) {

@@ -141,12 +141,36 @@ func (t *Tree) computeRadii(slot int32) float64 {
 // Size returns the number of indexed targets.
 func (t *Tree) Size() int { return t.size }
 
+// QueryStats counts the work one tree traversal did, for query
+// explainability: how much of the index the triangle-inequality
+// pruning actually skipped.
+type QueryStats struct {
+	// NodesVisited counts tree slots expanded (their vertices scored
+	// and children considered).
+	NodesVisited int `json:"nodes_visited"`
+	// NodesPruned counts subtrees never expanded: cut by the radius
+	// lower bound on Range, or still queued when KNN's best-first
+	// search terminated.
+	NodesPruned int `json:"nodes_pruned"`
+	// VertsScanned counts candidate target vertices whose embedding
+	// distance was evaluated.
+	VertsScanned int `json:"verts_scanned"`
+}
+
 // Range returns all indexed targets whose estimated network distance to
 // source is at most tau, sorted by vertex id. A negative tau yields an
 // empty result.
 func (t *Tree) Range(source int32, tau float64) []int32 {
+	out, _ := t.RangeStats(source, tau)
+	return out
+}
+
+// RangeStats is Range plus traversal counters; NodesPruned counts
+// subtrees cut by the radius lower bound (the Section VI prune).
+func (t *Tree) RangeStats(source int32, tau float64) ([]int32, QueryStats) {
+	var st QueryStats
 	if tau < 0 {
-		return nil
+		return nil, st
 	}
 	q := t.model.Vector(source)
 	var out []int32
@@ -154,8 +178,11 @@ func (t *Tree) Range(source int32, tau float64) []int32 {
 	walk = func(slot int32) {
 		center := vecmath.Lp(q, t.vectors[slot], t.p) * t.scale
 		if center-t.radius[slot] > tau {
+			st.NodesPruned++
 			return // triangle-inequality prune
 		}
+		st.NodesVisited++
+		st.VertsScanned += len(t.verts[slot])
 		for _, v := range t.verts[slot] {
 			if vecmath.Lp(q, t.model.Vector(v), t.p)*t.scale <= tau {
 				out = append(out, v)
@@ -167,7 +194,7 @@ func (t *Tree) Range(source int32, tau float64) []int32 {
 	}
 	walk(t.root)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out, st
 }
 
 // payload encoding for the kNN frontier: vertices have the low bit set.
@@ -179,8 +206,18 @@ func decodePayload(p int64) (int32, bool) { return int32(p >> 1), p&1 == 1 }
 // network distance, nearest first (best-first tree traversal with
 // lower-bound keys, the Section VI algorithm).
 func (t *Tree) KNN(source int32, k int) []int32 {
+	out, _ := t.KNNStats(source, k)
+	return out
+}
+
+// KNNStats is KNN plus traversal counters; NodesPruned counts tree
+// nodes whose lower bound kept them queued, unexpanded, when the
+// best-first search found its k results (the work the radius cutoff
+// avoided).
+func (t *Tree) KNNStats(source int32, k int) ([]int32, QueryStats) {
+	var st QueryStats
 	if k <= 0 {
-		return nil
+		return nil, st
 	}
 	q := t.model.Vector(source)
 	var pq pqueue.FloatHeap
@@ -189,6 +226,7 @@ func (t *Tree) KNN(source int32, k int) []int32 {
 		lower = 0
 	}
 	pq.Push(lower, nodePayload(t.root))
+	queuedNodes := 1
 	out := make([]int32, 0, k)
 	for pq.Len() > 0 && len(out) < k {
 		_, payload := pq.Pop()
@@ -197,6 +235,9 @@ func (t *Tree) KNN(source int32, k int) []int32 {
 			out = append(out, id)
 			continue
 		}
+		st.NodesVisited++
+		queuedNodes--
+		st.VertsScanned += len(t.verts[id])
 		for _, v := range t.verts[id] {
 			pq.Push(vecmath.Lp(q, t.model.Vector(v), t.p)*t.scale, vertPayload(v))
 		}
@@ -206,7 +247,9 @@ func (t *Tree) KNN(source int32, k int) []int32 {
 				lb = 0
 			}
 			pq.Push(lb, nodePayload(c))
+			queuedNodes++
 		}
 	}
-	return out
+	st.NodesPruned = queuedNodes
+	return out, st
 }

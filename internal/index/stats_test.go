@@ -1,0 +1,81 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The stats variants must return byte-identical results to the plain
+// queries, and their counters must be internally consistent: visits
+// bounded by the tree size, pruning + visits covering every subtree
+// the traversal touched, and pruning actually occurring on selective
+// queries.
+func TestStatsVariantsMatchAndCount(t *testing.T) {
+	m := buildModel(t)
+	n := m.NumVertices()
+	targets := make([]int32, 0, n/2)
+	for v := int32(0); v < int32(n); v += 2 {
+		targets = append(targets, v)
+	}
+	tree, err := Build(m, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalNodes := len(tree.children)
+
+	rng := rand.New(rand.NewSource(6))
+	sawRangePrune, sawKNNPrune := false, false
+	for trial := 0; trial < 50; trial++ {
+		src := int32(rng.Intn(n))
+
+		tau := m.Scale() * 0.1
+		plain := tree.Range(src, tau)
+		got, st := tree.RangeStats(src, tau)
+		if !reflect.DeepEqual(plain, got) {
+			t.Fatalf("RangeStats results diverge from Range: %v vs %v", got, plain)
+		}
+		if st.NodesVisited <= 0 || st.NodesVisited > totalNodes {
+			t.Fatalf("range visited %d of %d nodes", st.NodesVisited, totalNodes)
+		}
+		if st.NodesPruned > 0 {
+			sawRangePrune = true
+		}
+
+		k := 1 + rng.Intn(8)
+		plainK := tree.KNN(src, k)
+		gotK, stK := tree.KNNStats(src, k)
+		if !reflect.DeepEqual(plainK, gotK) {
+			t.Fatalf("KNNStats results diverge from KNN: %v vs %v", gotK, plainK)
+		}
+		if stK.NodesVisited <= 0 || stK.NodesVisited > totalNodes {
+			t.Fatalf("knn visited %d of %d nodes", stK.NodesVisited, totalNodes)
+		}
+		if stK.VertsScanned < len(gotK) {
+			t.Fatalf("knn scanned %d verts but returned %d", stK.VertsScanned, len(gotK))
+		}
+		if stK.NodesVisited+stK.NodesPruned > totalNodes {
+			t.Fatalf("knn visited %d + pruned %d exceeds %d nodes",
+				stK.NodesVisited, stK.NodesPruned, totalNodes)
+		}
+		if stK.NodesPruned > 0 {
+			sawKNNPrune = true
+		}
+	}
+	// A selective radius and small k on a 98-target tree must prune
+	// somewhere — otherwise the counters are dead.
+	if !sawRangePrune {
+		t.Fatal("no range query ever pruned a subtree")
+	}
+	if !sawKNNPrune {
+		t.Fatal("no knn query ever left a subtree unexpanded")
+	}
+
+	// Degenerate inputs keep zeroed stats.
+	if out, st := tree.RangeStats(0, -1); out != nil || st != (QueryStats{}) {
+		t.Fatalf("negative tau: %v %+v", out, st)
+	}
+	if out, st := tree.KNNStats(0, 0); out != nil || st != (QueryStats{}) {
+		t.Fatalf("k=0: %v %+v", out, st)
+	}
+}

@@ -1,0 +1,423 @@
+// Package replay re-runs recorded (or generated) query workloads
+// against a model and an exact Dijkstra oracle, offline. It turns the
+// sampled serving log (internal/qlog) into a regression harness: score
+// every query's estimate against ground truth, aggregate relative
+// error per distance band and per hierarchy level, reproduce the live
+// drift monitor's band scores from the logged guard bounds (same
+// bucketing, via telemetry.DriftBand/DriftDeviation), and diff two
+// runs to a machine-readable ok/regression verdict. A model change
+// can then be gated on "no error profile regression against recorded
+// production traffic" before it ships.
+package replay
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+	"repro/internal/qlog"
+	"repro/internal/sssp"
+	"repro/internal/telemetry"
+)
+
+// Query is one replayable (source, target) pair.
+type Query struct {
+	S, T int32
+}
+
+// ReadLog parses a qlog JSONL stream into replayable queries. Blank
+// lines are skipped; a malformed line is an error (a truncated log
+// should fail loudly, not silently shrink the workload).
+func ReadLog(r io.Reader) ([]Query, error) {
+	var out []Query
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec qlog.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("replay: log line %d: %w", line, err)
+		}
+		out = append(out, Query{S: rec.S, T: rec.T})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("replay: reading log: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("replay: log holds no queries")
+	}
+	return out, nil
+}
+
+// ReadLogFile is ReadLog over a file path.
+func ReadLogFile(path string) ([]Query, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	defer f.Close()
+	return ReadLog(f)
+}
+
+// GenerateWorkload produces n deterministic uniform-random queries
+// over [0, numVertices), for replay runs without a recorded log.
+func GenerateWorkload(numVertices, n int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Query, n)
+	for i := range out {
+		out[i] = Query{S: rng.Int31n(int32(numVertices)), T: rng.Int31n(int32(numVertices))}
+	}
+	return out
+}
+
+// Options tunes a replay run.
+type Options struct {
+	// Bands is the number of distance bands (<= 0 selects
+	// telemetry.DefaultDriftBands, matching the serving drift monitor).
+	Bands int
+	// MaxDist scales the bands (<= 0 uses the model's distance
+	// normalizer, exactly as the server configures its drift monitor).
+	MaxDist float64
+}
+
+// BandStats aggregates relative error over one exact-distance band.
+type BandStats struct {
+	Band    int     `json:"band"`
+	Count   int     `json:"count"`
+	MeanRel float64 `json:"mean_rel"`
+	MaxRel  float64 `json:"max_rel"`
+}
+
+// DriftBandStats mirrors one band of the live drift monitor: the raw
+// estimate's deviation from the certified-interval midpoint, bucketed
+// by midpoint with telemetry.DriftBand. Counts and means match what
+// the server's rne_drift_band_error histograms would have recorded
+// for the same traffic.
+type DriftBandStats struct {
+	Band          int     `json:"band"`
+	Count         int     `json:"count"`
+	MeanDeviation float64 `json:"mean_deviation"`
+}
+
+// LevelStats attributes error to one hierarchy level: the queries
+// whose estimate that level dominated (largest absolute contribution,
+// per core.Explanation) and their mean relative error. A level with a
+// high mean marks the part of the partition tree whose embeddings are
+// hurting accuracy.
+type LevelStats struct {
+	Level   int     `json:"level"`
+	Count   int     `json:"count"`
+	MeanRel float64 `json:"mean_rel"`
+}
+
+// Report is one replay run's aggregate, serialized to BENCH_replay.json.
+type Report struct {
+	Queries int `json:"queries"`
+	// Skipped counts queries with no usable ground truth: identical
+	// endpoints or unreachable pairs.
+	Skipped      int     `json:"skipped"`
+	Guarded      bool    `json:"guarded"`
+	HasHierarchy bool    `json:"has_hierarchy"`
+	Bands        int     `json:"bands"`
+	MaxDist      float64 `json:"max_dist"`
+
+	MeanRel float64 `json:"mean_rel"`
+	P50Rel  float64 `json:"p50_rel"`
+	P95Rel  float64 `json:"p95_rel"`
+	P99Rel  float64 `json:"p99_rel"`
+	MaxRel  float64 `json:"max_rel"`
+
+	ByDistance []BandStats      `json:"by_distance"`
+	Drift      []DriftBandStats `json:"drift,omitempty"`
+	ByLevel    []LevelStats     `json:"by_level,omitempty"`
+}
+
+// Run replays queries against the model (guarded when guard is
+// non-nil, exactly like the server would serve them) and scores every
+// answer against exact Dijkstra distances on g. Queries are grouped by
+// source so ground truth costs one SSSP per distinct source, not per
+// query.
+func Run(m *core.Model, guard *hybrid.Estimator, g *graph.Graph, queries []Query, opt Options) (*Report, error) {
+	if m == nil || g == nil {
+		return nil, fmt.Errorf("replay: need a model and a graph")
+	}
+	n := m.NumVertices()
+	if g.NumVertices() != n {
+		return nil, fmt.Errorf("replay: graph covers %d vertices but model covers %d (different graphs?)", g.NumVertices(), n)
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("replay: empty workload")
+	}
+	for i, q := range queries {
+		if q.S < 0 || int(q.S) >= n || q.T < 0 || int(q.T) >= n {
+			return nil, fmt.Errorf("replay: query %d (%d,%d) outside [0,%d)", i, q.S, q.T, n)
+		}
+	}
+	bands := opt.Bands
+	if bands <= 0 {
+		bands = telemetry.DefaultDriftBands
+	}
+	maxDist := opt.MaxDist
+	if !(maxDist > 0) {
+		maxDist = m.Scale()
+	}
+	if !(maxDist > 0) || math.IsInf(maxDist, 0) {
+		return nil, fmt.Errorf("replay: need a positive finite band scale, got %v", maxDist)
+	}
+
+	rep := &Report{
+		Queries:      len(queries),
+		Guarded:      guard != nil,
+		HasHierarchy: m.Hierarchy() != nil,
+		Bands:        bands,
+		MaxDist:      maxDist,
+	}
+
+	// Group by source: one Dijkstra per distinct source.
+	order := make([]int, len(queries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return queries[order[a]].S < queries[order[b]].S })
+
+	ws := sssp.NewWorkspace(g)
+	var dist []float64
+	lastSource := int32(-1)
+
+	rels := make([]float64, 0, len(queries))
+	distBands := make([]BandStats, bands)
+	driftBands := make([]DriftBandStats, bands)
+	driftSums := make([]float64, bands)
+	relSums := make([]float64, bands)
+	var levelCounts []int
+	var levelSums []float64
+	if rep.HasHierarchy {
+		nLevels := m.Hierarchy().MaxDepth() + 1
+		levelCounts = make([]int, nLevels)
+		levelSums = make([]float64, nLevels)
+	}
+
+	for _, qi := range order {
+		q := queries[qi]
+		if q.S != lastSource {
+			dist = ws.FromSource(q.S, dist)
+			lastSource = q.S
+		}
+		exact := dist[q.T]
+		if q.S == q.T || !(exact > 0) || exact >= sssp.Inf {
+			rep.Skipped++
+			continue
+		}
+
+		var est float64
+		if guard != nil {
+			gr := guard.Guard(q.S, q.T)
+			est = gr.Est
+			// Score the drift proxy exactly as the live monitor does:
+			// same deviation formula, same midpoint bucketing.
+			if errv, ok := telemetry.DriftDeviation(gr.Raw, gr.Lo, gr.Hi); ok {
+				b := telemetry.DriftBand((gr.Lo+gr.Hi)/2, maxDist, bands)
+				driftBands[b].Count++
+				driftSums[b] += errv
+			}
+		} else {
+			est = m.Estimate(q.S, q.T)
+		}
+
+		rel := math.Abs(est-exact) / exact
+		rels = append(rels, rel)
+		b := telemetry.DriftBand(exact, maxDist, bands)
+		distBands[b].Count++
+		relSums[b] += rel
+		if rel > distBands[b].MaxRel {
+			distBands[b].MaxRel = rel
+		}
+
+		if rep.HasHierarchy {
+			if lev := m.ExplainEstimate(q.S, q.T).DominantLevel(); lev >= 0 {
+				levelCounts[lev]++
+				levelSums[lev] += rel
+			}
+		}
+	}
+
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("replay: no scorable queries (all %d skipped)", rep.Skipped)
+	}
+	sort.Float64s(rels)
+	sum := 0.0
+	for _, r := range rels {
+		sum += r
+	}
+	rep.MeanRel = sum / float64(len(rels))
+	rep.P50Rel = quantile(rels, 0.50)
+	rep.P95Rel = quantile(rels, 0.95)
+	rep.P99Rel = quantile(rels, 0.99)
+	rep.MaxRel = rels[len(rels)-1]
+
+	for b := range distBands {
+		distBands[b].Band = b
+		if distBands[b].Count > 0 {
+			distBands[b].MeanRel = relSums[b] / float64(distBands[b].Count)
+			rep.ByDistance = append(rep.ByDistance, distBands[b])
+		}
+	}
+	if guard != nil {
+		for b := range driftBands {
+			driftBands[b].Band = b
+			if driftBands[b].Count > 0 {
+				driftBands[b].MeanDeviation = driftSums[b] / float64(driftBands[b].Count)
+				rep.Drift = append(rep.Drift, driftBands[b])
+			}
+		}
+	}
+	for lev := range levelCounts {
+		if levelCounts[lev] > 0 {
+			rep.ByLevel = append(rep.ByLevel, LevelStats{
+				Level:   lev,
+				Count:   levelCounts[lev],
+				MeanRel: levelSums[lev] / float64(levelCounts[lev]),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// quantile over an ascending-sorted slice (nearest-rank on the upper
+// side, matching internal/metrics).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// WriteHuman renders the report for a terminal.
+func (r *Report) WriteHuman(w io.Writer) {
+	fmt.Fprintf(w, "replay: %d queries (%d skipped), guard=%v, hierarchy=%v\n",
+		r.Queries, r.Skipped, r.Guarded, r.HasHierarchy)
+	fmt.Fprintf(w, "  rel err  mean %.3f%%  p50 %.3f%%  p95 %.3f%%  p99 %.3f%%  max %.3f%%\n",
+		r.MeanRel*100, r.P50Rel*100, r.P95Rel*100, r.P99Rel*100, r.MaxRel*100)
+	for _, b := range r.ByDistance {
+		fmt.Fprintf(w, "  band %02d  n=%-6d mean %.3f%%  max %.3f%%\n",
+			b.Band, b.Count, b.MeanRel*100, b.MaxRel*100)
+	}
+	for _, b := range r.Drift {
+		fmt.Fprintf(w, "  drift band %02d  n=%-6d mean dev %.3f%%\n",
+			b.Band, b.Count, b.MeanDeviation*100)
+	}
+	for _, l := range r.ByLevel {
+		fmt.Fprintf(w, "  level %d dominant  n=%-6d mean rel %.3f%%\n",
+			l.Level, l.Count, l.MeanRel*100)
+	}
+}
+
+// Tolerances bound how much worse a current run may score before Diff
+// calls it a regression. Zero values select the defaults.
+type Tolerances struct {
+	// RelFactor is the allowed fractional worsening (default 0.10:
+	// current may be up to 10% worse than baseline).
+	RelFactor float64
+	// AbsSlack is an absolute relative-error slack added on top, so
+	// near-zero baselines do not flag on noise (default 0.005).
+	AbsSlack float64
+	// MinBandCount is the per-band sample floor below which a band is
+	// too noisy to judge (default 20).
+	MinBandCount int
+}
+
+func (t Tolerances) withDefaults() Tolerances {
+	if t.RelFactor <= 0 {
+		t.RelFactor = 0.10
+	}
+	if t.AbsSlack <= 0 {
+		t.AbsSlack = 0.005
+	}
+	if t.MinBandCount <= 0 {
+		t.MinBandCount = 20
+	}
+	return t
+}
+
+// DiffResult is the regression verdict comparing two replay reports.
+type DiffResult struct {
+	// Verdict is "ok" or "regression".
+	Verdict string `json:"verdict"`
+	// Reasons lists every check that failed, empty when ok.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Regressed reports whether the diff flagged a regression.
+func (d DiffResult) Regressed() bool { return d.Verdict == "regression" }
+
+// Diff compares a current replay report against a baseline: aggregate
+// error quantiles plus per-distance-band means (bands with enough
+// samples on both sides). Worse-than-tolerance on any check yields
+// verdict "regression" with every failing check named.
+func Diff(baseline, current *Report, tol Tolerances) DiffResult {
+	tol = tol.withDefaults()
+	worse := func(cur, base float64) bool {
+		return cur > base*(1+tol.RelFactor)+tol.AbsSlack
+	}
+	var reasons []string
+	check := func(name string, cur, base float64) {
+		if worse(cur, base) {
+			reasons = append(reasons,
+				fmt.Sprintf("%s regressed: %.4f -> %.4f (tolerance %.0f%%+%.3f)",
+					name, base, cur, tol.RelFactor*100, tol.AbsSlack))
+		}
+	}
+	check("mean_rel", current.MeanRel, baseline.MeanRel)
+	check("p95_rel", current.P95Rel, baseline.P95Rel)
+	check("p99_rel", current.P99Rel, baseline.P99Rel)
+
+	baseBands := make(map[int]BandStats, len(baseline.ByDistance))
+	for _, b := range baseline.ByDistance {
+		baseBands[b.Band] = b
+	}
+	for _, cur := range current.ByDistance {
+		base, ok := baseBands[cur.Band]
+		if !ok || base.Count < tol.MinBandCount || cur.Count < tol.MinBandCount {
+			continue
+		}
+		check(fmt.Sprintf("band %02d mean_rel", cur.Band), cur.MeanRel, base.MeanRel)
+	}
+
+	if len(reasons) > 0 {
+		return DiffResult{Verdict: "regression", Reasons: reasons}
+	}
+	return DiffResult{Verdict: "ok"}
+}
+
+// LoadReport reads a JSON report written by a previous run (the
+// -baseline input).
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("replay: parsing report %s: %w", path, err)
+	}
+	return &rep, nil
+}

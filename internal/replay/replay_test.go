@@ -1,0 +1,277 @@
+package replay
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/alt"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+	"repro/internal/sssp"
+	"repro/internal/telemetry"
+)
+
+func buildFixture(t *testing.T) (*graph.Graph, *core.Model, *hybrid.Estimator) {
+	t.Helper()
+	g, err := gen.Grid(12, 12, gen.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions(3)
+	opt.Dim = 16
+	opt.Epochs = 3
+	opt.VertexSampleRatio = 20
+	opt.FineTuneRounds = 1
+	opt.HierSampleCap = 5000
+	opt.ValidationPairs = 100
+	m, _, err := core.Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := alt.Build(g, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard, err := hybrid.New(m, lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, m, guard
+}
+
+func TestReadLog(t *testing.T) {
+	log := `{"ts":1,"s":3,"t":7,"estimate":1.5,"latency_us":10}
+
+{"ts":2,"s":0,"t":9,"estimate":2.5,"latency_us":12}
+`
+	qs, err := ReadLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 || qs[0] != (Query{3, 7}) || qs[1] != (Query{0, 9}) {
+		t.Fatalf("parsed %v", qs)
+	}
+	if _, err := ReadLog(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if _, err := ReadLog(strings.NewReader("")); err == nil {
+		t.Fatal("empty log accepted")
+	}
+}
+
+func TestGenerateWorkloadDeterministic(t *testing.T) {
+	a := GenerateWorkload(100, 50, 7)
+	b := GenerateWorkload(100, 50, 7)
+	if len(a) != 50 {
+		t.Fatalf("generated %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+		if a[i].S < 0 || a[i].S >= 100 || a[i].T < 0 || a[i].T >= 100 {
+			t.Fatalf("query %v out of range", a[i])
+		}
+	}
+	c := GenerateWorkload(100, 50, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+// Run's aggregate error must match an independent per-query
+// recomputation over the same workload.
+func TestRunScoresAgainstOracle(t *testing.T) {
+	g, m, _ := buildFixture(t)
+	queries := GenerateWorkload(m.NumVertices(), 400, 5)
+	rep, err := Run(m, nil, g, queries, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 400 || rep.Guarded || !rep.HasHierarchy {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+
+	ws := sssp.NewWorkspace(g)
+	sum, count, maxRel, skipped := 0.0, 0, 0.0, 0
+	for _, q := range queries {
+		exact := ws.Distance(q.S, q.T)
+		if q.S == q.T || !(exact > 0) || exact >= sssp.Inf {
+			skipped++
+			continue
+		}
+		rel := math.Abs(m.Estimate(q.S, q.T)-exact) / exact
+		sum += rel
+		count++
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	if rep.Skipped != skipped {
+		t.Fatalf("skipped %d, want %d", rep.Skipped, skipped)
+	}
+	if math.Abs(rep.MeanRel-sum/float64(count)) > 1e-12 {
+		t.Fatalf("mean rel %v, want %v", rep.MeanRel, sum/float64(count))
+	}
+	if math.Abs(rep.MaxRel-maxRel) > 1e-12 {
+		t.Fatalf("max rel %v, want %v", rep.MaxRel, maxRel)
+	}
+	if rep.P50Rel > rep.P95Rel || rep.P95Rel > rep.P99Rel || rep.P99Rel > rep.MaxRel {
+		t.Fatalf("quantiles out of order: %+v", rep)
+	}
+	bandTotal := 0
+	for _, b := range rep.ByDistance {
+		bandTotal += b.Count
+		if b.MaxRel > rep.MaxRel+1e-12 {
+			t.Fatalf("band %d max %v exceeds global max %v", b.Band, b.MaxRel, rep.MaxRel)
+		}
+	}
+	if bandTotal != count {
+		t.Fatalf("band counts sum to %d, scored %d", bandTotal, count)
+	}
+	levelTotal := 0
+	for _, l := range rep.ByLevel {
+		levelTotal += l.Count
+	}
+	if levelTotal != count {
+		t.Fatalf("level counts sum to %d, scored %d", levelTotal, count)
+	}
+}
+
+// The acceptance property: a guarded replay reproduces the live drift
+// monitor's per-band scores — same deviation formula, same bucketing —
+// for identical traffic.
+func TestRunReproducesDriftMonitor(t *testing.T) {
+	g, m, guard := buildFixture(t)
+	queries := GenerateWorkload(m.NumVertices(), 600, 9)
+	rep, err := Run(m, guard, g, queries, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Guarded || len(rep.Drift) == 0 {
+		t.Fatalf("guarded run produced no drift bands: %+v", rep)
+	}
+
+	// Feed the same traffic to a real DriftMonitor, as the server would.
+	reg := telemetry.NewRegistry()
+	mon, err := telemetry.NewDriftMonitor(reg, m.Scale(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		gr := guard.Guard(q.S, q.T)
+		mon.Observe(gr.Raw, gr.Lo, gr.Hi)
+	}
+
+	// The monitor's band histograms are reachable by re-registering the
+	// same name+label series on the same registry.
+	const help = "Relative deviation of raw estimates from certified-bound midpoints, by distance band."
+	seen := 0
+	for b := 0; b < mon.Bands(); b++ {
+		h := reg.Histogram("rne_drift_band_error", help,
+			telemetry.RelErrorBuckets, "band", fmt.Sprintf("%02d", b))
+		var got *DriftBandStats
+		for i := range rep.Drift {
+			if rep.Drift[i].Band == b {
+				got = &rep.Drift[i]
+			}
+		}
+		if h.Count() == 0 {
+			if got != nil {
+				t.Fatalf("band %d: replay has %d observations, monitor none", b, got.Count)
+			}
+			continue
+		}
+		seen++
+		if got == nil {
+			t.Fatalf("band %d: monitor has %d observations, replay none", b, h.Count())
+		}
+		if int64(got.Count) != h.Count() {
+			t.Fatalf("band %d: replay count %d, monitor count %d", b, got.Count, h.Count())
+		}
+		monMean := h.Sum() / float64(h.Count())
+		if math.Abs(got.MeanDeviation-monMean) > 1e-12 {
+			t.Fatalf("band %d: replay mean %v, monitor mean %v", b, got.MeanDeviation, monMean)
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no populated drift bands to compare")
+	}
+}
+
+func TestDiffVerdicts(t *testing.T) {
+	base := &Report{
+		MeanRel: 0.020, P95Rel: 0.060, P99Rel: 0.090,
+		ByDistance: []BandStats{
+			{Band: 3, Count: 100, MeanRel: 0.020},
+			{Band: 7, Count: 5, MeanRel: 0.010}, // under MinBandCount: never judged
+		},
+	}
+
+	if d := Diff(base, base, Tolerances{}); d.Regressed() || len(d.Reasons) != 0 {
+		t.Fatalf("identical reports diffed as %+v", d)
+	}
+
+	better := *base
+	better.MeanRel, better.P95Rel, better.P99Rel = 0.010, 0.030, 0.050
+	if d := Diff(base, &better, Tolerances{}); d.Regressed() {
+		t.Fatalf("improvement diffed as %+v", d)
+	}
+
+	// Injected regression: well past the 10% + 0.005 tolerance.
+	worse := *base
+	worse.P95Rel = 0.120
+	d := Diff(base, &worse, Tolerances{})
+	if !d.Regressed() {
+		t.Fatalf("2x p95 not flagged: %+v", d)
+	}
+	if len(d.Reasons) == 0 || !strings.Contains(d.Reasons[0], "p95_rel") {
+		t.Fatalf("reasons don't name the failing check: %v", d.Reasons)
+	}
+
+	// A regressed band with enough samples on both sides is flagged...
+	bandWorse := *base
+	bandWorse.ByDistance = []BandStats{{Band: 3, Count: 100, MeanRel: 0.080}}
+	if d := Diff(base, &bandWorse, Tolerances{}); !d.Regressed() {
+		t.Fatal("band regression not flagged")
+	}
+	// ...a noisy small band is not.
+	smallWorse := *base
+	smallWorse.ByDistance = []BandStats{{Band: 7, Count: 5, MeanRel: 0.500}}
+	if d := Diff(base, &smallWorse, Tolerances{}); d.Regressed() {
+		t.Fatalf("under-sampled band flagged: %+v", d)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g, m, _ := buildFixture(t)
+	if _, err := Run(nil, nil, g, []Query{{0, 1}}, Options{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := Run(m, nil, g, nil, Options{}); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	if _, err := Run(m, nil, g, []Query{{0, int32(m.NumVertices())}}, Options{}); err == nil {
+		t.Fatal("out-of-range query accepted")
+	}
+	small, err := gen.Grid(4, 4, gen.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(m, nil, small, []Query{{0, 1}}, Options{}); err == nil {
+		t.Fatal("mismatched graph accepted")
+	}
+	if _, err := Run(m, nil, g, []Query{{2, 2}}, Options{}); err == nil {
+		t.Fatal("all-skipped workload should error, not emit an empty report")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hybrid"
 	"repro/internal/index"
+	"repro/internal/qlog"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
 )
@@ -48,6 +49,12 @@ type Config struct {
 	// (<= 0 selects telemetry.DefaultDriftBands / DefaultDriftWarmup).
 	DriftBands  int
 	DriftWarmup int
+	// QueryLog, when its Path is non-empty, samples served /distance and
+	// /batch queries into an async JSONL log (see internal/qlog) that
+	// cmd/rnereplay can re-run offline. The server owns the logger
+	// (Close flushes it) and exports its drop/write counters on /metrics
+	// as rne_qlog_dropped_total / rne_qlog_written_total.
+	QueryLog qlog.Config
 }
 
 const defaultMaxBatchBytes = 8 << 20
@@ -69,6 +76,9 @@ type Server struct {
 	// drift watches serving accuracy from the certified guard bounds;
 	// nil (guard disabled or degenerate model scale) is a no-op.
 	drift *telemetry.DriftMonitor
+
+	// qlog samples served queries to a JSONL file; nil disables.
+	qlog *qlog.Logger
 }
 
 // New returns a server for the model with default hardening; idx may
@@ -92,7 +102,7 @@ func NewWithConfig(model *core.Model, idx *index.Tree, cfg Config) (*Server, err
 			cfg.Guard.NumVertices(), model.NumVertices())
 	}
 	s := &Server{model: model, idx: idx, cfg: cfg, stats: resilience.NewStats()}
-	s.stats.TrackRoutes("/distance", "/batch", "/knn", "/range")
+	s.stats.TrackRoutes("/distance", "/batch", "/knn", "/range", "/explain")
 	if cfg.Guard != nil {
 		s.guardChecked = s.stats.Counter("guard_checked")
 		s.guardClampedLow = s.stats.Counter("guard_clamped_low")
@@ -104,8 +114,46 @@ func NewWithConfig(model *core.Model, idx *index.Tree, cfg Config) (*Server, err
 			s.drift = d
 		}
 	}
+	if cfg.QueryLog.Path != "" {
+		// Chain the /metrics counters in front of any caller-supplied
+		// callbacks so drops are observable even on an unattended server.
+		dropped := s.stats.Counter("qlog_dropped")
+		written := s.stats.Counter("qlog_written")
+		qc := cfg.QueryLog
+		callerDrop, callerWrite := qc.OnDrop, qc.OnWrite
+		qc.OnDrop = func() {
+			dropped.Inc()
+			if callerDrop != nil {
+				callerDrop()
+			}
+		}
+		qc.OnWrite = func() {
+			written.Inc()
+			if callerWrite != nil {
+				callerWrite()
+			}
+		}
+		ql, err := qlog.New(qc)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.qlog = ql
+	}
 	return s, nil
 }
+
+// Close flushes and closes the query log, if one is configured. Safe
+// to call whether or not serving ever started.
+func (s *Server) Close() error {
+	if s.qlog == nil {
+		return nil
+	}
+	return s.qlog.Close()
+}
+
+// QueryLog exposes the sampled query logger (nil when disabled), so
+// operators and tests can read its seen/sampled/dropped counters.
+func (s *Server) QueryLog() *qlog.Logger { return s.qlog }
 
 // Stats exposes the request counters backing /statz.
 func (s *Server) Stats() *resilience.Stats { return s.stats }
@@ -118,10 +166,11 @@ func (s *Server) Stats() *resilience.Stats { return s.stats }
 //	GET  /readyz                     readiness (degraded without spatial index)
 //	GET  /statz                      request/latency/status counters (JSON)
 //	GET  /metrics                    Prometheus text exposition
-//	GET  /distance?s=<id>&t=<id>     one estimate
+//	GET  /distance?s=<id>&t=<id>     one estimate (&explain=1 adds provenance)
 //	POST /batch                      {"pairs":[[s,t],...]} -> {"distances":[...]}
-//	GET  /knn?s=<id>&k=<n>           k nearest indexed targets
-//	GET  /range?s=<id>&tau=<dist>    indexed targets within tau
+//	GET  /knn?s=<id>&k=<n>           k nearest indexed targets (&explain=1 adds traversal stats)
+//	GET  /range?s=<id>&tau=<dist>    indexed targets within tau (&explain=1 adds traversal stats)
+//	GET  /explain?s=<id>&t=<id>      full estimate provenance (per-level + guard)
 //
 // Request-ID assignment sits outermost so every log line and error
 // response — including shed and timed-out requests — carries an ID.
@@ -133,6 +182,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /metrics", s.stats.Registry().Handler())
 	mux.HandleFunc("GET /distance", s.handleDistance)
 	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /knn", s.handleKNN)
 	mux.HandleFunc("GET /range", s.handleRange)
 	h := resilience.Wrap(mux, resilience.Options{
@@ -170,14 +220,31 @@ func (s *Server) vertexParam(r *http.Request, name string) (int32, error) {
 	return int32(v), nil
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
+// modelMeta is the model-shape block shared by /healthz and /readyz,
+// so probes and dashboards can tell *which* model a replica serves:
+// vertex count, embedding dimension, hierarchy depth (0 for loaded or
+// naive models, which drop the partition tree) and whether the ALT
+// guard is active.
+func (s *Server) modelMeta() map[string]any {
+	levels := 0
+	if h := s.model.Hierarchy(); h != nil {
+		levels = h.MaxDepth() + 1
+	}
+	return map[string]any{
 		"vertices": s.model.NumVertices(),
 		"dim":      s.model.Dim(),
+		"levels":   levels,
 		"spatial":  s.idx != nil,
 		"guard":    s.cfg.Guard != nil,
-	})
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{"status": "ok"}
+	for k, v := range s.modelMeta() {
+		out[k] = v
+	}
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // handleReady reports readiness, distinct from /healthz liveness: a
@@ -190,16 +257,88 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, map[string]any{
 			"status":   "degraded",
 			"degraded": []string{"spatial index absent: /knn and /range answer 501"},
+			"model":    s.modelMeta(),
 		})
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ready",
 		"targets": s.idx.Size(),
+		"model":   s.modelMeta(),
 	})
 }
 
+// wantExplain reports whether the request opted into provenance
+// (?explain=1 or any other truthy value strconv accepts).
+func wantExplain(r *http.Request) bool {
+	ok, _ := strconv.ParseBool(r.URL.Query().Get("explain"))
+	return ok
+}
+
+// guardExplanation is the guard-side provenance block attached to
+// explained responses: the raw (pre-clamp) estimate, the certified
+// interval, which way it clamped, and the landmarks that produced each
+// bound.
+type guardExplanation struct {
+	Raw        float64 `json:"raw"`
+	Lo         float64 `json:"lo"`
+	Hi         float64 `json:"hi"`
+	Clamp      string  `json:"clamp,omitempty"` // "", "low", "high"
+	LoLandmark int32   `json:"lo_landmark"`
+	HiLandmark int32   `json:"hi_landmark"`
+}
+
+func clampDirection(g hybrid.GuardResult) string {
+	switch {
+	case g.ClampedLow:
+		return "low"
+	case g.ClampedHigh:
+		return "high"
+	default:
+		return ""
+	}
+}
+
+// explainGuard evaluates one pair with full guard provenance while
+// still maintaining the clamp counters and drift monitor, so explained
+// queries are first-class traffic, not a monitoring blind spot.
+func (s *Server) explainGuard(src, dst int32) (hybrid.GuardResult, guardExplanation) {
+	p := s.cfg.Guard.Explain(src, dst)
+	s.countGuard(p.GuardResult)
+	return p.GuardResult, guardExplanation{
+		Raw: p.Raw, Lo: p.Lo, Hi: p.Hi,
+		Clamp:      clampDirection(p.GuardResult),
+		LoLandmark: p.LoLandmark,
+		HiLandmark: p.HiLandmark,
+	}
+}
+
+// logQuery samples one served estimate into the query log, tagging it
+// with the request ID the telemetry middleware assigned. g carries the
+// guard provenance when guard mode served the query (nil otherwise).
+func (s *Server) logQuery(r *http.Request, route string, src, dst int32, est float64, g *hybrid.GuardResult, start time.Time) {
+	if s.qlog == nil {
+		return
+	}
+	rec := qlog.Record{
+		TimeUnixNano: start.UnixNano(),
+		RequestID:    telemetry.RequestIDFrom(r.Context()),
+		Route:        route,
+		S:            src,
+		T:            dst,
+		Estimate:     est,
+		LatencyUS:    float64(time.Since(start).Nanoseconds()) / 1e3,
+	}
+	if g != nil {
+		rec.Raw, rec.Lo, rec.Hi = g.Raw, g.Lo, g.Hi
+		rec.HasBounds = true
+		rec.Clamp = clampDirection(*g)
+	}
+	s.qlog.Observe(rec)
+}
+
 func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	src, err := s.vertexParam(r, "s")
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
@@ -210,17 +349,61 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	explain := wantExplain(r)
 	if s.cfg.Guard != nil {
-		g := s.guardedEstimate(src, dst)
-		s.writeJSON(w, http.StatusOK, map[string]any{
-			"s": src, "t": dst, "distance": g.Est,
-			"lo": g.Lo, "hi": g.Hi, "clamped": g.ClampedLow || g.ClampedHigh,
-		})
+		var g hybrid.GuardResult
+		out := map[string]any{"s": src, "t": dst}
+		if explain {
+			var ge guardExplanation
+			g, ge = s.explainGuard(src, dst)
+			out["guard"] = ge
+			out["model"] = s.model.ExplainEstimate(src, dst)
+		} else {
+			g = s.guardedEstimate(src, dst)
+		}
+		out["distance"], out["lo"], out["hi"] = g.Est, g.Lo, g.Hi
+		out["clamped"] = g.ClampedLow || g.ClampedHigh
+		s.logQuery(r, "/distance", src, dst, g.Est, &g, start)
+		s.writeJSON(w, http.StatusOK, out)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"s": src, "t": dst, "distance": s.model.Estimate(src, dst),
-	})
+	est := s.model.Estimate(src, dst)
+	out := map[string]any{"s": src, "t": dst, "distance": est}
+	if explain {
+		out["model"] = s.model.ExplainEstimate(src, dst)
+	}
+	s.logQuery(r, "/distance", src, dst, est, nil, start)
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleExplain is the dedicated provenance endpoint: the response a
+// /distance?explain=1 call would produce, plus the dominant level, in
+// one place operators can hit when debugging a suspicious estimate.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	src, err := s.vertexParam(r, "s")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	dst, err := s.vertexParam(r, "t")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ex := s.model.ExplainEstimate(src, dst)
+	out := map[string]any{
+		"s": src, "t": dst,
+		"model":          ex,
+		"dominant_level": ex.DominantLevel(),
+	}
+	est := ex.Estimate
+	if s.cfg.Guard != nil {
+		g, ge := s.explainGuard(src, dst)
+		est = g.Est
+		out["guard"] = ge
+	}
+	out["distance"] = est
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // guardedEstimate evaluates one pair under the ALT guardrail,
@@ -228,6 +411,11 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 // monitor with the raw estimate against the certified interval.
 func (s *Server) guardedEstimate(src, dst int32) hybrid.GuardResult {
 	g := s.cfg.Guard.Guard(src, dst)
+	s.countGuard(g)
+	return g
+}
+
+func (s *Server) countGuard(g hybrid.GuardResult) {
 	s.guardChecked.Inc()
 	if g.ClampedLow {
 		s.guardClampedLow.Inc()
@@ -236,7 +424,6 @@ func (s *Server) guardedEstimate(src, dst int32) hybrid.GuardResult {
 		s.guardClampedHigh.Inc()
 	}
 	s.drift.Observe(g.Raw, g.Lo, g.Hi)
-	return g
 }
 
 // batchRequest is the /batch payload.
@@ -246,7 +433,17 @@ type batchRequest struct {
 
 const maxBatch = 1 << 20
 
+// batchExplanation is the per-pair provenance attached when /batch is
+// called with ?explain=1: compact (dominant level + clamp provenance)
+// rather than the full per-level table, which at maxBatch pairs would
+// dwarf the distances themselves.
+type batchExplanation struct {
+	DominantLevel int               `json:"dominant_level"`
+	Guard         *guardExplanation `json:"guard,omitempty"`
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	// Bound request memory before decoding: a client cannot make the
 	// decoder buffer an unbounded body.
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
@@ -279,21 +476,41 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		ss[i], ts[i] = p[0], p[1]
 	}
+	explain := wantExplain(r)
+	var explanations []batchExplanation
+	if explain {
+		explanations = make([]batchExplanation, len(ss))
+	}
 	if s.cfg.Guard != nil {
 		out := make([]float64, len(ss))
 		lo := make([]float64, len(ss))
 		hi := make([]float64, len(ss))
 		clamped := 0
 		for i := range ss {
-			g := s.guardedEstimate(ss[i], ts[i])
+			var g hybrid.GuardResult
+			if explain {
+				var ge guardExplanation
+				g, ge = s.explainGuard(ss[i], ts[i])
+				explanations[i] = batchExplanation{
+					DominantLevel: s.model.ExplainEstimate(ss[i], ts[i]).DominantLevel(),
+					Guard:         &ge,
+				}
+			} else {
+				g = s.guardedEstimate(ss[i], ts[i])
+			}
 			out[i], lo[i], hi[i] = g.Est, g.Lo, g.Hi
 			if g.ClampedLow || g.ClampedHigh {
 				clamped++
 			}
+			s.logQuery(r, "/batch", ss[i], ts[i], g.Est, &g, start)
 		}
-		s.writeJSON(w, http.StatusOK, map[string]any{
+		resp := map[string]any{
 			"distances": out, "lo": lo, "hi": hi, "clamped_count": clamped,
-		})
+		}
+		if explain {
+			resp["explain"] = explanations
+		}
+		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	out := make([]float64, len(ss))
@@ -301,7 +518,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"distances": out})
+	for i := range ss {
+		if explain {
+			explanations[i] = batchExplanation{
+				DominantLevel: s.model.ExplainEstimate(ss[i], ts[i]).DominantLevel(),
+			}
+		}
+		s.logQuery(r, "/batch", ss[i], ts[i], out[i], nil, start)
+	}
+	resp := map[string]any{"distances": out}
+	if explain {
+		resp["explain"] = explanations
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -319,12 +548,16 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "k must be in [1,%d]", s.idx.Size())
 		return
 	}
-	results := s.idx.KNN(src, k)
+	results, st := s.idx.KNNStats(src, k)
 	dists := make([]float64, len(results))
 	for i, v := range results {
 		dists[i] = s.model.Estimate(src, v)
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"targets": results, "distances": dists})
+	resp := map[string]any{"targets": results, "distances": dists}
+	if wantExplain(r) {
+		resp["stats"] = st
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
@@ -342,9 +575,13 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "tau must be a non-negative number")
 		return
 	}
-	results := s.idx.Range(src, tau)
+	results, st := s.idx.RangeStats(src, tau)
 	if results == nil {
 		results = []int32{}
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"targets": results})
+	resp := map[string]any{"targets": results}
+	if wantExplain(r) {
+		resp["stats"] = st
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }

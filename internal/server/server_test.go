@@ -78,8 +78,17 @@ func TestHealth(t *testing.T) {
 	if int(out["vertices"].(float64)) != m.NumVertices() {
 		t.Fatal("vertex count wrong")
 	}
+	if int(out["dim"].(float64)) != m.Dim() {
+		t.Fatal("dim wrong")
+	}
+	if want := m.Hierarchy().MaxDepth() + 1; int(out["levels"].(float64)) != want {
+		t.Fatalf("levels = %v, want %d", out["levels"], want)
+	}
 	if out["spatial"] != true {
 		t.Fatal("spatial flag wrong")
+	}
+	if out["guard"] != false {
+		t.Fatal("guard flag wrong")
 	}
 }
 
@@ -208,10 +217,17 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestReadyzReadyAndDegraded(t *testing.T) {
-	ts, _ := newTestServer(t, true)
+	ts, m := newTestServer(t, true)
 	out := getJSON(t, ts.URL+"/readyz", http.StatusOK)
 	if out["status"] != "ready" {
 		t.Fatalf("with index: %v", out)
+	}
+	meta, ok := out["model"].(map[string]any)
+	if !ok {
+		t.Fatalf("readyz has no model metadata: %v", out)
+	}
+	if int(meta["vertices"].(float64)) != m.NumVertices() || int(meta["dim"].(float64)) != m.Dim() {
+		t.Fatalf("readyz model metadata wrong: %v", meta)
 	}
 
 	ts2, _ := newTestServer(t, false)
@@ -221,6 +237,9 @@ func TestReadyzReadyAndDegraded(t *testing.T) {
 	}
 	if reasons, ok := out["degraded"].([]any); !ok || len(reasons) == 0 {
 		t.Fatalf("degraded reasons missing: %v", out)
+	}
+	if _, ok := out["model"].(map[string]any); !ok {
+		t.Fatalf("degraded readyz has no model metadata: %v", out)
 	}
 }
 

@@ -83,6 +83,37 @@ func NewDriftMonitor(reg *Registry, maxDist float64, bands, warmup int) (*DriftM
 	return d, nil
 }
 
+// DriftDeviation is the label-free error proxy the drift monitor
+// files: the raw estimate's relative deviation from the certified
+// interval midpoint. It returns ok=false for degenerate intervals
+// (s == t, or non-finite values), which observers must skip. Exported
+// so the offline replay harness scores queries with the exact formula
+// the live monitor uses — a replayed log then reproduces the serving
+// drift numbers instead of approximating them.
+func DriftDeviation(raw, lo, hi float64) (errv float64, ok bool) {
+	mid := (lo + hi) / 2
+	if !(mid > 0) || math.IsInf(mid, 0) || math.IsNaN(raw) || math.IsInf(raw, 0) {
+		return 0, false
+	}
+	return math.Abs(raw-mid) / mid, true
+}
+
+// DriftBand maps an interval midpoint to its distance band under the
+// monitor's equal-width bucketing over [0, maxDist], clamping out-of-
+// range midpoints to the edge bands. Shared with the replay harness so
+// offline per-band aggregates line up with the live rne_drift_band_error
+// histograms.
+func DriftBand(mid, maxDist float64, bands int) int {
+	band := int(float64(bands) * mid / maxDist)
+	if band < 0 {
+		band = 0
+	}
+	if band >= bands {
+		band = bands - 1
+	}
+	return band
+}
+
 // Observe files one guarded query: raw is the unclamped model
 // estimate, [lo, hi] the certified interval. Degenerate intervals
 // (s == t, or non-finite bounds) are skipped.
@@ -90,18 +121,11 @@ func (d *DriftMonitor) Observe(raw, lo, hi float64) {
 	if d == nil {
 		return
 	}
-	mid := (lo + hi) / 2
-	if !(mid > 0) || math.IsInf(mid, 0) || math.IsNaN(raw) || math.IsInf(raw, 0) {
+	errv, ok := DriftDeviation(raw, lo, hi)
+	if !ok {
 		return
 	}
-	errv := math.Abs(raw-mid) / mid
-	band := int(float64(len(d.bands)) * mid / d.maxDist)
-	if band < 0 {
-		band = 0
-	}
-	if band >= len(d.bands) {
-		band = len(d.bands) - 1
-	}
+	band := DriftBand((lo+hi)/2, d.maxDist, len(d.bands))
 	d.bands[band].Observe(errv)
 	d.total.Inc()
 

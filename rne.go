@@ -199,3 +199,26 @@ func LoadALTIndex(path string) (*ALTIndex, error) { return alt.LoadFile(path) }
 func NewBoundedEstimatorFromIndex(m *Model, lt *ALTIndex) (*BoundedEstimator, error) {
 	return hybrid.New(m, lt)
 }
+
+// Explanation decomposes one estimate into per-hierarchy-level
+// contributions (Model.ExplainEstimate): the provenance view of a
+// distance answer. Contributions telescope, summing exactly to the
+// estimate.
+type Explanation = core.Explanation
+
+// LevelContribution is one hierarchy level's share of an explained
+// estimate.
+type LevelContribution = core.LevelContribution
+
+// GuardResult is one guarded estimate: clamped value, raw model
+// estimate, certified interval, and clamp direction.
+type GuardResult = hybrid.GuardResult
+
+// GuardProvenance extends GuardResult with the landmarks that produced
+// each side of the certified interval (BoundedEstimator.Explain).
+type GuardProvenance = hybrid.Provenance
+
+// IndexQueryStats counts the work one spatial-index traversal did
+// (SpatialIndex.KNNStats / RangeStats): how much of the tree the
+// triangle-inequality pruning skipped.
+type IndexQueryStats = index.QueryStats
