@@ -1,9 +1,9 @@
 # Pre-merge gate: `make ci` must pass before any change lands.
 GO ?= go
 
-.PHONY: ci build vet test race shuffle fuzz-smoke vulncheck bench bench-smoke replay-smoke
+.PHONY: ci build vet test race shuffle fuzz-smoke vulncheck bench bench-smoke replay-smoke swap-smoke gate-smoke
 
-ci: vet race shuffle fuzz-smoke vulncheck bench-smoke replay-smoke ## full pre-merge gate
+ci: vet race shuffle fuzz-smoke vulncheck bench-smoke replay-smoke swap-smoke gate-smoke ## full pre-merge gate
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,18 @@ vulncheck:
 	else \
 		echo "vulncheck: govulncheck not installed; skipping"; \
 	fi
+
+# Model-lifecycle smoke through the real binaries: publish v1 to a
+# registry, serve it, publish v2, SIGHUP, and assert the serving
+# version flips with zero failed requests.
+swap-smoke:
+	@GO="$(GO)" sh scripts/swap_smoke.sh
+
+# Scale-out smoke: rnegate fanning /batch across two rneserver
+# replicas keeps serving (with the ejection counted) after one
+# replica is killed.
+gate-smoke:
+	@GO="$(GO)" sh scripts/gate_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

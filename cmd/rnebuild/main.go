@@ -22,6 +22,12 @@
 // -strict-resume is set. -alt-out additionally saves an ALT landmark
 // index for rneserver's guard mode.
 //
+// With -registry and -publish the built artifacts are additionally
+// published as a new immutable version in a model registry, which
+// rneserver -registry replicas hot-swap to on SIGHUP or /admin/reload:
+//
+//	rnebuild -preset bj-mini -registry ./models -publish bj -publish-compact
+//
 // Every build is traced: phase durations, the per-unit loss/learning-
 // rate/recovery series and checkpoint accounting are written as JSON
 // to -report (build-report.json by default), progress is logged in
@@ -98,6 +104,9 @@ func main() {
 	maxRecoveries := flag.Int("max-recoveries", 3, "divergence-sentinel rollbacks before the build fails")
 	altOut := flag.String("alt-out", "", "also build and save an ALT landmark index here (for rneserver -alt-index)")
 	altLandmarks := flag.Int("alt-landmarks", 16, "landmark count for -alt-out")
+	registryRoot := flag.String("registry", "", "versioned model registry root (see rneserver -registry)")
+	publishName := flag.String("publish", "", "publish the built artifacts to -registry as a new version under this model name")
+	publishCompact := flag.Bool("publish-compact", false, "with -publish: also store the float32 compact sibling (for rneserver -compact)")
 	reportPath := flag.String("report", "build-report.json", "write the machine-readable build report here (empty disables)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live build metrics on this address at /metrics while training (empty disables)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
@@ -129,6 +138,15 @@ func main() {
 	}
 	if *targetFrac < 0 || math.IsNaN(*targetFrac) {
 		usage(fmt.Sprintf("-target-frac must be non-negative, got %v", *targetFrac))
+	}
+	if *publishName != "" && *registryRoot == "" {
+		usage("-publish requires -registry")
+	}
+	if *registryRoot != "" && *publishName == "" {
+		usage("-registry requires -publish (the model name to publish as)")
+	}
+	if *publishCompact && *publishName == "" {
+		usage("-publish-compact requires -publish")
 	}
 
 	var g *rne.Graph
@@ -255,12 +273,13 @@ func main() {
 		}
 	}
 
+	var idx *rne.SpatialIndex
 	if *indexOut != "" {
 		targets, err := rne.SampleTargets(g, *targetFrac, *seed+1)
 		if err != nil {
 			fail(err)
 		}
-		idx, err := rne.NewSpatialIndex(model, targets)
+		idx, err = rne.NewSpatialIndex(model, targets)
 		if err != nil {
 			fail(err)
 		}
@@ -270,8 +289,9 @@ func main() {
 		logger.Info("saved spatial index", "path", *indexOut, "targets", idx.Size())
 	}
 
+	var lt *rne.ALTIndex
 	if *altOut != "" {
-		lt, err := rne.BuildALTIndex(g, *altLandmarks, *seed+2)
+		lt, err = rne.BuildALTIndex(g, *altLandmarks, *seed+2)
 		if err != nil {
 			fail(err)
 		}
@@ -280,5 +300,29 @@ func main() {
 		}
 		logger.Info("saved ALT index", "path", *altOut,
 			"landmarks", lt.NumLandmarks(), "bytes", lt.IndexBytes())
+	}
+
+	// Publishing is additive to the file outputs: the registry version
+	// carries the model plus whatever siblings this run built (-alt-out's
+	// guard index, -index-out's spatial index, and the float32 compact
+	// sibling with -publish-compact). rneserver -registry replicas pick
+	// the new version up on their next SIGHUP or POST /admin/reload.
+	if *publishName != "" {
+		store, err := rne.OpenModelRegistry(*registryRoot)
+		if err != nil {
+			fail(err)
+		}
+		version, err := store.Publish(*publishName, rne.RegistryArtifacts{
+			Model:   model,
+			Compact: *publishCompact,
+			ALT:     lt,
+			Index:   idx,
+		})
+		if err != nil {
+			fail(err)
+		}
+		logger.Info("published to registry", "root", *registryRoot,
+			"name", *publishName, "version", version,
+			"compact", *publishCompact, "guard", lt != nil, "spatial", idx != nil)
 	}
 }

@@ -1,0 +1,123 @@
+// Command rnegate is the scale-out gateway in front of rneserver
+// replicas: it fans POST /batch out across the backends by consistent
+// hashing on each pair's source vertex, merges the replies preserving
+// request order, and proxies GET /distance to the source vertex's
+// ring owner. Backends are health-checked (active /readyz probes plus
+// passive failure counting); a repeatedly-failing backend is ejected
+// from routing and re-probed on exponential backoff until it recovers.
+//
+// The gateway exposes the same operational surface as the replicas:
+// /healthz, /readyz, /statz (JSON) and /metrics (Prometheus text),
+// including per-backend health gauges and ejection counters.
+//
+// Usage:
+//
+//	rnegate -addr :9090 -backends http://10.0.0.1:8080,http://10.0.0.2:8080
+//	curl 'localhost:9090/distance?s=17&t=4242'
+//	curl -d '{"pairs":[[17,4242],[3,99]]}' localhost:9090/batch
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address")
+	backends := flag.String("backends", "", "comma-separated rneserver base URLs (required)")
+	vnodes := flag.Int("vnodes", 64, "virtual nodes per backend on the consistent-hash ring")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "active /readyz probe period")
+	ejectAfter := flag.Int("eject-after", 3, "consecutive failures before a backend is ejected")
+	backoffBase := flag.Duration("backoff-base", 500*time.Millisecond, "initial re-probe backoff for an ejected backend")
+	backoffMax := flag.Duration("backoff-max", 15*time.Second, "re-probe backoff cap")
+	backendTimeout := flag.Duration("backend-timeout", 10*time.Second, "per-backend call deadline")
+	maxInFlight := flag.Int("max-inflight", 256, "in-flight request cap before shedding with 429 (negative disables)")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (negative disables)")
+	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "drain budget for graceful shutdown")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
+	flag.Parse()
+
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rnegate:", err)
+		os.Exit(2)
+	}
+	logger := telemetry.NewLogger(os.Stderr, level, *logFormat)
+	if *backends == "" {
+		fmt.Fprintln(os.Stderr, "rnegate: -backends is required")
+		os.Exit(2)
+	}
+	var urls []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, b)
+		}
+	}
+
+	gw, err := gateway.New(gateway.Config{
+		Backends:       urls,
+		VirtualNodes:   *vnodes,
+		HealthInterval: *healthInterval,
+		EjectAfter:     *ejectAfter,
+		BackoffBase:    *backoffBase,
+		BackoffMax:     *backoffMax,
+		BackendTimeout: *backendTimeout,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
+		Logger:         logger,
+	})
+	if err != nil {
+		logger.Error("configuring gateway", "error", err)
+		os.Exit(1)
+	}
+	defer gw.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("gateway listening", "addr", *addr, "backends", len(urls))
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		logger.Error("serving", "error", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		stop()
+		logger.Info("signal received; draining in-flight requests", "grace", *shutdownGrace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Warn("shutdown incomplete; closing remaining connections", "error", err)
+			httpSrv.Close()
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("serving", "error", err)
+			os.Exit(1)
+		}
+		logger.Info("shutdown complete")
+	}
+}

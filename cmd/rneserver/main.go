@@ -6,6 +6,13 @@
 // /batch only (the partition tree is not persisted) — /readyz then
 // reports degraded mode unless -index supplies a saved spatial index.
 //
+// With -registry (a versioned model store written by rnebuild
+// -publish) it serves the latest good version of -name and hot-swaps
+// to a newer one — validated first, with automatic rollback — on
+// SIGHUP or POST /admin/reload, without dropping a request. Corrupt
+// versions are quarantined with fallback to the newest good one.
+// -compact serves the float32 sibling at half the resident memory.
+//
 // With -alt-index (a file saved by rnebuild -alt-out) or, in training
 // mode, -alt-landmarks, the server runs in guard mode: every /distance
 // and /batch estimate is clamped into the certified landmark interval
@@ -56,6 +63,9 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	modelPath := flag.String("model", "", "pre-trained model (with -index, full API; else distance/batch only)")
 	indexPath := flag.String("index", "", "spatial index saved by rnebuild -index-out (requires -model)")
+	registryRoot := flag.String("registry", "", "versioned model registry root (rnebuild -publish): serve the latest good version of -name and hot-swap it on SIGHUP or POST /admin/reload")
+	regName := flag.String("name", "default", "model name within -registry")
+	compact := flag.Bool("compact", false, "serve the float32 compact model at half the resident memory (/explain answers 501)")
 	graphPath := flag.String("graph", "", "graph file: train on startup, full API")
 	preset := flag.String("preset", "", "built-in preset instead of -graph")
 	targetFrac := flag.Float64("target-frac", 0.1, "fraction of vertices indexed as spatial targets (clamped to [0,1])")
@@ -86,10 +96,35 @@ func main() {
 		fatal("-target-frac must be non-negative", "got", *targetFrac)
 	}
 
+	var set server.ModelSet
+	var reloader func() (server.ModelSet, error)
+
 	var model *rne.Model
 	var idx *rne.SpatialIndex
 	var altIdx *rne.ALTIndex
 	switch {
+	case *registryRoot != "":
+		if *modelPath != "" || *graphPath != "" || *preset != "" {
+			fatal("-registry is exclusive with -model, -graph and -preset")
+		}
+		store, err := rne.OpenModelRegistry(*registryRoot)
+		if err != nil {
+			fatal("opening registry", "error", err)
+		}
+		loadSet := func() (server.ModelSet, error) {
+			rs, err := store.LoadLatest(*regName, rne.RegistryLoadOpts{Compact: *compact})
+			if err != nil {
+				return server.ModelSet{}, err
+			}
+			return registrySet(rs)
+		}
+		set, err = loadSet()
+		if err != nil {
+			fatal("loading from registry", "error", err)
+		}
+		reloader = loadSet
+		logger.Info("loaded from registry", "name", *regName, "version", set.Version,
+			"compact", *compact, "guard", set.Guard != nil, "spatial", set.Index != nil)
 	case *modelPath != "":
 		var err error
 		model, err = rne.LoadModel(*modelPath)
@@ -147,38 +182,83 @@ func main() {
 			logger.Info("built ALT guard index", "landmarks", altIdx.NumLandmarks())
 		}
 	default:
-		fatal("need -model, -graph or -preset")
+		fatal("need -registry, -model, -graph or -preset")
 	}
 
-	var guard *rne.BoundedEstimator
-	if *altIndexPath != "" {
-		var err error
-		altIdx, err = rne.LoadALTIndex(*altIndexPath)
-		if err != nil {
-			fatal("loading ALT index", "error", err)
+	if *registryRoot == "" {
+		if *altIndexPath != "" {
+			var err error
+			altIdx, err = rne.LoadALTIndex(*altIndexPath)
+			if err != nil {
+				fatal("loading ALT index", "error", err)
+			}
+			logger.Info("loaded ALT index",
+				"landmarks", altIdx.NumLandmarks(), "vertices", altIdx.NumVertices())
 		}
-		logger.Info("loaded ALT index",
-			"landmarks", altIdx.NumLandmarks(), "vertices", altIdx.NumVertices())
-	}
-	if altIdx != nil {
-		var err error
-		guard, err = rne.NewBoundedEstimatorFromIndex(model, altIdx)
-		if err != nil {
-			fatal("enabling guard mode", "error", err)
+		set = server.ModelSet{Model: model, Index: idx, Version: "boot"}
+		if *compact {
+			// Swap the float64 model for its float32 sibling before
+			// serving: the full matrix is released and resident model
+			// memory halves. Explain surfaces answer 501 and the spatial
+			// index (which needs the full model) is dropped.
+			cm, err := model.Compact()
+			if err != nil {
+				fatal("compacting model", "error", err)
+			}
+			set = server.ModelSet{Compact: cm, Version: "boot"}
+			if idx != nil {
+				logger.Warn("-compact drops the spatial index: /knn and /range answer 501")
+			}
+			logger.Info("serving the float32 compact model",
+				"bytes", cm.IndexBytes(), "full_bytes", model.IndexBytes())
+			model = nil
 		}
-		logger.Info("guard mode on: estimates clamped into certified landmark bounds, drift monitor active")
+		if altIdx != nil {
+			var err error
+			if set.Model != nil {
+				set.Guard, err = rne.NewBoundedEstimatorFromIndex(set.Model, altIdx)
+			} else {
+				set.Guard, err = rne.NewCompactBoundedEstimator(set.Compact, altIdx)
+			}
+			if err != nil {
+				fatal("enabling guard mode", "error", err)
+			}
+			logger.Info("guard mode on: estimates clamped into certified landmark bounds, drift monitor active")
+		}
 	}
 
-	srv, err := server.NewWithConfig(model, idx, server.Config{
+	srv, err := server.NewFromSet(set, server.Config{
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *reqTimeout,
 		Logger:         logger,
-		Guard:          guard,
 		QueryLog:       qlog.Config{Path: *qlogPath, SampleEvery: *qlogSample},
+		Reloader:       reloader,
 	})
 	if err != nil {
 		fatal("configuring server", "error", err)
 	}
+	// SIGHUP triggers the same validated hot swap as POST /admin/reload:
+	// re-resolve the registry's latest good version, smoke-test it, and
+	// install it atomically; a failed reload leaves the previous version
+	// serving.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if reloader == nil {
+				logger.Warn("SIGHUP ignored: started without -registry, nothing to reload")
+				continue
+			}
+			previous := srv.ActiveVersion()
+			version, err := srv.Reload()
+			if err != nil {
+				logger.Warn("SIGHUP reload failed; previous model keeps serving",
+					"active", previous, "error", err)
+				continue
+			}
+			logger.Info("SIGHUP reload complete", "from", previous, "to", version)
+		}
+	}()
 	if *qlogPath != "" {
 		logger.Info("query log on", "path", *qlogPath, "sample", fmt.Sprintf("1-in-%d", *qlogSample))
 	}
@@ -228,6 +308,30 @@ func main() {
 		}
 		logger.Info("shutdown complete")
 	}
+}
+
+// registrySet converts a loaded registry version into the server's
+// swap unit, building the ALT guard over whichever model variant the
+// version was loaded with.
+func registrySet(rs *rne.RegistrySet) (server.ModelSet, error) {
+	set := server.ModelSet{
+		Model:   rs.Model,
+		Compact: rs.Compact,
+		Index:   rs.Index,
+		Version: rs.Version,
+	}
+	if rs.ALT != nil {
+		var err error
+		if rs.Model != nil {
+			set.Guard, err = rne.NewBoundedEstimatorFromIndex(rs.Model, rs.ALT)
+		} else {
+			set.Guard, err = rne.NewCompactBoundedEstimator(rs.Compact, rs.ALT)
+		}
+		if err != nil {
+			return server.ModelSet{}, err
+		}
+	}
+	return set, nil
 }
 
 // serveDebug runs the operator-only listener: net/http/pprof profiles

@@ -1,0 +1,650 @@
+// Package gateway is the scale-out tier in front of rneserver
+// replicas: one stdlib-only HTTP process that fans a /batch request
+// out across N backends and merges the answers in order. Pairs are
+// routed by consistent hashing on the source vertex, so each backend
+// repeatedly sees the same shard of the vertex space (its embedding
+// rows stay cache-hot) and adding or ejecting a replica reassigns one
+// shard instead of reshuffling all keys.
+//
+// Backends are health-checked actively (periodic /readyz probes) and
+// passively (proxy failures count); a backend that fails repeatedly is
+// ejected from routing and re-probed on an exponential backoff until
+// it recovers, mirroring the ejection/backoff discipline of the
+// internal/resilience serving stack. The gateway exposes the same
+// operational surface as the replicas it fronts: /healthz, /readyz,
+// /statz (JSON counters) and /metrics (Prometheus text).
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/telemetry"
+)
+
+// Config configures the fan-out tier. Zero values select the
+// documented defaults.
+type Config struct {
+	// Backends are the rneserver base URLs to fan out across
+	// (e.g. "http://10.0.0.1:8080"). At least one is required.
+	Backends []string
+	// VirtualNodes per backend on the consistent-hash ring (default 64).
+	VirtualNodes int
+	// HealthInterval is the active /readyz probe period (default 2s).
+	HealthInterval time.Duration
+	// EjectAfter ejects a backend from routing after this many
+	// consecutive failures, active or passive (default 3).
+	EjectAfter int
+	// BackoffBase/BackoffMax bound the re-probe backoff for an ejected
+	// backend (defaults 500ms and 15s; each failed probe doubles it).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BackendTimeout bounds each proxied backend call (default 10s).
+	BackendTimeout time.Duration
+	// MaxInFlight / RequestTimeout configure the gateway's own
+	// resilience.Wrap stack, with the same semantics as the server's.
+	MaxInFlight    int
+	RequestTimeout time.Duration
+	// MaxBatchBytes bounds an inbound /batch body (default 8 MiB).
+	MaxBatchBytes int64
+	// Logger receives health transitions and access logs (nil disables).
+	Logger *slog.Logger
+	// Transport overrides the backend HTTP transport (tests use the
+	// httptest client transport); nil uses http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 500 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 15 * time.Second
+	}
+	if c.BackendTimeout <= 0 {
+		c.BackendTimeout = 10 * time.Second
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 8 << 20
+	}
+	return c
+}
+
+// backend is one replica's routing state. healthy is read on every
+// routed pair; the mutable ejection bookkeeping sits behind mu and is
+// only touched on failures, recoveries and probes.
+type backend struct {
+	id   string // host:port, used in logs and metric labels
+	base string // normalized base URL, no trailing slash
+
+	healthy atomic.Bool
+
+	mu        sync.Mutex
+	fails     int           // consecutive failures (active or passive)
+	backoff   time.Duration // current re-probe backoff once ejected
+	nextProbe time.Time     // ejected backends are probed at this time
+
+	requests *telemetry.Counter
+	failures *telemetry.Counter
+	healthyG *telemetry.Gauge
+}
+
+// Gateway fans /batch and /distance across the configured backends.
+type Gateway struct {
+	cfg      Config
+	log      *slog.Logger
+	stats    *resilience.Stats
+	client   *http.Client
+	backends []*backend
+	ring     ring
+
+	ejections *telemetry.Counter
+	revivals  *telemetry.Counter
+	retries   *telemetry.Counter
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New validates the backend list, builds the hash ring, and starts the
+// active health-probe loop. Backends start healthy (they are probed
+// within one HealthInterval); call Close to stop the probe loop.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("gateway: need at least one backend")
+	}
+	g := &Gateway{
+		cfg:   cfg,
+		log:   telemetry.OrNop(cfg.Logger),
+		stats: resilience.NewStats(),
+		client: &http.Client{
+			Transport: cfg.Transport,
+			Timeout:   cfg.BackendTimeout,
+		},
+		stop: make(chan struct{}),
+	}
+	g.stats.TrackRoutes("/batch", "/distance")
+	reg := g.stats.Registry()
+	g.ejections = reg.Counter("rne_gateway_ejections_total",
+		"Backends ejected from routing after consecutive failures.")
+	g.revivals = reg.Counter("rne_gateway_revivals_total",
+		"Ejected backends restored to routing by a successful probe.")
+	g.retries = reg.Counter("rne_gateway_retries_total",
+		"Sub-requests retried on another backend after a failure.")
+
+	seen := make(map[string]bool)
+	ids := make([]string, 0, len(cfg.Backends))
+	for _, raw := range cfg.Backends {
+		u, err := url.Parse(strings.TrimRight(strings.TrimSpace(raw), "/"))
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("gateway: backend %q is not an absolute URL", raw)
+		}
+		if seen[u.Host] {
+			return nil, fmt.Errorf("gateway: duplicate backend %q", u.Host)
+		}
+		seen[u.Host] = true
+		b := &backend{
+			id:   u.Host,
+			base: u.String(),
+			requests: reg.Counter("rne_gateway_backend_requests_total",
+				"Requests proxied, by backend.", "backend", u.Host),
+			failures: reg.Counter("rne_gateway_backend_failures_total",
+				"Failed proxied requests and probes, by backend.", "backend", u.Host),
+			healthyG: reg.Gauge("rne_gateway_backend_healthy",
+				"1 while the backend is routed to, 0 while ejected.", "backend", u.Host),
+		}
+		b.healthy.Store(true)
+		b.healthyG.Set(1)
+		g.backends = append(g.backends, b)
+		ids = append(ids, u.Host)
+	}
+	g.ring = newRing(ids, cfg.VirtualNodes)
+
+	g.wg.Add(1)
+	go g.probeLoop()
+	return g, nil
+}
+
+// Close stops the health-probe loop. The handler keeps working with
+// the last known backend states.
+func (g *Gateway) Close() error {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.wg.Wait()
+	return nil
+}
+
+// Stats exposes the request counters backing /statz and /metrics.
+func (g *Gateway) Stats() *resilience.Stats { return g.stats }
+
+// HealthyBackends reports how many backends are currently routed to.
+func (g *Gateway) HealthyBackends() int {
+	n := 0
+	for _, b := range g.backends {
+		if b.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Handler returns the gateway route table wrapped in the same
+// resilience stack the replicas use:
+//
+//	GET  /healthz    gateway liveness + per-backend health
+//	GET  /readyz     ready iff at least one backend is routed to (503 otherwise)
+//	GET  /statz      request/latency/status counters (JSON)
+//	GET  /metrics    Prometheus text exposition
+//	GET  /distance   proxied to the source vertex's ring owner
+//	POST /batch      split by source vertex, fanned out, merged in order
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", g.handleHealth)
+	mux.HandleFunc("GET /readyz", g.handleReady)
+	mux.Handle("GET /statz", g.stats.Handler())
+	mux.Handle("GET /metrics", g.stats.Registry().Handler())
+	mux.HandleFunc("GET /distance", g.handleDistance)
+	mux.HandleFunc("POST /batch", g.handleBatch)
+	h := resilience.Wrap(mux, resilience.Options{
+		MaxInFlight: g.cfg.MaxInFlight,
+		Timeout:     g.cfg.RequestTimeout,
+		Logger:      g.cfg.Logger,
+		Stats:       g.stats,
+	})
+	return telemetry.RequestID(h)
+}
+
+// pick returns the ring owner for src among healthy, non-excluded
+// backends, or nil when none qualify.
+func (g *Gateway) pick(src int32, exclude map[*backend]bool) *backend {
+	i := g.ring.walk(src, func(idx int) bool {
+		b := g.backends[idx]
+		return b.healthy.Load() && !exclude[b]
+	})
+	if i < 0 {
+		return nil
+	}
+	return g.backends[i]
+}
+
+// markFailure records one failed call or probe against b, ejecting it
+// once cfg.EjectAfter consecutive failures accumulate. Ejection seeds
+// the exponential re-probe backoff; further failures double it up to
+// cfg.BackoffMax.
+func (g *Gateway) markFailure(b *backend, err error) {
+	b.failures.Inc()
+	b.mu.Lock()
+	b.fails++
+	eject := b.fails >= g.cfg.EjectAfter && b.healthy.Load()
+	if eject {
+		b.healthy.Store(false)
+		b.backoff = g.cfg.BackoffBase
+	} else if !b.healthy.Load() && b.backoff > 0 {
+		b.backoff *= 2
+		if b.backoff > g.cfg.BackoffMax {
+			b.backoff = g.cfg.BackoffMax
+		}
+	}
+	if !b.healthy.Load() {
+		b.nextProbe = time.Now().Add(b.backoff)
+	}
+	backoff := b.backoff
+	b.mu.Unlock()
+	if eject {
+		b.healthyG.Set(0)
+		g.ejections.Inc()
+		g.log.Warn("backend ejected", "backend", b.id, "error", err, "reprobe_in", backoff)
+	}
+}
+
+// markSuccess resets b's failure streak and restores an ejected
+// backend to routing.
+func (g *Gateway) markSuccess(b *backend) {
+	b.mu.Lock()
+	b.fails = 0
+	b.backoff = 0
+	revived := !b.healthy.Load()
+	if revived {
+		b.healthy.Store(true)
+	}
+	b.mu.Unlock()
+	if revived {
+		b.healthyG.Set(1)
+		g.revivals.Inc()
+		g.log.Info("backend restored", "backend", b.id)
+	}
+}
+
+// probeLoop actively checks backends: healthy ones every
+// HealthInterval (so a silently dead replica is ejected even with no
+// traffic), ejected ones on their backoff schedule.
+func (g *Gateway) probeLoop() {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+		}
+		for _, b := range g.backends {
+			if !b.healthy.Load() {
+				b.mu.Lock()
+				due := !time.Now().Before(b.nextProbe)
+				b.mu.Unlock()
+				if !due {
+					continue
+				}
+			}
+			if err := g.probe(b); err != nil {
+				g.markFailure(b, err)
+			} else {
+				g.markSuccess(b)
+			}
+		}
+	}
+}
+
+// probe asks one backend for /readyz; any 200 counts (a replica
+// serving degraded — no spatial index — still answers /batch).
+func (g *Gateway) probe(b *backend) error {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.BackendTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("readyz returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (g *Gateway) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (g *Gateway) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	g.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (g *Gateway) backendStates() []map[string]any {
+	out := make([]map[string]any, len(g.backends))
+	for i, b := range g.backends {
+		out[i] = map[string]any{
+			"backend": b.id,
+			"healthy": b.healthy.Load(),
+		}
+	}
+	return out
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	g.writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"role":     "gateway",
+		"backends": g.backendStates(),
+		"healthy":  g.HealthyBackends(),
+	})
+}
+
+// handleReady is what an upstream load balancer gates on: the gateway
+// is ready while at least one backend is routed to, and answers 503
+// once the whole fleet is ejected.
+func (g *Gateway) handleReady(w http.ResponseWriter, r *http.Request) {
+	healthy := g.HealthyBackends()
+	status := http.StatusOK
+	state := "ready"
+	if healthy == 0 {
+		status = http.StatusServiceUnavailable
+		state = "unavailable"
+	} else if healthy < len(g.backends) {
+		state = "degraded"
+	}
+	g.writeJSON(w, status, map[string]any{
+		"status":   state,
+		"healthy":  healthy,
+		"backends": g.backendStates(),
+	})
+}
+
+// handleDistance proxies the single-pair query to the source vertex's
+// ring owner, falling over to the next healthy backend (and recording
+// the failure) if the owner errors.
+func (g *Gateway) handleDistance(w http.ResponseWriter, r *http.Request) {
+	src, err := sourceParam(r)
+	if err != nil {
+		g.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	exclude := make(map[*backend]bool)
+	for attempt := 0; attempt < 2; attempt++ {
+		b := g.pick(src, exclude)
+		if b == nil {
+			break
+		}
+		if attempt > 0 {
+			g.retries.Inc()
+		}
+		status, body, ct, err := g.forward(r.Context(), b, http.MethodGet,
+			"/distance?"+r.URL.RawQuery, nil)
+		if err != nil {
+			g.markFailure(b, err)
+			exclude[b] = true
+			continue
+		}
+		g.markSuccess(b)
+		w.Header().Set("Content-Type", ct)
+		w.WriteHeader(status)
+		w.Write(body)
+		return
+	}
+	g.fail(w, http.StatusBadGateway, "no healthy backend for vertex %d", src)
+}
+
+// sourceParam pulls the source vertex out of a /distance query; full
+// validation (range checks, the t parameter) is the backend's job.
+func sourceParam(r *http.Request) (int32, error) {
+	raw := r.URL.Query().Get("s")
+	if raw == "" {
+		return 0, fmt.Errorf("missing parameter %q", "s")
+	}
+	var v int64
+	if _, err := fmt.Sscanf(raw, "%d", &v); err != nil || v < 0 || v > 1<<31-1 {
+		return 0, fmt.Errorf("parameter %q is not a vertex id", "s")
+	}
+	return int32(v), nil
+}
+
+// forward performs one backend call, returning the response whole so
+// the caller can merge or relay it. A non-2xx, non-4xx status is an
+// error (the backend is unhealthy); 4xx is relayed verbatim — the
+// client's request was bad, not the backend.
+func (g *Gateway) forward(ctx context.Context, b *backend, method, path string, body []byte) (int, []byte, string, error) {
+	b.requests.Inc()
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.BackendTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.base+path, rd)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBatchBytes))
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+		return 0, nil, "", fmt.Errorf("%s %s returned %d", method, path, resp.StatusCode)
+	}
+	return resp.StatusCode, data, resp.Header.Get("Content-Type"), nil
+}
+
+type batchRequest struct {
+	Pairs [][2]int32 `json:"pairs"`
+}
+
+// backendBatch is the slice of an inbound batch owned by one backend:
+// the original indices (for order-preserving scatter) and the pairs.
+type backendBatch struct {
+	b     *backend
+	index []int
+	pairs [][2]int32
+}
+
+// batchReply is what a replica answers a sub-batch with; Lo/Hi and
+// ClampedCount are present only in guard mode.
+type batchReply struct {
+	Distances    []float64 `json:"distances"`
+	Lo           []float64 `json:"lo"`
+	Hi           []float64 `json:"hi"`
+	ClampedCount *int      `json:"clamped_count"`
+}
+
+// handleBatch is the fan-out path: split the pairs by their source
+// vertex's ring owner, post every sub-batch concurrently, and scatter
+// the answers back into the original order. A failed sub-batch is
+// retried once on the next healthy backend (with the failure recorded
+// against the first); if any sub-batch is still unserved the whole
+// request fails with 502 rather than returning a partial merge.
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, g.cfg.MaxBatchBytes)
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			g.fail(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d byte limit", tooLarge.Limit)
+			return
+		}
+		g.fail(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		g.fail(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+
+	groups := make(map[*backend]*backendBatch)
+	for i, p := range req.Pairs {
+		b := g.pick(p[0], nil)
+		if b == nil {
+			g.fail(w, http.StatusServiceUnavailable, "no healthy backends")
+			return
+		}
+		gr := groups[b]
+		if gr == nil {
+			gr = &backendBatch{b: b}
+			groups[b] = gr
+		}
+		gr.index = append(gr.index, i)
+		gr.pairs = append(gr.pairs, p)
+	}
+
+	type result struct {
+		gr    *backendBatch
+		reply batchReply
+		code  int    // non-zero 4xx to relay verbatim
+		body  []byte // 4xx body
+		err   error
+	}
+	results := make(chan result, len(groups))
+	for _, gr := range groups {
+		go func(gr *backendBatch) {
+			res := result{gr: gr}
+			res.reply, res.code, res.body, res.err = g.sendBatch(r.Context(), gr)
+			results <- res
+		}(gr)
+	}
+
+	distances := make([]float64, len(req.Pairs))
+	lo := make([]float64, len(req.Pairs))
+	hi := make([]float64, len(req.Pairs))
+	clamped := 0
+	guarded := true
+	for range groups {
+		res := <-results
+		if res.err != nil {
+			g.fail(w, http.StatusBadGateway, "backend sub-batch failed: %v", res.err)
+			return
+		}
+		if res.code != 0 {
+			// A backend rejected its slice as a bad request (e.g. vertex
+			// out of range): the client's fault, relayed verbatim.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(res.code)
+			w.Write(res.body)
+			return
+		}
+		rp := res.reply
+		if len(rp.Distances) != len(res.gr.index) {
+			g.fail(w, http.StatusBadGateway, "backend %s returned %d distances for %d pairs",
+				res.gr.b.id, len(rp.Distances), len(res.gr.index))
+			return
+		}
+		if len(rp.Lo) == len(res.gr.index) && len(rp.Hi) == len(res.gr.index) {
+			for k, orig := range res.gr.index {
+				lo[orig], hi[orig] = rp.Lo[k], rp.Hi[k]
+			}
+			if rp.ClampedCount != nil {
+				clamped += *rp.ClampedCount
+			}
+		} else {
+			guarded = false
+		}
+		for k, orig := range res.gr.index {
+			distances[orig] = rp.Distances[k]
+		}
+	}
+
+	resp := map[string]any{"distances": distances}
+	if guarded {
+		// Every backend answered with certified bounds, so the merged
+		// response keeps the guard-mode shape.
+		resp["lo"], resp["hi"], resp["clamped_count"] = lo, hi, clamped
+	}
+	g.writeJSON(w, http.StatusOK, resp)
+}
+
+// sendBatch posts one sub-batch, retrying once on the next healthy
+// backend when the owner fails. Returns either a parsed reply, or a
+// 4xx status+body to relay, or an error when no backend could serve
+// the slice.
+func (g *Gateway) sendBatch(ctx context.Context, gr *backendBatch) (batchReply, int, []byte, error) {
+	body, err := json.Marshal(batchRequest{Pairs: gr.pairs})
+	if err != nil {
+		return batchReply{}, 0, nil, err
+	}
+	exclude := map[*backend]bool{}
+	b := gr.b
+	var lastErr error
+	for attempt := 0; attempt < 2 && b != nil; attempt++ {
+		if attempt > 0 {
+			g.retries.Inc()
+		}
+		status, data, _, err := g.forward(ctx, b, http.MethodPost, "/batch", body)
+		if err != nil {
+			g.markFailure(b, err)
+			exclude[b] = true
+			lastErr = err
+			// Re-pick by the slice's first source so the retry lands on
+			// the ring's next owner for this shard.
+			b = g.pick(gr.pairs[0][0], exclude)
+			continue
+		}
+		g.markSuccess(b)
+		if status != http.StatusOK {
+			return batchReply{}, status, data, nil
+		}
+		var reply batchReply
+		if err := json.Unmarshal(data, &reply); err != nil {
+			return batchReply{}, 0, nil, fmt.Errorf("backend %s: bad reply: %w", b.id, err)
+		}
+		return reply, 0, nil, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no healthy backend")
+	}
+	return batchReply{}, 0, nil, lastErr
+}

@@ -1,0 +1,86 @@
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over backend indices. Each backend
+// owns VirtualNodes points on a uint32 circle; a key is served by the
+// first point clockwise from its hash. Routing /batch pairs by source
+// vertex this way gives each backend a stable shard of the vertex
+// space — embedding rows stay hot in that replica's cache — while a
+// backend ejection only reassigns the ejected shard instead of
+// reshuffling every key, and the unhealthy backend is skipped by
+// walking clockwise to the next healthy point.
+type ring struct {
+	hashes []uint32
+	owner  []int // hashes[i] belongs to backends[owner[i]]
+}
+
+// newRing spreads n backends over the circle with vnodes points each.
+// Point positions depend only on the backend's id string, so every
+// gateway replica fed the same backend list builds the same ring.
+func newRing(ids []string, vnodes int) ring {
+	r := ring{
+		hashes: make([]uint32, 0, len(ids)*vnodes),
+		owner:  make([]int, 0, len(ids)*vnodes),
+	}
+	type point struct {
+		hash uint32
+		own  int
+	}
+	points := make([]point, 0, len(ids)*vnodes)
+	for i, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			points = append(points, point{hashString(fmt.Sprintf("%s#%d", id, v)), i})
+		}
+	}
+	sort.Slice(points, func(a, b int) bool {
+		if points[a].hash != points[b].hash {
+			return points[a].hash < points[b].hash
+		}
+		return points[a].own < points[b].own
+	})
+	for _, p := range points {
+		r.hashes = append(r.hashes, p.hash)
+		r.owner = append(r.owner, p.own)
+	}
+	return r
+}
+
+// walk visits backend indices in ring order starting at key's position,
+// calling accept until it returns true (the chosen backend) or every
+// distinct backend was offered. Returns the accepted index or -1.
+func (r ring) walk(key int32, accept func(int) bool) int {
+	if len(r.hashes) == 0 {
+		return -1
+	}
+	h := hashVertex(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	seen := make(map[int]bool)
+	for i := 0; i < len(r.hashes); i++ {
+		own := r.owner[(start+i)%len(r.hashes)]
+		if seen[own] {
+			continue
+		}
+		seen[own] = true
+		if accept(own) {
+			return own
+		}
+	}
+	return -1
+}
+
+func hashString(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+func hashVertex(v int32) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+	return h.Sum32()
+}

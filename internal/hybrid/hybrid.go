@@ -14,12 +14,20 @@ import (
 	"fmt"
 
 	"repro/internal/alt"
-	"repro/internal/core"
 )
+
+// Distancer is the model side of the ensemble: any embedding queryable
+// for point estimates. Both core.Model and core.CompactModel satisfy
+// it, so guard mode works unchanged on half-memory compact replicas.
+type Distancer interface {
+	Estimate(s, t int32) float64
+	NumVertices() int
+	IndexBytes() int64
+}
 
 // Estimator is the clamped ensemble.
 type Estimator struct {
-	m  *core.Model
+	m  Distancer
 	lt *alt.Index
 }
 
@@ -27,7 +35,7 @@ type Estimator struct {
 // graph. The two must agree on the vertex count — mixing a model and an
 // index from different graphs would silently produce wrong "certified"
 // bounds, so the mismatch is rejected here.
-func New(m *core.Model, lt *alt.Index) (*Estimator, error) {
+func New(m Distancer, lt *alt.Index) (*Estimator, error) {
 	if m == nil || lt == nil {
 		return nil, fmt.Errorf("hybrid: need both a model and a landmark index")
 	}

@@ -3,6 +3,12 @@
 // distance estimates, k-nearest-vehicle and POIs-within-range queries.
 // Handlers are stdlib net/http and safe for concurrent use (model
 // queries are read-only).
+//
+// The serving state (model, spatial index, ALT guard, drift monitor,
+// version label) lives behind one atomic pointer: each request loads
+// the snapshot once and is answered entirely by it, so Swap can install
+// a retrained model under full traffic with zero dropped requests and
+// no torn reads (see swap.go and POST /admin/reload).
 package server
 
 import (
@@ -12,6 +18,8 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -44,6 +52,8 @@ type Config struct {
 	// clamping occurred, and clamp counters are exported on /statz.
 	// Guard mode also feeds the online accuracy-drift monitor exported
 	// on /metrics. nil serves raw model estimates (the default).
+	// (Convenience for the boot set; swapped-in sets carry their own
+	// guard in ModelSet.Guard.)
 	Guard *hybrid.Estimator
 	// DriftBands and DriftWarmup tune the guard-mode drift monitor
 	// (<= 0 selects telemetry.DefaultDriftBands / DefaultDriftWarmup).
@@ -55,27 +65,31 @@ type Config struct {
 	// (Close flushes it) and exports its drop/write counters on /metrics
 	// as rne_qlog_dropped_total / rne_qlog_written_total.
 	QueryLog qlog.Config
+	// Reloader, when non-nil, supplies a fresh ModelSet on demand: it
+	// backs POST /admin/reload and Server.Reload (which rneserver also
+	// invokes on SIGHUP). Typically it re-resolves the latest version
+	// from a registry.Store or re-reads the model files from disk.
+	Reloader func() (ModelSet, error)
 }
 
 const defaultMaxBatchBytes = 8 << 20
 
-// Server wires a model (and optionally a spatial index over a target
-// set) into an http.Handler.
+// Server wires a hot-swappable model set (and optionally a spatial
+// index over a target set) into an http.Handler.
 type Server struct {
-	model *core.Model
-	idx   *index.Tree // nil disables /knn and /range
 	cfg   Config
 	stats *resilience.Stats
 
-	// Guard-mode counters, cached as pointers at construction so the
-	// query path pays one atomic Add, not a map lookup under a mutex.
-	guardChecked     *telemetry.Counter
-	guardClampedLow  *telemetry.Counter
-	guardClampedHigh *telemetry.Counter
+	// active is the serving snapshot; handlers load it exactly once per
+	// request. Swap replaces it atomically under swapMu.
+	active atomic.Pointer[snapshot]
+	swapMu sync.Mutex
 
-	// drift watches serving accuracy from the certified guard bounds;
-	// nil (guard disabled or degenerate model scale) is a no-op.
-	drift *telemetry.DriftMonitor
+	// Swap telemetry: rne_model_swaps_total / rne_model_swap_failures_total
+	// counters plus the rne_model_version gauge flipped by Swap.
+	swaps        *telemetry.Counter
+	swapFailures *telemetry.Counter
+	versionGauge *telemetry.Gauge
 
 	// qlog samples served queries to a JSONL file; nil disables.
 	qlog *qlog.Logger
@@ -91,29 +105,33 @@ func New(model *core.Model, idx *index.Tree) (*Server, error) {
 
 // NewWithConfig returns a server with explicit resilience settings.
 func NewWithConfig(model *core.Model, idx *index.Tree, cfg Config) (*Server, error) {
-	if model == nil {
-		return nil, fmt.Errorf("server: nil model")
-	}
+	return NewFromSet(ModelSet{Model: model, Index: idx, Guard: cfg.Guard, Version: "boot"}, cfg)
+}
+
+// NewFromSet returns a server booted from an explicit model set — the
+// entry point for registry-resolved and compact serving. cfg.Guard is
+// ignored when set.Guard is non-nil.
+func NewFromSet(set ModelSet, cfg Config) (*Server, error) {
 	if cfg.MaxBatchBytes == 0 {
 		cfg.MaxBatchBytes = defaultMaxBatchBytes
 	}
-	if cfg.Guard != nil && cfg.Guard.NumVertices() != model.NumVertices() {
-		return nil, fmt.Errorf("server: guard estimator covers %d vertices but model covers %d",
-			cfg.Guard.NumVertices(), model.NumVertices())
+	if set.Guard == nil {
+		set.Guard = cfg.Guard
 	}
-	s := &Server{model: model, idx: idx, cfg: cfg, stats: resilience.NewStats()}
-	s.stats.TrackRoutes("/distance", "/batch", "/knn", "/range", "/explain")
-	if cfg.Guard != nil {
-		s.guardChecked = s.stats.Counter("guard_checked")
-		s.guardClampedLow = s.stats.Counter("guard_clamped_low")
-		s.guardClampedHigh = s.stats.Counter("guard_clamped_high")
-		// The model's distance normalizer approximates the graph
-		// diameter, which is exactly the scale the drift bands need.
-		if d, err := telemetry.NewDriftMonitor(s.stats.Registry(), model.Scale(),
-			cfg.DriftBands, cfg.DriftWarmup); err == nil {
-			s.drift = d
-		}
+	s := &Server{cfg: cfg, stats: resilience.NewStats()}
+	s.stats.TrackRoutes("/distance", "/batch", "/knn", "/range", "/explain", "/admin/reload")
+	// Swap counters live on the registry directly (not the /statz extra
+	// map, whose byte shape is frozen by a golden test).
+	s.swaps = s.stats.Registry().Counter("rne_model_swaps_total",
+		"Model hot swaps installed by /admin/reload, SIGHUP or Server.Swap.")
+	s.swapFailures = s.stats.Registry().Counter("rne_model_swap_failures_total",
+		"Model swaps rejected by validation or a failed reload source.")
+	sn, err := s.buildSnapshot(set)
+	if err != nil {
+		return nil, err
 	}
+	s.active.Store(sn)
+	s.setVersionGauge(sn.version)
 	if cfg.QueryLog.Path != "" {
 		// Chain the /metrics counters in front of any caller-supplied
 		// callbacks so drops are observable even on an unattended server.
@@ -162,7 +180,7 @@ func (s *Server) Stats() *resilience.Stats { return s.stats }
 // (panic recovery, per-request deadline, load shedding, request
 // accounting):
 //
-//	GET  /healthz                    liveness + model shape
+//	GET  /healthz                    liveness + model shape + version
 //	GET  /readyz                     readiness (degraded without spatial index)
 //	GET  /statz                      request/latency/status counters (JSON)
 //	GET  /metrics                    Prometheus text exposition
@@ -171,6 +189,7 @@ func (s *Server) Stats() *resilience.Stats { return s.stats }
 //	GET  /knn?s=<id>&k=<n>           k nearest indexed targets (&explain=1 adds traversal stats)
 //	GET  /range?s=<id>&tau=<dist>    indexed targets within tau (&explain=1 adds traversal stats)
 //	GET  /explain?s=<id>&t=<id>      full estimate provenance (per-level + guard)
+//	POST /admin/reload               hot-swap to the Reloader's latest model set
 //
 // Request-ID assignment sits outermost so every log line and error
 // response — including shed and timed-out requests — carries an ID.
@@ -185,6 +204,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /knn", s.handleKNN)
 	mux.HandleFunc("GET /range", s.handleRange)
+	mux.HandleFunc("POST /admin/reload", s.handleReload)
 	h := resilience.Wrap(mux, resilience.Options{
 		MaxInFlight: s.cfg.MaxInFlight,
 		Timeout:     s.cfg.RequestTimeout,
@@ -204,8 +224,9 @@ func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...
 	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// vertexParam parses a vertex id query parameter.
-func (s *Server) vertexParam(r *http.Request, name string) (int32, error) {
+// vertexParam parses a vertex id query parameter against the snapshot
+// actually serving this request.
+func (s *Server) vertexParam(sn *snapshot, r *http.Request, name string) (int32, error) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
 		return 0, fmt.Errorf("missing parameter %q", name)
@@ -214,34 +235,40 @@ func (s *Server) vertexParam(r *http.Request, name string) (int32, error) {
 	if err != nil {
 		return 0, fmt.Errorf("parameter %q is not an integer", name)
 	}
-	if v < 0 || v >= s.model.NumVertices() {
-		return 0, fmt.Errorf("vertex %d outside [0,%d)", v, s.model.NumVertices())
+	if v < 0 || v >= sn.view.NumVertices() {
+		return 0, fmt.Errorf("vertex %d outside [0,%d)", v, sn.view.NumVertices())
 	}
 	return int32(v), nil
 }
 
 // modelMeta is the model-shape block shared by /healthz and /readyz,
 // so probes and dashboards can tell *which* model a replica serves:
-// vertex count, embedding dimension, hierarchy depth (0 for loaded or
-// naive models, which drop the partition tree) and whether the ALT
-// guard is active.
-func (s *Server) modelMeta() map[string]any {
+// version label, vertex count, embedding dimension, hierarchy depth
+// (0 for loaded or naive models, which drop the partition tree),
+// whether the ALT guard is active, and whether the replica runs the
+// float32 compact variant.
+func modelMeta(sn *snapshot) map[string]any {
 	levels := 0
-	if h := s.model.Hierarchy(); h != nil {
-		levels = h.MaxDepth() + 1
+	if sn.view.full != nil {
+		if h := sn.view.full.Hierarchy(); h != nil {
+			levels = h.MaxDepth() + 1
+		}
 	}
 	return map[string]any{
-		"vertices": s.model.NumVertices(),
-		"dim":      s.model.Dim(),
+		"version":  sn.version,
+		"vertices": sn.view.NumVertices(),
+		"dim":      sn.view.Dim(),
 		"levels":   levels,
-		"spatial":  s.idx != nil,
-		"guard":    s.cfg.Guard != nil,
+		"spatial":  sn.idx != nil,
+		"guard":    sn.guard != nil,
+		"compact":  sn.view.full == nil,
 	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	sn := s.active.Load()
 	out := map[string]any{"status": "ok"}
-	for k, v := range s.modelMeta() {
+	for k, v := range modelMeta(sn) {
 		out[k] = v
 	}
 	s.writeJSON(w, http.StatusOK, out)
@@ -251,20 +278,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // live process may still be degraded. With no spatial index loaded the
 // server can serve /distance and /batch but not /knn or /range, so it
 // answers "degraded" and lists the missing capability; orchestrators
-// that require the full API can gate on status == "ready".
+// that require the full API can gate on status == "ready". Swaps never
+// degrade readiness: the previous snapshot serves until the new one is
+// fully validated and installed.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
-	if s.idx == nil {
+	sn := s.active.Load()
+	if sn.idx == nil {
 		s.writeJSON(w, http.StatusOK, map[string]any{
 			"status":   "degraded",
 			"degraded": []string{"spatial index absent: /knn and /range answer 501"},
-			"model":    s.modelMeta(),
+			"model":    modelMeta(sn),
 		})
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ready",
-		"targets": s.idx.Size(),
-		"model":   s.modelMeta(),
+		"targets": sn.idx.Size(),
+		"model":   modelMeta(sn),
 	})
 }
 
@@ -302,9 +332,9 @@ func clampDirection(g hybrid.GuardResult) string {
 // explainGuard evaluates one pair with full guard provenance while
 // still maintaining the clamp counters and drift monitor, so explained
 // queries are first-class traffic, not a monitoring blind spot.
-func (s *Server) explainGuard(src, dst int32) (hybrid.GuardResult, guardExplanation) {
-	p := s.cfg.Guard.Explain(src, dst)
-	s.countGuard(p.GuardResult)
+func (s *Server) explainGuard(sn *snapshot, src, dst int32) (hybrid.GuardResult, guardExplanation) {
+	p := sn.guard.Explain(src, dst)
+	s.countGuard(sn, p.GuardResult)
 	return p.GuardResult, guardExplanation{
 		Raw: p.Raw, Lo: p.Lo, Hi: p.Hi,
 		Clamp:      clampDirection(p.GuardResult),
@@ -339,27 +369,30 @@ func (s *Server) logQuery(r *http.Request, route string, src, dst int32, est flo
 
 func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	src, err := s.vertexParam(r, "s")
+	sn := s.active.Load()
+	src, err := s.vertexParam(sn, r, "s")
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	dst, err := s.vertexParam(r, "t")
+	dst, err := s.vertexParam(sn, r, "t")
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	explain := wantExplain(r)
-	if s.cfg.Guard != nil {
+	if sn.guard != nil {
 		var g hybrid.GuardResult
 		out := map[string]any{"s": src, "t": dst}
 		if explain {
 			var ge guardExplanation
-			g, ge = s.explainGuard(src, dst)
+			g, ge = s.explainGuard(sn, src, dst)
 			out["guard"] = ge
-			out["model"] = s.model.ExplainEstimate(src, dst)
+			if sn.view.full != nil {
+				out["model"] = sn.view.full.ExplainEstimate(src, dst)
+			}
 		} else {
-			g = s.guardedEstimate(src, dst)
+			g = s.guardedEstimate(sn, src, dst)
 		}
 		out["distance"], out["lo"], out["hi"] = g.Est, g.Lo, g.Hi
 		out["clamped"] = g.ClampedLow || g.ClampedHigh
@@ -367,10 +400,10 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, out)
 		return
 	}
-	est := s.model.Estimate(src, dst)
+	est := sn.view.Estimate(src, dst)
 	out := map[string]any{"s": src, "t": dst, "distance": est}
-	if explain {
-		out["model"] = s.model.ExplainEstimate(src, dst)
+	if explain && sn.view.full != nil {
+		out["model"] = sn.view.full.ExplainEstimate(src, dst)
 	}
 	s.logQuery(r, "/distance", src, dst, est, nil, start)
 	s.writeJSON(w, http.StatusOK, out)
@@ -379,26 +412,32 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 // handleExplain is the dedicated provenance endpoint: the response a
 // /distance?explain=1 call would produce, plus the dominant level, in
 // one place operators can hit when debugging a suspicious estimate.
+// Compact replicas drop the per-level matrix, so they answer 501.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	src, err := s.vertexParam(r, "s")
+	sn := s.active.Load()
+	if sn.view.full == nil {
+		s.fail(w, http.StatusNotImplemented, "explain requires the full model (this replica serves the compact variant)")
+		return
+	}
+	src, err := s.vertexParam(sn, r, "s")
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	dst, err := s.vertexParam(r, "t")
+	dst, err := s.vertexParam(sn, r, "t")
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ex := s.model.ExplainEstimate(src, dst)
+	ex := sn.view.full.ExplainEstimate(src, dst)
 	out := map[string]any{
 		"s": src, "t": dst,
 		"model":          ex,
 		"dominant_level": ex.DominantLevel(),
 	}
 	est := ex.Estimate
-	if s.cfg.Guard != nil {
-		g, ge := s.explainGuard(src, dst)
+	if sn.guard != nil {
+		g, ge := s.explainGuard(sn, src, dst)
 		est = g.Est
 		out["guard"] = ge
 	}
@@ -409,21 +448,21 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 // guardedEstimate evaluates one pair under the ALT guardrail,
 // maintains the /statz clamp counters, and feeds the accuracy-drift
 // monitor with the raw estimate against the certified interval.
-func (s *Server) guardedEstimate(src, dst int32) hybrid.GuardResult {
-	g := s.cfg.Guard.Guard(src, dst)
-	s.countGuard(g)
+func (s *Server) guardedEstimate(sn *snapshot, src, dst int32) hybrid.GuardResult {
+	g := sn.guard.Guard(src, dst)
+	s.countGuard(sn, g)
 	return g
 }
 
-func (s *Server) countGuard(g hybrid.GuardResult) {
-	s.guardChecked.Inc()
+func (s *Server) countGuard(sn *snapshot, g hybrid.GuardResult) {
+	sn.guardChecked.Inc()
 	if g.ClampedLow {
-		s.guardClampedLow.Inc()
+		sn.guardClampedLow.Inc()
 	}
 	if g.ClampedHigh {
-		s.guardClampedHigh.Inc()
+		sn.guardClampedHigh.Inc()
 	}
-	s.drift.Observe(g.Raw, g.Lo, g.Hi)
+	sn.drift.Observe(g.Raw, g.Lo, g.Hi)
 }
 
 // batchRequest is the /batch payload.
@@ -436,14 +475,23 @@ const maxBatch = 1 << 20
 // batchExplanation is the per-pair provenance attached when /batch is
 // called with ?explain=1: compact (dominant level + clamp provenance)
 // rather than the full per-level table, which at maxBatch pairs would
-// dwarf the distances themselves.
+// dwarf the distances themselves. DominantLevel is -1 on compact
+// replicas, which drop the per-level decomposition.
 type batchExplanation struct {
 	DominantLevel int               `json:"dominant_level"`
 	Guard         *guardExplanation `json:"guard,omitempty"`
 }
 
+func dominantLevel(sn *snapshot, s, t int32) int {
+	if sn.view.full == nil {
+		return -1
+	}
+	return sn.view.full.ExplainEstimate(s, t).DominantLevel()
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	sn := s.active.Load()
 	// Bound request memory before decoding: a client cannot make the
 	// decoder buffer an unbounded body.
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
@@ -466,7 +514,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Pairs), maxBatch)
 		return
 	}
-	n := int32(s.model.NumVertices())
+	n := int32(sn.view.NumVertices())
 	ss := make([]int32, len(req.Pairs))
 	ts := make([]int32, len(req.Pairs))
 	for i, p := range req.Pairs {
@@ -481,7 +529,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if explain {
 		explanations = make([]batchExplanation, len(ss))
 	}
-	if s.cfg.Guard != nil {
+	if sn.guard != nil {
 		out := make([]float64, len(ss))
 		lo := make([]float64, len(ss))
 		hi := make([]float64, len(ss))
@@ -490,13 +538,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			var g hybrid.GuardResult
 			if explain {
 				var ge guardExplanation
-				g, ge = s.explainGuard(ss[i], ts[i])
+				g, ge = s.explainGuard(sn, ss[i], ts[i])
 				explanations[i] = batchExplanation{
-					DominantLevel: s.model.ExplainEstimate(ss[i], ts[i]).DominantLevel(),
+					DominantLevel: dominantLevel(sn, ss[i], ts[i]),
 					Guard:         &ge,
 				}
 			} else {
-				g = s.guardedEstimate(ss[i], ts[i])
+				g = s.guardedEstimate(sn, ss[i], ts[i])
 			}
 			out[i], lo[i], hi[i] = g.Est, g.Lo, g.Hi
 			if g.ClampedLow || g.ClampedHigh {
@@ -514,15 +562,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := make([]float64, len(ss))
-	if err := s.model.EstimateBatch(ss, ts, out, 0); err != nil {
+	if err := sn.view.EstimateBatch(ss, ts, out); err != nil {
 		s.fail(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	for i := range ss {
 		if explain {
-			explanations[i] = batchExplanation{
-				DominantLevel: s.model.ExplainEstimate(ss[i], ts[i]).DominantLevel(),
-			}
+			explanations[i] = batchExplanation{DominantLevel: dominantLevel(sn, ss[i], ts[i])}
 		}
 		s.logQuery(r, "/batch", ss[i], ts[i], out[i], nil, start)
 	}
@@ -534,24 +580,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
-	if s.idx == nil {
+	sn := s.active.Load()
+	if sn.idx == nil {
 		s.fail(w, http.StatusNotImplemented, "no spatial index loaded")
 		return
 	}
-	src, err := s.vertexParam(r, "s")
+	src, err := s.vertexParam(sn, r, "s")
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	k, err := strconv.Atoi(r.URL.Query().Get("k"))
-	if err != nil || k < 1 || k > s.idx.Size() {
-		s.fail(w, http.StatusBadRequest, "k must be in [1,%d]", s.idx.Size())
+	if err != nil || k < 1 || k > sn.idx.Size() {
+		s.fail(w, http.StatusBadRequest, "k must be in [1,%d]", sn.idx.Size())
 		return
 	}
-	results, st := s.idx.KNNStats(src, k)
+	results, st := sn.idx.KNNStats(src, k)
 	dists := make([]float64, len(results))
 	for i, v := range results {
-		dists[i] = s.model.Estimate(src, v)
+		dists[i] = sn.view.Estimate(src, v)
 	}
 	resp := map[string]any{"targets": results, "distances": dists}
 	if wantExplain(r) {
@@ -561,11 +608,12 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
-	if s.idx == nil {
+	sn := s.active.Load()
+	if sn.idx == nil {
 		s.fail(w, http.StatusNotImplemented, "no spatial index loaded")
 		return
 	}
-	src, err := s.vertexParam(r, "s")
+	src, err := s.vertexParam(sn, r, "s")
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
@@ -575,7 +623,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "tau must be a non-negative number")
 		return
 	}
-	results, st := s.idx.RangeStats(src, tau)
+	results, st := sn.idx.RangeStats(src, tau)
 	if results == nil {
 		results = []int32{}
 	}

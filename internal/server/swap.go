@@ -1,0 +1,282 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/hybrid"
+	"repro/internal/index"
+	"repro/internal/telemetry"
+)
+
+// ModelSet is the unit of hot swapping: a model (full or compact, or
+// both), its optional spatial index and ALT guard, and the version tag
+// reported on /healthz and the rne_model_version metric. The set is
+// installed atomically — a request is served entirely by one set, never
+// by a mix of old model and new guard.
+type ModelSet struct {
+	// Model is the full float64 model; Compact the float32 deployment
+	// variant (half the resident memory). At least one is required.
+	// When only Compact is present the server serves /distance and
+	// /batch (plus guard mode) but not the explain surfaces, which need
+	// the full per-level decomposition.
+	Model   *core.Model
+	Compact *core.CompactModel
+	// Index enables /knn and /range; it requires the full model.
+	Index *index.Tree
+	// Guard enables ALT-backed clamping and the drift monitor.
+	Guard *hybrid.Estimator
+	// Version labels this set ("v3", "boot", ...); empty defaults to
+	// "unversioned".
+	Version string
+}
+
+// modelView is the serving-side selector over full vs compact storage:
+// the hot query path costs one nil check beyond the estimate itself.
+type modelView struct {
+	full    *core.Model
+	compact *core.CompactModel
+}
+
+func (v modelView) ok() bool { return v.full != nil || v.compact != nil }
+
+func (v modelView) Estimate(s, t int32) float64 {
+	if v.full != nil {
+		return v.full.Estimate(s, t)
+	}
+	return v.compact.Estimate(s, t)
+}
+
+func (v modelView) NumVertices() int {
+	if v.full != nil {
+		return v.full.NumVertices()
+	}
+	return v.compact.NumVertices()
+}
+
+func (v modelView) Dim() int {
+	if v.full != nil {
+		return v.full.Dim()
+	}
+	return v.compact.Dim()
+}
+
+func (v modelView) Scale() float64 {
+	if v.full != nil {
+		return v.full.Scale()
+	}
+	return v.compact.Scale()
+}
+
+func (v modelView) EstimateBatch(ss, ts []int32, out []float64) error {
+	if v.full != nil {
+		return v.full.EstimateBatch(ss, ts, out, 0)
+	}
+	if len(ss) != len(ts) || len(ss) != len(out) {
+		return fmt.Errorf("server: batch slices must share a length")
+	}
+	for i := range ss {
+		out[i] = v.compact.Estimate(ss[i], ts[i])
+	}
+	return nil
+}
+
+// snapshot is one immutable serving state. Handlers load it once per
+// request from Server.active, so every answer is internally consistent
+// even while a swap is racing in.
+type snapshot struct {
+	view    modelView
+	idx     *index.Tree
+	guard   *hybrid.Estimator
+	drift   *telemetry.DriftMonitor
+	version string
+
+	// Guard-mode counters, cached as pointers at snapshot build so the
+	// query path pays one atomic Add, not a map lookup under a mutex.
+	// Registered only for guarded sets, keeping the /statz extra map
+	// empty (its frozen shape) on unguarded servers.
+	guardChecked     *telemetry.Counter
+	guardClampedLow  *telemetry.Counter
+	guardClampedHigh *telemetry.Counter
+}
+
+// buildSnapshot validates a ModelSet and assembles the serving state,
+// including a drift monitor rebuilt from the *new* model's scale (a
+// stale monitor would band and score drift against the old model's
+// diameter, silently corrupting the drift signal after every swap).
+func (s *Server) buildSnapshot(set ModelSet) (*snapshot, error) {
+	view := modelView{full: set.Model, compact: set.Compact}
+	if !view.ok() {
+		return nil, fmt.Errorf("server: nil model")
+	}
+	n := view.NumVertices()
+	if n <= 0 {
+		return nil, fmt.Errorf("server: model covers no vertices")
+	}
+	if sc := view.Scale(); !(sc > 0) || math.IsInf(sc, 0) {
+		return nil, fmt.Errorf("server: implausible model scale %v", sc)
+	}
+	if set.Model != nil && set.Compact != nil && set.Model.NumVertices() != set.Compact.NumVertices() {
+		return nil, fmt.Errorf("server: full model covers %d vertices but compact covers %d",
+			set.Model.NumVertices(), set.Compact.NumVertices())
+	}
+	if set.Guard != nil && set.Guard.NumVertices() != n {
+		return nil, fmt.Errorf("server: guard estimator covers %d vertices but model covers %d",
+			set.Guard.NumVertices(), n)
+	}
+	if set.Index != nil && set.Model == nil {
+		return nil, fmt.Errorf("server: spatial index requires the full model")
+	}
+	if err := smokeTest(view, set.Guard); err != nil {
+		return nil, err
+	}
+	sn := &snapshot{
+		view:    view,
+		idx:     set.Index,
+		guard:   set.Guard,
+		version: set.Version,
+	}
+	if sn.version == "" {
+		sn.version = "unversioned"
+	}
+	if set.Guard != nil {
+		sn.guardChecked = s.stats.Counter("guard_checked")
+		sn.guardClampedLow = s.stats.Counter("guard_clamped_low")
+		sn.guardClampedHigh = s.stats.Counter("guard_clamped_high")
+		// The model's distance normalizer approximates the graph
+		// diameter, which is exactly the scale the drift bands need.
+		if d, err := telemetry.NewDriftMonitor(s.stats.Registry(), view.Scale(),
+			s.cfg.DriftBands, s.cfg.DriftWarmup); err == nil {
+			sn.drift = d
+		}
+	}
+	return sn, nil
+}
+
+// smokeTest runs a handful of deterministic sample queries before a set
+// is allowed to serve: estimates must be finite and non-negative, and
+// under a guard every probe must respect its certified interval. A
+// model whose embedding rows are NaN-poisoned or whose guard disagrees
+// with it is rejected here, before any request can observe it.
+func smokeTest(view modelView, guard *hybrid.Estimator) error {
+	n := int32(view.NumVertices())
+	if n < 2 {
+		return nil
+	}
+	pairs := [][2]int32{{0, n - 1}, {0, n / 2}, {n / 3, 2 * n / 3}, {n - 1, n / 2}}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			continue
+		}
+		est := view.Estimate(p[0], p[1])
+		if math.IsNaN(est) || math.IsInf(est, 0) || est < 0 {
+			return fmt.Errorf("server: smoke query (%d,%d) returned implausible estimate %v", p[0], p[1], est)
+		}
+		if guard == nil {
+			continue
+		}
+		g := guard.Guard(p[0], p[1])
+		if math.IsNaN(g.Lo) || math.IsNaN(g.Hi) || math.IsInf(g.Lo, 0) || g.Lo > g.Hi {
+			return fmt.Errorf("server: smoke query (%d,%d) has broken guard interval [%v,%v]", p[0], p[1], g.Lo, g.Hi)
+		}
+		if g.Est < g.Lo || g.Est > g.Hi {
+			return fmt.Errorf("server: smoke query (%d,%d) guarded estimate %v escapes [%v,%v]", p[0], p[1], g.Est, g.Lo, g.Hi)
+		}
+	}
+	return nil
+}
+
+// Swap validates the set and atomically installs it as the serving
+// state. On validation failure the active set is untouched — in-flight
+// and future requests keep being served by the previous model — and the
+// failure is counted on rne_model_swap_failures_total. On success
+// rne_model_swaps_total increments and rne_model_version flips to the
+// new version label.
+func (s *Server) Swap(set ModelSet) error {
+	sn, err := s.buildSnapshot(set)
+	if err != nil {
+		s.swapFailures.Inc()
+		return err
+	}
+	s.swapMu.Lock()
+	prev := s.active.Load()
+	s.active.Store(sn)
+	s.swaps.Inc()
+	s.setVersionGauge(sn.version)
+	s.swapMu.Unlock()
+	if prev != nil {
+		telemetry.OrNop(s.cfg.Logger).Info("model swapped",
+			"from", prev.version, "to", sn.version,
+			"vertices", sn.view.NumVertices(), "dim", sn.view.Dim(),
+			"guard", sn.guard != nil, "spatial", sn.idx != nil,
+			"compact", sn.view.full == nil)
+	}
+	return nil
+}
+
+// setVersionGauge flips rne_model_version{version=...} to the active
+// label: the new series reads 1, the previous drops to 0 so dashboards
+// see exactly one active version per replica. Callers hold swapMu.
+func (s *Server) setVersionGauge(version string) {
+	g := s.stats.Registry().Gauge("rne_model_version",
+		"Active model version (1 on the serving version's series).",
+		"version", version)
+	if s.versionGauge != nil && s.versionGauge != g {
+		s.versionGauge.Set(0)
+	}
+	g.Set(1)
+	s.versionGauge = g
+}
+
+// ActiveVersion reports the version label of the currently-serving set.
+func (s *Server) ActiveVersion() string { return s.active.Load().version }
+
+// Reload pulls a fresh ModelSet from the configured Reloader and swaps
+// it in; it is the shared engine behind POST /admin/reload and the
+// SIGHUP handler in rneserver. The returned string is the now-active
+// version.
+func (s *Server) Reload() (string, error) {
+	if s.cfg.Reloader == nil {
+		return "", fmt.Errorf("server: no reloader configured")
+	}
+	set, err := s.cfg.Reloader()
+	if err != nil {
+		s.swapFailures.Inc()
+		return "", fmt.Errorf("server: reload source: %w", err)
+	}
+	if err := s.Swap(set); err != nil {
+		return "", err
+	}
+	return s.ActiveVersion(), nil
+}
+
+// handleReload is POST /admin/reload: resolve a new set via the
+// Reloader, validate, swap. A failed reload (source error or
+// validation) leaves the previous version serving and reports it in the
+// response, so operators see the rollback explicitly.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Reloader == nil {
+		s.fail(w, http.StatusNotImplemented, "no reloader configured (start rneserver with -registry or -model)")
+		return
+	}
+	previous := s.ActiveVersion()
+	version, err := s.Reload()
+	if err != nil {
+		s.writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error":          err.Error(),
+			"swapped":        false,
+			"active_version": previous,
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"swapped":        true,
+		"version":        version,
+		"previous":       previous,
+		"swaps_total":    s.swaps.Value(),
+		"swap_failures":  s.swapFailures.Value(),
+		"active_version": version,
+	})
+}

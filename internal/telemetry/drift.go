@@ -155,3 +155,8 @@ func (d *DriftMonitor) Observe(raw, lo, hi float64) {
 
 // Bands returns the number of distance bands.
 func (d *DriftMonitor) Bands() int { return len(d.bands) }
+
+// MaxDist returns the distance scale the bands were built over. After a
+// model hot-swap the serving layer must rebuild its monitor so this
+// tracks the new model's scale; exposing it lets swap tests assert that.
+func (d *DriftMonitor) MaxDist() float64 { return d.maxDist }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hybrid"
 	"repro/internal/index"
+	"repro/internal/registry"
 )
 
 // Graph is a weighted road network: vertices with planar coordinates,
@@ -199,6 +200,35 @@ func LoadALTIndex(path string) (*ALTIndex, error) { return alt.LoadFile(path) }
 func NewBoundedEstimatorFromIndex(m *Model, lt *ALTIndex) (*BoundedEstimator, error) {
 	return hybrid.New(m, lt)
 }
+
+// NewCompactBoundedEstimator combines a float32 compact model with a
+// prebuilt landmark index, so guard mode also runs on half-memory
+// compact replicas.
+func NewCompactBoundedEstimator(m *CompactModel, lt *ALTIndex) (*BoundedEstimator, error) {
+	return hybrid.New(m, lt)
+}
+
+// ModelRegistry is a versioned on-disk model store: rnebuild publishes
+// immutable versions (model plus optional compact sibling, ALT guard
+// and spatial index), rneserver resolves and hot-swaps the latest good
+// one. Corrupt versions are quarantined with automatic fallback; see
+// internal/registry for the layout and retention semantics.
+type ModelRegistry = registry.Store
+
+// RegistryArtifacts selects what one published version carries.
+type RegistryArtifacts = registry.Artifacts
+
+// RegistrySet is one fully-loaded registry version — the unit a
+// server hot-swaps.
+type RegistrySet = registry.Set
+
+// RegistryLoadOpts tunes registry version loading (e.g. the float32
+// compact sibling instead of the full model).
+type RegistryLoadOpts = registry.LoadOpts
+
+// OpenModelRegistry opens (creating if absent) a registry rooted at
+// the given directory.
+func OpenModelRegistry(root string) (*ModelRegistry, error) { return registry.Open(root) }
 
 // Explanation decomposes one estimate into per-hierarchy-level
 // contributions (Model.ExplainEstimate): the provenance view of a

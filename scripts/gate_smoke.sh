@@ -1,0 +1,93 @@
+#!/bin/sh
+# gate-smoke: scale-out tier check through the real binaries.
+#
+# Start two rneserver replicas over the same model, put rnegate in
+# front of them, and assert (1) a fanned-out /batch merges to a full
+# answer, (2) killing one replica leaves /batch serving — the dead
+# backend's sub-batch fails over to the survivor and the backend is
+# ejected from routing — and (3) the gateway reports the degradation
+# on /readyz and counts the ejection on /metrics.
+set -eu
+
+GO=${GO:-go}
+PA=${GATE_SMOKE_PORT_A:-18372}
+PB=${GATE_SMOKE_PORT_B:-18373}
+PG=${GATE_SMOKE_PORT_G:-18374}
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+$GO run ./cmd/genroad -rows 10 -cols 10 -seed 7 -o "$TMP/g.txt"
+$GO build -o "$TMP/rnebuild" ./cmd/rnebuild
+$GO build -o "$TMP/rneserver" ./cmd/rneserver
+$GO build -o "$TMP/rnegate" ./cmd/rnegate
+
+"$TMP/rnebuild" -graph "$TMP/g.txt" -dim 8 -epochs 2 -seed 1 -report "" \
+    -o "$TMP/m.rne" >/dev/null 2>&1
+
+"$TMP/rneserver" -model "$TMP/m.rne" -addr "127.0.0.1:$PA" >"$TMP/a.log" 2>&1 &
+A_PID=$!
+PIDS="$PIDS $A_PID"
+"$TMP/rneserver" -model "$TMP/m.rne" -addr "127.0.0.1:$PB" >"$TMP/b.log" 2>&1 &
+B_PID=$!
+PIDS="$PIDS $B_PID"
+"$TMP/rnegate" -addr "127.0.0.1:$PG" \
+    -backends "http://127.0.0.1:$PA,http://127.0.0.1:$PB" \
+    -health-interval 100ms -eject-after 1 -backoff-base 100ms \
+    >"$TMP/gate.log" 2>&1 &
+G_PID=$!
+PIDS="$PIDS $G_PID"
+
+gate="http://127.0.0.1:$PG"
+wait_200() {
+    i=0
+    until curl -sf "$1" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ $i -gt 100 ] && return 1
+        sleep 0.1
+    done
+}
+wait_200 "http://127.0.0.1:$PA/healthz" || { echo "gate-smoke: backend A never came up"; cat "$TMP/a.log"; exit 1; }
+wait_200 "http://127.0.0.1:$PB/healthz" || { echo "gate-smoke: backend B never came up"; cat "$TMP/b.log"; exit 1; }
+wait_200 "$gate/readyz" || { echo "gate-smoke: gateway never became ready"; cat "$TMP/gate.log"; exit 1; }
+
+body='{"pairs":[[0,99],[17,42],[3,61],[88,5]]}'
+if ! curl -sf -d "$body" "$gate/batch" | grep -q '"distances"'; then
+    echo "gate-smoke: fan-out /batch failed with both backends up"
+    cat "$TMP/gate.log"
+    exit 1
+fi
+
+kill "$B_PID" 2>/dev/null || true
+wait "$B_PID" 2>/dev/null || true
+
+# The first request after the kill may hit the dead backend; the
+# gateway must retry its sub-batch onto the survivor and still answer.
+if ! curl -sf -d "$body" "$gate/batch" | grep -q '"distances"'; then
+    echo "gate-smoke: /batch failed with one backend down"
+    cat "$TMP/gate.log"
+    exit 1
+fi
+i=0
+until curl -s "$gate/readyz" | grep -q '"status":"degraded"'; do
+    i=$((i + 1))
+    if [ $i -gt 100 ]; then
+        echo "gate-smoke: ejection never reflected on /readyz"
+        cat "$TMP/gate.log"
+        exit 1
+    fi
+    sleep 0.1
+done
+if ! curl -sf -d "$body" "$gate/batch" | grep -q '"distances"'; then
+    echo "gate-smoke: /batch failed after ejection"
+    exit 1
+fi
+if ! curl -sf "$gate/metrics" | grep -q '^rne_gateway_ejections_total 1'; then
+    echo "gate-smoke: ejection not counted on /metrics"
+    exit 1
+fi
+echo "gate-smoke: /batch served with one of two backends ejected"
