@@ -1,9 +1,9 @@
 # Pre-merge gate: `make ci` must pass before any change lands.
 GO ?= go
 
-.PHONY: ci build vet test race shuffle fuzz-smoke vulncheck bench bench-smoke replay-smoke swap-smoke gate-smoke
+.PHONY: ci build vet test race shuffle fuzz-smoke vulncheck bench bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke
 
-ci: vet race shuffle fuzz-smoke vulncheck bench-smoke replay-smoke swap-smoke gate-smoke ## full pre-merge gate
+ci: vet race shuffle fuzz-smoke vulncheck bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke ## full pre-merge gate
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,13 @@ vulncheck:
 # version flips with zero failed requests.
 swap-smoke:
 	@GO="$(GO)" sh scripts/swap_smoke.sh
+
+# Chaos self-healing smoke through the real binaries: perturb the
+# live graph mid-serve, kill the first retrain with an armed
+# checkpoint failpoint, and assert the controller still retrains,
+# swaps to v2 and converges under budget with zero failed requests.
+heal-smoke:
+	@GO="$(GO)" sh scripts/heal_smoke.sh
 
 # Scale-out smoke: rnegate fanning /batch across two rneserver
 # replicas keeps serving (with the ejection counted) after one

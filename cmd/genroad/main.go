@@ -1,9 +1,18 @@
 // Command genroad emits a synthetic road network in the text edge-list
 // format, either from a named preset or from explicit grid dimensions.
 //
+// -regime applies a deterministic weight perturbation on top of the
+// base network — time-of-day multipliers on arterial edges plus
+// localized incident spikes — producing a traffic-regime variant with
+// identical topology. This is the workload generator for drift and
+// autoheal experiments: emit the base graph, serve a model trained on
+// it, then emit a regime variant over the same seed to shift the edge
+// weights under the serving model.
+//
 // Usage:
 //
 //	genroad -preset bj-mini -o bj.txt
+//	genroad -preset bj-mini -regime rush-am -regime-seed 9 -o bj-rush.txt
 //	genroad -rows 120 -cols 80 -seed 7 -o custom.txt
 package main
 
@@ -11,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -21,6 +31,8 @@ func main() {
 	rows := flag.Int("rows", 0, "grid rows (with -cols, instead of -preset)")
 	cols := flag.Int("cols", 0, "grid cols")
 	seed := flag.Int64("seed", 1, "generator seed")
+	regime := flag.String("regime", "", "perturb edge weights with a named traffic regime: "+strings.Join(gen.RegimeNames(), ", "))
+	regimeSeed := flag.Int64("regime-seed", 1, "seed for regime jitter and incident placement")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -37,6 +49,13 @@ func main() {
 		g, err = gen.Grid(*rows, *cols, gen.DefaultConfig(*seed))
 	default:
 		err = fmt.Errorf("need -preset or -rows/-cols")
+	}
+	if err == nil && *regime != "" {
+		if cfg, ok := gen.RegimeByName(*regime, *regimeSeed); ok {
+			g, err = gen.Perturb(g, cfg)
+		} else {
+			err = fmt.Errorf("unknown regime %q (have %s)", *regime, strings.Join(gen.RegimeNames(), ", "))
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "genroad:", err)

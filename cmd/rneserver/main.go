@@ -20,6 +20,16 @@
 // and whether clamping occurred, and clamp counters appear on /statz.
 // Guard mode also feeds the online accuracy-drift monitor on /metrics.
 //
+// With -autoheal (registry mode only) the server closes the loop under
+// dynamic edge weights: a background controller probes served estimates
+// against exact distances computed over -heal-graph, and when drift
+// stays past -heal-budget for -heal-dwell ticks it fine-tunes the
+// serving model against the live graph, publishes the result and
+// hot-swaps it through the validated reload path — rolling back and
+// cooling down when the retrain or validation fails. Controller state
+// appears on /statz and as rne_autoheal_* metrics. -faults arms
+// fault-injection failpoints for chaos drills.
+//
 // The server runs hardened for production traffic: handler panics are
 // converted to 500s, requests past -max-inflight are shed with 429 +
 // Retry-After, every request carries a -request-timeout deadline and an
@@ -50,11 +60,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	rne "repro"
+	"repro/internal/autoheal"
+	"repro/internal/faultinject"
 	"repro/internal/qlog"
+	"repro/internal/registry"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 )
@@ -78,6 +92,17 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and a /metrics mirror on this operator-only address (empty disables)")
 	qlogPath := flag.String("qlog", "", "record a sampled query log (JSONL, replayable with rnereplay) at this path (empty disables)")
 	qlogSample := flag.Int("qlog-sample", 100, "with -qlog: record 1 in N served queries")
+	autoHeal := flag.Bool("autoheal", false, "run the drift→retrain→swap controller (requires -registry and -heal-graph)")
+	healGraphPath := flag.String("heal-graph", "", "live graph file the autoheal controller probes for exact truth and retrains against (picked up again when the file changes)")
+	healInterval := flag.Duration("heal-interval", 2*time.Second, "autoheal probe tick period")
+	healProbes := flag.Int("heal-probes", 32, "autoheal probe pairs per tick")
+	healBudget := flag.Float64("heal-budget", 3, "autoheal error budget: probe drift score (recent error over warmup baseline) above this for -heal-dwell consecutive ticks triggers a retrain")
+	healDwell := flag.Int("heal-dwell", 3, "consecutive over-budget ticks before a heal triggers")
+	healCooldown := flag.Duration("heal-cooldown", 30*time.Second, "minimum wait between heal attempts")
+	healWarmup := flag.Int("heal-warmup", 96, "probe observations freezing the autoheal drift baseline")
+	healEpochs := flag.Int("heal-epochs", 3, "SGD epochs per phase during an autoheal fine-tune")
+	healRounds := flag.Int("heal-rounds", 4, "active fine-tune rounds during an autoheal retrain")
+	faults := flag.String("faults", "", "arm fault-injection failpoints for chaos testing: name[:after=N][:count=M],... (e.g. core/checkpoint-save:count=1)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	flag.Parse()
@@ -95,9 +120,19 @@ func main() {
 	if *targetFrac < 0 || math.IsNaN(*targetFrac) {
 		fatal("-target-frac must be non-negative", "got", *targetFrac)
 	}
+	if spec := *faults; spec != "" {
+		if err := faultinject.EnableSpec(spec); err != nil {
+			fatal("arming failpoints", "error", err)
+		}
+		logger.Warn("fault injection armed", "spec", spec)
+	}
+	if *autoHeal && (*registryRoot == "" || *healGraphPath == "") {
+		fatal("-autoheal requires -registry and -heal-graph")
+	}
 
 	var set server.ModelSet
 	var reloader func() (server.ModelSet, error)
+	var store *rne.ModelRegistry
 
 	var model *rne.Model
 	var idx *rne.SpatialIndex
@@ -107,7 +142,7 @@ func main() {
 		if *modelPath != "" || *graphPath != "" || *preset != "" {
 			fatal("-registry is exclusive with -model, -graph and -preset")
 		}
-		store, err := rne.OpenModelRegistry(*registryRoot)
+		store, err = rne.OpenModelRegistry(*registryRoot)
 		if err != nil {
 			fatal("opening registry", "error", err)
 		}
@@ -263,6 +298,42 @@ func main() {
 		logger.Info("query log on", "path", *qlogPath, "sample", fmt.Sprintf("1-in-%d", *qlogSample))
 	}
 
+	// The autoheal controller closes the drift→retrain→swap loop: it
+	// probes served estimates against exact distances over -heal-graph,
+	// and when the error budget stays blown through the dwell window it
+	// fine-tunes the serving model against the live graph, publishes the
+	// result and drives the same validated hot-swap path as SIGHUP.
+	healCancel := func() {}
+	if *autoHeal {
+		prober := autoheal.NewGraphProber(*healGraphPath, *seed+11, srv.Estimate)
+		ctrl, err := autoheal.New(autoheal.Config{
+			Sample:   prober.Sample,
+			Heal:     newHealer(store, srv, prober, *regName, *compact, *healEpochs, *healRounds, *seed, logger),
+			Version:  srv.ActiveVersion,
+			MaxDist:  srv.Scale,
+			Interval: *healInterval,
+			Probes:   *healProbes,
+			Budget:   *healBudget,
+			Dwell:    *healDwell,
+			Cooldown: *healCooldown,
+			Warmup:   *healWarmup,
+			Registry: srv.Stats().Registry(),
+			Logger:   logger,
+		})
+		if err != nil {
+			fatal("configuring autoheal", "error", err)
+		}
+		srv.Stats().SetStateProvider("autoheal", func() any { return ctrl.State() })
+		healCtx, cancel := context.WithCancel(context.Background())
+		ctrl.Start(healCtx)
+		healCancel = func() {
+			cancel()
+			ctrl.Stop()
+		}
+		logger.Info("autoheal on", "graph", *healGraphPath, "interval", *healInterval,
+			"budget", *healBudget, "dwell", *healDwell, "cooldown", *healCooldown)
+	}
+
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr, srv, logger)
 	}
@@ -291,6 +362,7 @@ func main() {
 		fatal("serving", "error", err)
 	case <-ctx.Done():
 		stop()
+		healCancel()
 		logger.Info("signal received; draining in-flight requests", "grace", *shutdownGrace)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 		defer cancel()
@@ -308,6 +380,89 @@ func main() {
 		}
 		logger.Info("shutdown complete")
 	}
+}
+
+// newHealer returns the autoheal controller's repair callback: load
+// the serving version's full model as a warm start, fine-tune it
+// against the prober's live graph, rebuild the ALT guard when the
+// serving version carried one, publish the result and hot-swap it
+// through the server's validated reload. A version that publishes but
+// fails swap validation is quarantined so later reloads skip it.
+func newHealer(store *rne.ModelRegistry, srv *server.Server, prober *autoheal.GraphProber,
+	name string, compact bool, epochs, rounds int, seed int64, logger *slog.Logger) func(context.Context) (string, error) {
+	return func(ctx context.Context) (string, error) {
+		g := prober.Graph()
+		if g == nil {
+			return "", fmt.Errorf("heal: no probe graph loaded yet")
+		}
+		serving := srv.ActiveVersion()
+		// Always warm-start from the full model: compact replicas still
+		// fine-tune in float64 and publish both variants.
+		warm, err := store.LoadVersion(name, serving, rne.RegistryLoadOpts{})
+		if err != nil {
+			return "", fmt.Errorf("heal: loading warm-start %s %s: %w", name, serving, err)
+		}
+
+		opt := rne.DefaultOptions(seed + 17)
+		opt.Epochs = epochs
+		opt.FineTuneRounds = rounds
+		opt.Logger = logger
+		// Checkpoint with StrictCheckpoints so an injected or real
+		// checkpoint-write fault fails this attempt cleanly — the
+		// controller rolls back, cools down and retries.
+		opt.CheckpointPath = filepath.Join(os.TempDir(), fmt.Sprintf("rne-heal-%d.ckpt", os.Getpid()))
+		opt.StrictCheckpoints = true
+		defer os.Remove(opt.CheckpointPath)
+
+		start := time.Now()
+		tuned, stats, err := rne.FineTune(g, warm.Model, opt)
+		if err != nil {
+			return "", fmt.Errorf("heal: fine-tune from %s: %w", serving, err)
+		}
+		logger.Info("heal: fine-tune complete", "from", serving,
+			"duration", time.Since(start).Round(time.Millisecond),
+			"validation", stats.Validation.String())
+
+		art := rne.RegistryArtifacts{Model: tuned, Compact: compact || versionHasCompact(store, name, serving)}
+		if warm.ALT != nil {
+			art.ALT, err = rne.BuildALTIndex(g, warm.ALT.NumLandmarks(), seed+2)
+			if err != nil {
+				return "", fmt.Errorf("heal: rebuilding ALT guard: %w", err)
+			}
+		}
+		version, err := store.Publish(name, art)
+		if err != nil {
+			return "", fmt.Errorf("heal: publishing: %w", err)
+		}
+		if _, err := srv.Reload(); err != nil {
+			if qerr := store.Quarantine(name, version); qerr != nil {
+				logger.Error("heal: quarantining rejected version failed", "version", version, "error", qerr)
+			}
+			return "", fmt.Errorf("heal: swap validation rejected %s: %w", version, err)
+		}
+		return srv.ActiveVersion(), nil
+	}
+}
+
+// versionHasCompact reports whether the named published version carries
+// the float32 compact sibling, so a heal preserves whatever variants
+// the fleet's replicas load.
+func versionHasCompact(store *rne.ModelRegistry, name, version string) bool {
+	vs, err := store.Versions(name)
+	if err != nil {
+		return false
+	}
+	for _, v := range vs {
+		if v.Version != version {
+			continue
+		}
+		for _, f := range v.Files {
+			if f == registry.CompactFile {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // registrySet converts a loaded registry version into the server's

@@ -1,0 +1,119 @@
+package autoheal
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+// GraphProber produces the controller's probe observations from a
+// live graph file: it samples seeded random pairs, computes exact
+// shortest-path distances with Dijkstra over the file's current
+// contents, and compares them against whatever the serving path
+// estimates. The file is re-read whenever its mtime or size changes,
+// so an operator (or chaos script) atomically replacing the graph with
+// a regime variant is picked up on the next probe round — this is how
+// perturbed edge weights become visible to the controller while the
+// serving model is still answering from the stale embedding.
+//
+// Probes are grouped a-few-targets-per-source so each round amortizes
+// its Dijkstra runs, keeping the probe cost at a handful of SSSP
+// sweeps per tick even on large graphs.
+type GraphProber struct {
+	path     string
+	estimate func(s, t int32) (float64, error)
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	g     *graph.Graph
+	ws    *sssp.Workspace
+	buf   []float64
+	mtime time.Time
+	size  int64
+}
+
+// NewGraphProber watches the graph file at path and scores estimates
+// from estimate against exact distances. The estimate callback is the
+// serving path (e.g. Server.Estimate); seed makes pair selection
+// reproducible.
+func NewGraphProber(path string, seed int64, estimate func(s, t int32) (float64, error)) *GraphProber {
+	return &GraphProber{
+		path:     path,
+		estimate: estimate,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// refreshLocked (re)loads the graph when the file changed since the
+// last load. Callers hold p.mu.
+func (p *GraphProber) refreshLocked() error {
+	fi, err := os.Stat(p.path)
+	if err != nil {
+		return fmt.Errorf("autoheal: probing graph: %w", err)
+	}
+	if p.g != nil && fi.ModTime().Equal(p.mtime) && fi.Size() == p.size {
+		return nil
+	}
+	g, err := graph.ReadFile(p.path)
+	if err != nil {
+		return fmt.Errorf("autoheal: reloading probe graph: %w", err)
+	}
+	p.g = g
+	p.ws = sssp.NewWorkspace(g)
+	p.buf = nil
+	p.mtime = fi.ModTime()
+	p.size = fi.Size()
+	return nil
+}
+
+// Graph returns the most recently loaded graph (nil before the first
+// Sample). The heal path uses it to retrain against exactly the graph
+// the drift was measured on.
+func (p *GraphProber) Graph() *graph.Graph {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.g
+}
+
+// Sample implements Config.Sample: up to n observations over fresh
+// random pairs, a few targets per Dijkstra source. Pairs whose truth
+// or estimate is unusable (disconnected, out of the serving model's
+// range) are skipped, so a round may return fewer than n.
+func (p *GraphProber) Sample(ctx context.Context, n int) ([]Observation, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.refreshLocked(); err != nil {
+		return nil, err
+	}
+	const perSource = 8
+	nv := p.g.NumVertices()
+	if nv < 2 {
+		return nil, fmt.Errorf("autoheal: probe graph has %d vertices", nv)
+	}
+	out := make([]Observation, 0, n)
+	for len(out) < n {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		s := int32(p.rng.Intn(nv))
+		p.buf = p.ws.FromSource(s, p.buf)
+		for j := 0; j < perSource && len(out) < n; j++ {
+			t := int32(p.rng.Intn(nv))
+			if t == s || p.buf[t] >= sssp.Inf || !(p.buf[t] > 0) {
+				continue
+			}
+			est, err := p.estimate(s, t)
+			if err != nil {
+				continue
+			}
+			out = append(out, Observation{Est: est, Truth: p.buf[t]})
+		}
+	}
+	return out, nil
+}

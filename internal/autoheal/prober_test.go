@@ -1,0 +1,69 @@
+package autoheal
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestGraphProberSamplesAndReloads(t *testing.T) {
+	g, err := gen.Grid(10, 10, gen.DefaultConfig(3))
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := graph.WriteFile(path, g); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	p := NewGraphProber(path, 7, func(s, u int32) (float64, error) { return 1, nil })
+
+	obs, err := p.Sample(context.Background(), 16)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if len(obs) != 16 {
+		t.Fatalf("got %d observations, want 16", len(obs))
+	}
+	for _, o := range obs {
+		if !(o.Truth > 0) {
+			t.Fatalf("non-positive truth %v", o.Truth)
+		}
+	}
+	current := p.Graph()
+	if current == nil || current.NumVertices() != g.NumVertices() {
+		t.Fatal("prober did not retain the loaded graph")
+	}
+
+	// Replace the file with a regime variant and backdate+redate the
+	// mtime so the change is unambiguous; the next Sample must reload.
+	cfg, _ := gen.RegimeByName("rush-am", 5)
+	pg, err := gen.Perturb(g, cfg)
+	if err != nil {
+		t.Fatalf("Perturb: %v", err)
+	}
+	if err := graph.WriteFile(path, pg); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := os.Chtimes(path, time.Now(), time.Now().Add(time.Hour)); err != nil {
+		t.Fatalf("Chtimes: %v", err)
+	}
+	if _, err := p.Sample(context.Background(), 8); err != nil {
+		t.Fatalf("Sample after rewrite: %v", err)
+	}
+	if p.Graph() == current {
+		t.Fatal("prober did not reload the rewritten graph file")
+	}
+}
+
+func TestGraphProberMissingFile(t *testing.T) {
+	p := NewGraphProber(filepath.Join(t.TempDir(), "nope.txt"), 1,
+		func(s, u int32) (float64, error) { return 1, nil })
+	if _, err := p.Sample(context.Background(), 4); err == nil {
+		t.Fatal("missing graph file not reported")
+	}
+}

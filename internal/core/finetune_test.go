@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/sssp"
+)
+
+func finetuneOptions(seed int64) Options {
+	opt := DefaultOptions(seed)
+	opt.Dim = 8
+	opt.Hierarchical = false
+	opt.ActiveFineTune = true
+	opt.Epochs = 3
+	opt.FineTuneRounds = 2
+	opt.ValidationPairs = 300
+	opt.Landmarks = 16
+	return opt
+}
+
+func finetuneGraphs(t *testing.T) (*graph.Graph, *graph.Graph) {
+	t.Helper()
+	g, err := gen.Grid(12, 12, gen.DefaultConfig(5))
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	cfg, ok := gen.RegimeByName("rush-am", 99)
+	if !ok {
+		t.Fatal("rush-am regime missing")
+	}
+	p, err := gen.Perturb(g, cfg)
+	if err != nil {
+		t.Fatalf("Perturb: %v", err)
+	}
+	return g, p
+}
+
+// exactError evaluates a model against exact distances on g over a
+// fixed probe set.
+func exactError(t *testing.T, m *Model, g *graph.Graph) float64 {
+	t.Helper()
+	ws := sssp.NewWorkspace(g)
+	rng := newRng(17)
+	var pairs []metrics.Pair
+	n := int32(g.NumVertices())
+	var buf []float64
+	for i := 0; i < 12; i++ {
+		s := int32(rng.Intn(int(n)))
+		buf = ws.FromSource(s, buf)
+		for j := 0; j < 16; j++ {
+			u := int32(rng.Intn(int(n)))
+			if u == s || buf[u] >= sssp.Inf {
+				continue
+			}
+			pairs = append(pairs, metrics.Pair{S: s, T: u, Dist: buf[u]})
+		}
+	}
+	return metrics.Evaluate(metrics.EstimatorFunc(m.Estimate), pairs).MeanRel
+}
+
+func TestFineTuneRecoversFromRegimeShift(t *testing.T) {
+	base, perturbed := finetuneGraphs(t)
+	warm, _, err := Build(base, finetuneOptions(1))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	degraded := exactError(t, warm, perturbed)
+	tuned, st, err := FineTune(perturbed, warm, finetuneOptions(2))
+	if err != nil {
+		t.Fatalf("FineTune: %v", err)
+	}
+	healed := exactError(t, tuned, perturbed)
+	if healed >= degraded {
+		t.Fatalf("fine-tune did not improve accuracy on the perturbed graph: %.4f -> %.4f", degraded, healed)
+	}
+	if st.SamplesUsed == 0 {
+		t.Fatal("fine-tune consumed no samples")
+	}
+	// Scale must be inherited from the warm model, not re-estimated
+	// from the perturbed graph.
+	if tuned.Scale() != warm.Scale() {
+		t.Fatalf("fine-tuned model re-derived scale: %v vs warm %v", tuned.Scale(), warm.Scale())
+	}
+	if tuned.Dim() != warm.Dim() || tuned.P() != warm.P() {
+		t.Fatal("fine-tuned model changed dim or metric order")
+	}
+	if tuned.Hier() != nil {
+		t.Fatal("fine-tuned model unexpectedly carries a hierarchy")
+	}
+}
+
+func TestFineTuneRejectsTopologyChange(t *testing.T) {
+	base, _ := finetuneGraphs(t)
+	warm, _, err := Build(base, finetuneOptions(1))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	other, err := gen.Grid(8, 8, gen.DefaultConfig(5))
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	if _, _, err := FineTune(other, warm, finetuneOptions(2)); err == nil ||
+		!strings.Contains(err.Error(), "topology") {
+		t.Fatalf("vertex-count mismatch not rejected, err=%v", err)
+	}
+	if _, _, err := FineTune(base, nil, finetuneOptions(2)); err == nil {
+		t.Fatal("nil warm model not rejected")
+	}
+}
+
+func TestFineTuneStrictCheckpointFailure(t *testing.T) {
+	base, perturbed := finetuneGraphs(t)
+	warm, _, err := Build(base, finetuneOptions(1))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	opt := finetuneOptions(2)
+	opt.CheckpointPath = filepath.Join(t.TempDir(), "ckpt")
+	opt.StrictCheckpoints = true
+
+	boom := errors.New("disk on fire")
+	faultinject.Enable(FailpointCheckpointSave, faultinject.Fault{Err: boom})
+	defer faultinject.Reset()
+
+	if _, _, err := FineTune(perturbed, warm, opt); !errors.Is(err, boom) {
+		t.Fatalf("strict checkpoint failure not propagated, err=%v", err)
+	}
+	faultinject.Reset()
+
+	// Second attempt with the failpoint disarmed succeeds.
+	if _, _, err := FineTune(perturbed, warm, opt); err != nil {
+		t.Fatalf("retry after failpoint cleared: %v", err)
+	}
+}

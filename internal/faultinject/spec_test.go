@@ -1,0 +1,56 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnableSpec(t *testing.T) {
+	defer Reset()
+	if err := EnableSpec("a/b:count=1, c/d:after=2:count=-1"); err != nil {
+		t.Fatalf("EnableSpec: %v", err)
+	}
+	if err := Check("a/b"); err == nil {
+		t.Fatal("a/b did not fire on first hit")
+	}
+	if err := Check("a/b"); err != nil {
+		t.Fatalf("a/b fired past its count: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := Check("c/d"); err != nil {
+			t.Fatalf("c/d fired during its after window (hit %d): %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := Check("c/d"); err == nil {
+			t.Fatalf("c/d stopped firing at hit %d despite count=-1", i)
+		}
+	}
+}
+
+func TestEnableSpecEmpty(t *testing.T) {
+	defer Reset()
+	if err := EnableSpec(""); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	if Active() {
+		t.Fatal("empty spec armed something")
+	}
+}
+
+func TestEnableSpecErrors(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{
+		":count=1",
+		"a/b:count",
+		"a/b:count=x",
+		"a/b:after=-1",
+		"a/b:nope=3",
+	} {
+		if err := EnableSpec(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		} else if !strings.Contains(err.Error(), "faultinject:") {
+			t.Errorf("spec %q error lacks package prefix: %v", spec, err)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
@@ -51,6 +52,12 @@ type Config struct {
 	// backend (defaults 500ms and 15s; each failed probe doubles it).
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// BackoffJitter spreads each re-probe time by a uniform random
+	// fraction of the backoff, ±BackoffJitter (default 0.2), so a fleet
+	// of backends ejected by one event does not re-probe — and
+	// potentially thundering-herd a recovering replica — in lockstep.
+	// Negative disables jitter.
+	BackoffJitter float64
 	// BackendTimeout bounds each proxied backend call (default 10s).
 	BackendTimeout time.Duration
 	// MaxInFlight / RequestTimeout configure the gateway's own
@@ -82,6 +89,15 @@ func (c Config) withDefaults() Config {
 	if c.BackoffMax <= 0 {
 		c.BackoffMax = 15 * time.Second
 	}
+	if c.BackoffJitter == 0 {
+		c.BackoffJitter = 0.2
+	}
+	if c.BackoffJitter < 0 {
+		c.BackoffJitter = 0
+	}
+	if c.BackoffJitter > 1 {
+		c.BackoffJitter = 1
+	}
 	if c.BackendTimeout <= 0 {
 		c.BackendTimeout = 10 * time.Second
 	}
@@ -107,6 +123,7 @@ type backend struct {
 
 	requests *telemetry.Counter
 	failures *telemetry.Counter
+	cancels  *telemetry.Counter
 	healthyG *telemetry.Gauge
 }
 
@@ -122,6 +139,9 @@ type Gateway struct {
 	ejections *telemetry.Counter
 	revivals  *telemetry.Counter
 	retries   *telemetry.Counter
+
+	jitterMu  sync.Mutex
+	jitterRng *rand.Rand
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -144,7 +164,8 @@ func New(cfg Config) (*Gateway, error) {
 			Transport: cfg.Transport,
 			Timeout:   cfg.BackendTimeout,
 		},
-		stop: make(chan struct{}),
+		jitterRng: rand.New(rand.NewSource(time.Now().UnixNano())),
+		stop:      make(chan struct{}),
 	}
 	g.stats.TrackRoutes("/batch", "/distance")
 	reg := g.stats.Registry()
@@ -173,6 +194,8 @@ func New(cfg Config) (*Gateway, error) {
 				"Requests proxied, by backend.", "backend", u.Host),
 			failures: reg.Counter("rne_gateway_backend_failures_total",
 				"Failed proxied requests and probes, by backend.", "backend", u.Host),
+			cancels: reg.Counter("rne_gateway_backend_cancels_total",
+				"Sub-requests abandoned because the client canceled or its deadline expired, by backend.", "backend", u.Host),
 			healthyG: reg.Gauge("rne_gateway_backend_healthy",
 				"1 while the backend is routed to, 0 while ejected.", "backend", u.Host),
 		}
@@ -249,10 +272,23 @@ func (g *Gateway) pick(src int32, exclude map[*backend]bool) *backend {
 	return g.backends[i]
 }
 
+// jittered spreads d by a uniform ±cfg.BackoffJitter fraction, so
+// backends ejected by one event re-probe at staggered times instead of
+// hammering a recovering replica in lockstep.
+func (g *Gateway) jittered(d time.Duration) time.Duration {
+	if g.cfg.BackoffJitter <= 0 || d <= 0 {
+		return d
+	}
+	g.jitterMu.Lock()
+	u := g.jitterRng.Float64()
+	g.jitterMu.Unlock()
+	return time.Duration(float64(d) * (1 + g.cfg.BackoffJitter*(2*u-1)))
+}
+
 // markFailure records one failed call or probe against b, ejecting it
 // once cfg.EjectAfter consecutive failures accumulate. Ejection seeds
 // the exponential re-probe backoff; further failures double it up to
-// cfg.BackoffMax.
+// cfg.BackoffMax, with each re-probe time jittered.
 func (g *Gateway) markFailure(b *backend, err error) {
 	b.failures.Inc()
 	b.mu.Lock()
@@ -268,7 +304,7 @@ func (g *Gateway) markFailure(b *backend, err error) {
 		}
 	}
 	if !b.healthy.Load() {
-		b.nextProbe = time.Now().Add(b.backoff)
+		b.nextProbe = time.Now().Add(g.jittered(b.backoff))
 	}
 	backoff := b.backoff
 	b.mu.Unlock()
@@ -420,6 +456,14 @@ func (g *Gateway) handleDistance(w http.ResponseWriter, r *http.Request) {
 		status, body, ct, err := g.forward(r.Context(), b, http.MethodGet,
 			"/distance?"+r.URL.RawQuery, nil)
 		if err != nil {
+			if r.Context().Err() != nil {
+				// The client hung up or its deadline expired mid-proxy:
+				// the backend did nothing wrong, so the failure must not
+				// count toward its ejection — and there is no one left to
+				// answer, so retrying is pointless.
+				b.cancels.Inc()
+				return
+			}
 			g.markFailure(b, err)
 			exclude[b] = true
 			continue
@@ -625,6 +669,13 @@ func (g *Gateway) sendBatch(ctx context.Context, gr *backendBatch) (batchReply, 
 		}
 		status, data, _, err := g.forward(ctx, b, http.MethodPost, "/batch", body)
 		if err != nil {
+			if ctx.Err() != nil {
+				// Client cancellation, propagated into the sub-request:
+				// not the backend's fault, and not worth a retry the
+				// client will never see.
+				b.cancels.Inc()
+				return batchReply{}, 0, nil, fmt.Errorf("client canceled: %w", ctx.Err())
+			}
 			g.markFailure(b, err)
 			exclude[b] = true
 			lastErr = err

@@ -1,8 +1,10 @@
 package gateway
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -425,6 +427,98 @@ func TestGatewayMetricsAndStatzSurface(t *testing.T) {
 		if _, ok := snap[key]; !ok {
 			t.Fatalf("/statz missing %q: %v", key, snap)
 		}
+	}
+}
+
+func TestBackoffJitterSpreadsReprobes(t *testing.T) {
+	gw := newGateway(t, Config{
+		Backends:       []string{"http://127.0.0.1:59998"},
+		HealthInterval: time.Hour,
+		BackoffJitter:  0.5,
+	})
+	const d = time.Second
+	lo, hi := time.Duration(float64(d)*0.5), time.Duration(float64(d)*1.5)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		j := gw.jittered(d)
+		if j < lo || j > hi {
+			t.Fatalf("jittered(%v) = %v outside [%v, %v]", d, j, lo, hi)
+		}
+		seen[j] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("jitter produced a constant re-probe delay")
+	}
+
+	// Negative jitter disables the spread entirely.
+	exact := newGateway(t, Config{
+		Backends:       []string{"http://127.0.0.1:59997"},
+		HealthInterval: time.Hour,
+		BackoffJitter:  -1,
+	})
+	if got := exact.jittered(d); got != d {
+		t.Fatalf("disabled jitter changed the delay: %v", got)
+	}
+}
+
+// TestClientCancelNotCountedAgainstBackend pins the cancellation
+// semantics of the fan-out: the client's context is propagated into
+// backend sub-requests (abandoning them promptly), and a sub-request
+// that dies because the *client* went away is counted as a cancel, not
+// as a backend failure — so impatient clients can never eject a
+// healthy replica.
+func TestClientCancelNotCountedAgainstBackend(t *testing.T) {
+	// A backend that never answers until the sub-request is abandoned:
+	// only context propagation can unblock the proxy path. It drains the
+	// body first (as a real replica would) — net/http only watches for
+	// client disconnects once the request body is consumed.
+	stuck := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	}))
+	defer stuck.Close()
+	gw := newGateway(t, Config{
+		Backends:       []string{stuck.URL},
+		HealthInterval: time.Hour,
+		EjectAfter:     1,
+	})
+	ts := httptest.NewServer(gw.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/distance?s=1&t=2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("expected the client deadline to abort the request")
+	}
+	b := gw.backends[0]
+	waitFor(t, "cancel accounting", func() bool { return b.cancels.Value() >= 1 })
+	if gw.HealthyBackends() != 1 {
+		t.Fatal("client cancellation ejected the backend")
+	}
+	if b.failures.Value() != 0 {
+		t.Fatalf("client cancellation counted as backend failure (%d)", b.failures.Value())
+	}
+
+	// Same discipline on the /batch fan-out path.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	req2, err := http.NewRequestWithContext(ctx2, http.MethodPost, ts.URL+"/batch",
+		strings.NewReader(batchBody([][2]int32{{0, 5}})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("Content-Type", "application/json")
+	if resp, err := http.DefaultClient.Do(req2); err == nil {
+		resp.Body.Close()
+	}
+	waitFor(t, "batch cancel accounting", func() bool { return b.cancels.Value() >= 2 })
+	if gw.HealthyBackends() != 1 || b.failures.Value() != 0 {
+		t.Fatal("batch client cancellation counted against the backend")
 	}
 }
 

@@ -1,0 +1,246 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// RegimeConfig describes a deterministic weight perturbation applied on
+// top of a generated network: a traffic regime. Real travel times shift
+// with time of day (rush hour slows arterials far more than side
+// streets) and with localized incidents (a crash multiplies weights in
+// a small ball around it). The perturbation is purely multiplicative on
+// edge weights — topology and coordinates are untouched — so a model
+// trained on the base network keeps the same vertex space and only its
+// distance labels move, which is exactly the drift scenario the
+// autoheal loop is built to detect and repair.
+//
+// Edges are classified by weight percentile: the longest ArterialFrac
+// of edges stand in for arterials/highways (diagonal shortcuts and
+// highway links are the long edges in our synthetic networks), the
+// rest are local streets. All randomness is derived from Seed, so the
+// same (graph, config) pair always yields the same regime variant.
+type RegimeConfig struct {
+	// Seed drives incident placement and per-edge jitter.
+	Seed int64
+	// ArterialFrac is the fraction of edges (by descending weight)
+	// classified as arterial. 0 disables the arterial/local split.
+	ArterialFrac float64
+	// ArterialFactor multiplies arterial edge weights (e.g. 1.9 for
+	// rush hour congestion, 0.7 for free-flowing night traffic).
+	// 0 defaults to 1.
+	ArterialFactor float64
+	// LocalFactor multiplies non-arterial edge weights. 0 defaults to 1.
+	LocalFactor float64
+	// Incidents is the number of localized incident spikes to place.
+	Incidents int
+	// IncidentRadius is the BFS hop radius of each incident ball.
+	IncidentRadius int
+	// IncidentFactor multiplies edges touching an incident ball.
+	// 0 defaults to 1.
+	IncidentFactor float64
+	// JitterPct adds per-edge multiplicative noise in [1-J, 1+J],
+	// breaking the uniformity of the class-wide factors the way real
+	// congestion does. Must be < 1 so weights stay positive.
+	JitterPct float64
+}
+
+func (c RegimeConfig) withDefaults() RegimeConfig {
+	if c.ArterialFactor == 0 {
+		c.ArterialFactor = 1
+	}
+	if c.LocalFactor == 0 {
+		c.LocalFactor = 1
+	}
+	if c.IncidentFactor == 0 {
+		c.IncidentFactor = 1
+	}
+	return c
+}
+
+func (c RegimeConfig) validate() error {
+	switch {
+	case c.ArterialFrac < 0 || c.ArterialFrac > 1:
+		return fmt.Errorf("gen: ArterialFrac must be in [0,1], got %v", c.ArterialFrac)
+	case !(c.ArterialFactor > 0) || math.IsInf(c.ArterialFactor, 0):
+		return fmt.Errorf("gen: ArterialFactor must be positive finite, got %v", c.ArterialFactor)
+	case !(c.LocalFactor > 0) || math.IsInf(c.LocalFactor, 0):
+		return fmt.Errorf("gen: LocalFactor must be positive finite, got %v", c.LocalFactor)
+	case c.Incidents < 0:
+		return fmt.Errorf("gen: Incidents must be non-negative, got %d", c.Incidents)
+	case c.IncidentRadius < 0:
+		return fmt.Errorf("gen: IncidentRadius must be non-negative, got %d", c.IncidentRadius)
+	case !(c.IncidentFactor > 0) || math.IsInf(c.IncidentFactor, 0):
+		return fmt.Errorf("gen: IncidentFactor must be positive finite, got %v", c.IncidentFactor)
+	case c.JitterPct < 0 || c.JitterPct >= 1:
+		return fmt.Errorf("gen: JitterPct must be in [0,1), got %v", c.JitterPct)
+	}
+	return nil
+}
+
+// Regimes returns the named regime presets, patterned on the recurring
+// traffic snapshots dynamic-road-network work clusters real histories
+// into: a morning rush that congests arterials, a night regime where
+// highways free-flow, and an incident regime with localized spikes.
+func Regimes() map[string]RegimeConfig {
+	return map[string]RegimeConfig{
+		"rush-am": {
+			ArterialFrac:   0.25,
+			ArterialFactor: 1.9,
+			LocalFactor:    1.15,
+			JitterPct:      0.05,
+		},
+		"night": {
+			ArterialFrac:   0.25,
+			ArterialFactor: 0.7,
+			LocalFactor:    0.9,
+			JitterPct:      0.03,
+		},
+		"incident": {
+			ArterialFrac:   0.20,
+			ArterialFactor: 1.25,
+			Incidents:      4,
+			IncidentRadius: 3,
+			IncidentFactor: 3.0,
+			JitterPct:      0.05,
+		},
+	}
+}
+
+// RegimeByName looks up a named regime preset and stamps it with seed.
+func RegimeByName(name string, seed int64) (RegimeConfig, bool) {
+	c, ok := Regimes()[name]
+	if !ok {
+		return RegimeConfig{}, false
+	}
+	c.Seed = seed
+	return c, true
+}
+
+// RegimeNames returns the preset names in sorted order, for usage text.
+func RegimeNames() []string {
+	names := make([]string, 0, len(Regimes()))
+	for n := range Regimes() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Perturb applies a regime to g, returning a new graph with the same
+// vertices, coordinates and edges but regime-scaled weights. The input
+// graph is not modified. Determinism: class factors depend only on the
+// edge's weight rank, incident placement on (Seed, |V|), and per-edge
+// jitter on a hash of (endpoints, Seed) — never on iteration order.
+func Perturb(g *graph.Graph, cfg RegimeConfig) (*graph.Graph, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("gen: cannot perturb an empty graph")
+	}
+
+	// Arterial threshold: the weight at the (1-ArterialFrac) quantile.
+	// Edges at or above it get the arterial factor.
+	thresh := math.Inf(1)
+	if cfg.ArterialFrac > 0 {
+		ws := make([]float64, 0, g.NumEdges())
+		for v := int32(0); v < int32(n); v++ {
+			ts, wts := g.Neighbors(v)
+			for i, t := range ts {
+				if t > v {
+					ws = append(ws, wts[i])
+				}
+			}
+		}
+		if len(ws) > 0 {
+			sort.Float64s(ws)
+			idx := int(float64(len(ws)) * (1 - cfg.ArterialFrac))
+			if idx >= len(ws) {
+				idx = len(ws) - 1
+			}
+			thresh = ws[idx]
+		}
+	}
+
+	// Incident balls: BFS out to IncidentRadius hops from seeded random
+	// centers; any edge touching a marked vertex is inside the spike.
+	hot := make([]bool, n)
+	if cfg.Incidents > 0 && cfg.IncidentRadius > 0 {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		depth := make([]int, n)
+		for k := 0; k < cfg.Incidents; k++ {
+			center := int32(rng.Intn(n))
+			for i := range depth {
+				depth[i] = -1
+			}
+			depth[center] = 0
+			queue := []int32{center}
+			hot[center] = true
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				if depth[v] >= cfg.IncidentRadius {
+					continue
+				}
+				ts, _ := g.Neighbors(v)
+				for _, t := range ts {
+					if depth[t] < 0 {
+						depth[t] = depth[v] + 1
+						hot[t] = true
+						queue = append(queue, t)
+					}
+				}
+			}
+		}
+	}
+
+	b := graph.NewBuilder(n, g.NumEdges())
+	xs, ys := g.Coords()
+	for i := 0; i < n; i++ {
+		b.AddVertex(xs[i], ys[i])
+	}
+	for v := int32(0); v < int32(n); v++ {
+		ts, wts := g.Neighbors(v)
+		for i, t := range ts {
+			if t <= v {
+				continue
+			}
+			w := wts[i]
+			factor := cfg.LocalFactor
+			if cfg.ArterialFrac > 0 && w >= thresh {
+				factor = cfg.ArterialFactor
+			}
+			if hot[v] || hot[t] {
+				factor *= cfg.IncidentFactor
+			}
+			if cfg.JitterPct > 0 {
+				factor *= 1 + (2*edgeHash01(v, t, cfg.Seed)-1)*cfg.JitterPct
+			}
+			if err := b.AddEdge(v, t, w*factor); err != nil {
+				return nil, fmt.Errorf("gen: perturbed edge (%d,%d): %w", v, t, err)
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// edgeHash01 maps an undirected edge and seed to a uniform value in
+// [0, 1) via a splitmix64-style finalizer, so per-edge jitter is a pure
+// function of the edge identity rather than of iteration order.
+func edgeHash01(u, v int32, seed int64) float64 {
+	x := uint64(uint32(u))<<32 | uint64(uint32(v))
+	x ^= uint64(seed) * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,174 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func regimeTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := Grid(12, 12, DefaultConfig(7))
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	return g
+}
+
+func TestPerturbDeterministic(t *testing.T) {
+	g := regimeTestGraph(t)
+	cfg, ok := RegimeByName("rush-am", 42)
+	if !ok {
+		t.Fatal("rush-am preset missing")
+	}
+	a, err := Perturb(g, cfg)
+	if err != nil {
+		t.Fatalf("Perturb: %v", err)
+	}
+	b, err := Perturb(g, cfg)
+	if err != nil {
+		t.Fatalf("Perturb: %v", err)
+	}
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("repeat perturb changed shape: %d/%d vs %d/%d",
+			a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	for v := int32(0); v < int32(a.NumVertices()); v++ {
+		ta, wa := a.Neighbors(v)
+		tb, wb := b.Neighbors(v)
+		if len(ta) != len(tb) {
+			t.Fatalf("vertex %d degree differs", v)
+		}
+		for i := range ta {
+			if ta[i] != tb[i] || wa[i] != wb[i] {
+				t.Fatalf("vertex %d edge %d differs: (%d,%v) vs (%d,%v)",
+					v, i, ta[i], wa[i], tb[i], wb[i])
+			}
+		}
+	}
+}
+
+func TestPerturbPreservesTopology(t *testing.T) {
+	g := regimeTestGraph(t)
+	cfg, _ := RegimeByName("incident", 3)
+	p, err := Perturb(g, cfg)
+	if err != nil {
+		t.Fatalf("Perturb: %v", err)
+	}
+	if p.NumVertices() != g.NumVertices() {
+		t.Fatalf("vertex count changed: %d -> %d", g.NumVertices(), p.NumVertices())
+	}
+	if p.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d -> %d", g.NumEdges(), p.NumEdges())
+	}
+	gx, gy := g.Coords()
+	px, py := p.Coords()
+	for i := range gx {
+		if gx[i] != px[i] || gy[i] != py[i] {
+			t.Fatalf("vertex %d moved", i)
+		}
+	}
+	// Every weight stays positive finite and the base graph is untouched.
+	for v := int32(0); v < int32(p.NumVertices()); v++ {
+		_, ws := p.Neighbors(v)
+		for _, w := range ws {
+			if !(w > 0) || math.IsInf(w, 0) {
+				t.Fatalf("vertex %d has implausible perturbed weight %v", v, w)
+			}
+		}
+	}
+}
+
+func TestPerturbShiftsWeights(t *testing.T) {
+	g := regimeTestGraph(t)
+	cfg, _ := RegimeByName("rush-am", 11)
+	p, err := Perturb(g, cfg)
+	if err != nil {
+		t.Fatalf("Perturb: %v", err)
+	}
+	// Rush hour inflates everything: local streets by >= 1.15*(1-J),
+	// arterials by much more. Total weight must rise materially.
+	var base, pert float64
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		_, bw := g.Neighbors(v)
+		_, pw := p.Neighbors(v)
+		for i := range bw {
+			base += bw[i]
+			pert += pw[i]
+		}
+	}
+	if pert < base*1.1 {
+		t.Fatalf("rush-am barely moved total weight: %v -> %v", base, pert)
+	}
+	// The arterial band must be hit harder than the local band: the max
+	// per-edge ratio should reflect ArterialFactor, not just LocalFactor.
+	maxRatio := 0.0
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		ts, bw := g.Neighbors(v)
+		_, pw := p.Neighbors(v)
+		for i, tt := range ts {
+			if tt > v {
+				if r := pw[i] / bw[i]; r > maxRatio {
+					maxRatio = r
+				}
+			}
+		}
+	}
+	if maxRatio < 1.5 {
+		t.Fatalf("no edge saw arterial-scale inflation, max ratio %v", maxRatio)
+	}
+}
+
+func TestPerturbSeedsDiffer(t *testing.T) {
+	g := regimeTestGraph(t)
+	c1, _ := RegimeByName("incident", 1)
+	c2, _ := RegimeByName("incident", 2)
+	p1, err := Perturb(g, c1)
+	if err != nil {
+		t.Fatalf("Perturb: %v", err)
+	}
+	p2, err := Perturb(g, c2)
+	if err != nil {
+		t.Fatalf("Perturb: %v", err)
+	}
+	same := true
+	for v := int32(0); v < int32(p1.NumVertices()) && same; v++ {
+		_, w1 := p1.Neighbors(v)
+		_, w2 := p2.Neighbors(v)
+		for i := range w1 {
+			if w1[i] != w2[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical incident regimes")
+	}
+}
+
+func TestPerturbValidation(t *testing.T) {
+	g := regimeTestGraph(t)
+	bad := []RegimeConfig{
+		{ArterialFrac: -0.1},
+		{ArterialFrac: 1.5},
+		{ArterialFactor: -1},
+		{LocalFactor: math.Inf(1)},
+		{Incidents: -1},
+		{IncidentRadius: -2},
+		{IncidentFactor: -0.5},
+		{JitterPct: 1.0},
+	}
+	for i, cfg := range bad {
+		if _, err := Perturb(g, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, ok := RegimeByName("no-such-regime", 1); ok {
+		t.Error("unknown regime name resolved")
+	}
+	if len(RegimeNames()) == 0 {
+		t.Error("no regime presets registered")
+	}
+}

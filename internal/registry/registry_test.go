@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/alt"
@@ -349,6 +350,92 @@ func TestGCRemovesQuarantinedDirs(t *testing.T) {
 	}
 	if _, err := os.Stat(s.Path("demo", "v2") + quarantineSuffix); !os.IsNotExist(err) {
 		t.Fatal("quarantined directory survived GC")
+	}
+}
+
+// TestGCNeverDeletesPinnedOrServing hammers GC against concurrent
+// Publish and pinned-version loads (run it under -race): whatever the
+// interleaving, retention must never delete the pinned version or the
+// newest good version — the two a fleet may be serving from.
+func TestGCNeverDeletesPinnedOrServing(t *testing.T) {
+	s := openStore(t)
+	_, m := quickBuild(t, 9)
+	if _, err := s.Publish("race", Artifacts{Model: m}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pin("race", "v1"); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // retention hammer: keep only the newest good version
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.GC("race", 1); err != nil {
+				t.Error("GC:", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // the pin must stay loadable through every interleaving
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.LoadVersion("race", "v1", LoadOpts{}); err != nil {
+				t.Error("pinned version vanished mid-GC:", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		if _, err := s.Publish("race", Artifacts{Model: m}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Resolution honors the pin, and its artifacts must still load.
+	set, err := s.LoadLatest("race", LoadOpts{})
+	if err != nil {
+		t.Fatalf("pinned version unloadable after GC storm: %v", err)
+	}
+	if set.Version != "v1" {
+		t.Fatalf("resolution ignored the pin: got %s", set.Version)
+	}
+	// Retention also keeps the newest good version alongside the pin.
+	vs, err := s.Versions("race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, newest := false, ""
+	for _, v := range vs {
+		if v.Version == "v1" {
+			pinned = true
+		} else {
+			newest = v.Version
+		}
+	}
+	if !pinned {
+		t.Fatal("GC deleted the pinned version from the manifest")
+	}
+	if newest == "" {
+		t.Fatalf("GC kept no version beyond the pin: %v", vs)
+	}
+	if _, err := s.LoadVersion("race", newest, LoadOpts{}); err != nil {
+		t.Fatalf("newest good version %s gone after GC storm: %v", newest, err)
 	}
 }
 

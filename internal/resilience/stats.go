@@ -41,6 +41,12 @@ type Stats struct {
 	// clamp counts) registered at runtime via Counter.
 	extraMu sync.Mutex
 	extra   map[string]*telemetry.Counter
+
+	// states holds named state providers (e.g. the autoheal
+	// controller's armed/retraining view), rendered into the /statz
+	// "state" object. Registered at setup via SetStateProvider.
+	stateMu sync.Mutex
+	states  map[string]func() any
 }
 
 var statusClasses = [...]string{"other", "1xx", "2xx", "3xx", "4xx", "5xx"}
@@ -139,9 +145,27 @@ func (s *Stats) Counter(name string) *telemetry.Counter {
 	return c
 }
 
+// SetStateProvider registers a named provider whose value is rendered
+// under the /statz "state" object on every snapshot. Providers must be
+// safe for concurrent use and return JSON-marshalable values. A nil fn
+// removes the provider.
+func (s *Stats) SetStateProvider(name string, fn func() any) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if fn == nil {
+		delete(s.states, name)
+		return
+	}
+	if s.states == nil {
+		s.states = make(map[string]func() any)
+	}
+	s.states[name] = fn
+}
+
 // Snapshot is the JSON shape served on /statz. It predates /metrics
 // and must stay byte-shape-compatible: fields, names and order are
-// frozen.
+// frozen (new optional blocks may only be appended with omitempty, so
+// servers without the feature keep the historical byte shape).
 type Snapshot struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Requests      int64            `json:"requests"`
@@ -152,6 +176,7 @@ type Snapshot struct {
 	LatencyMeanMS float64          `json:"latency_mean_ms"`
 	LatencyMaxMS  float64          `json:"latency_max_ms"`
 	Extra         map[string]int64 `json:"extra,omitempty"`
+	State         map[string]any   `json:"state,omitempty"`
 }
 
 // Snapshot returns a consistent-enough point-in-time view of the
@@ -184,6 +209,14 @@ func (s *Stats) Snapshot() Snapshot {
 		}
 	}
 	s.extraMu.Unlock()
+	s.stateMu.Lock()
+	if len(s.states) > 0 {
+		snap.State = make(map[string]any, len(s.states))
+		for name, fn := range s.states {
+			snap.State[name] = fn()
+		}
+	}
+	s.stateMu.Unlock()
 	return snap
 }
 

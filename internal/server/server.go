@@ -176,6 +176,29 @@ func (s *Server) QueryLog() *qlog.Logger { return s.qlog }
 // Stats exposes the request counters backing /statz.
 func (s *Server) Stats() *resilience.Stats { return s.stats }
 
+// Estimate answers one pair from the active snapshot exactly as
+// /distance would (guard-clamped when a guard is installed), but
+// without touching the serving clamp counters or drift monitor. It is
+// the read-only probe path for sidecar watchers like the autoheal
+// controller, whose synthetic probes must not pollute serving
+// telemetry.
+func (s *Server) Estimate(src, dst int32) (float64, error) {
+	sn := s.active.Load()
+	n := sn.view.NumVertices()
+	if src < 0 || int(src) >= n || dst < 0 || int(dst) >= n {
+		return 0, fmt.Errorf("server: pair (%d,%d) outside [0,%d)", src, dst, n)
+	}
+	if sn.guard != nil {
+		return sn.guard.Guard(src, dst).Est, nil
+	}
+	return sn.view.Estimate(src, dst), nil
+}
+
+// Scale returns the active model's distance normalizer (its graph-
+// diameter estimate) — the band scale an external drift monitor over
+// served estimates should be built with.
+func (s *Server) Scale() float64 { return s.active.Load().view.Scale() }
+
 // Handler returns the route table wrapped in the resilience stack
 // (panic recovery, per-request deadline, load shedding, request
 // accounting):

@@ -39,18 +39,38 @@ type DriftMonitor struct {
 
 	mu       sync.Mutex
 	warmup   int
+	alpha    float64
 	seen     int
 	baseSum  float64
 	baseline float64
 	ewma     float64
 }
 
+// DefaultDriftAlpha is the EWMA smoothing factor: a half-life of ~350
+// observations, responsive within minutes at production QPS while
+// smoothing per-query noise.
+const DefaultDriftAlpha = 0.002
+
 // NewDriftMonitor registers the drift metric family on reg. maxDist
 // scales the distance bands (use the model's diameter estimate);
 // bands and warmup fall back to the defaults when <= 0.
 func NewDriftMonitor(reg *Registry, maxDist float64, bands, warmup int) (*DriftMonitor, error) {
+	return NewDriftMonitorNamed(reg, "rne_drift", maxDist, bands, warmup)
+}
+
+// NewDriftMonitorNamed registers the drift metric family under the
+// given metric-name prefix (NewDriftMonitor uses "rne_drift"). The
+// telemetry registry hands the same series back for the same
+// name+labels, so two monitors on one registry would silently share
+// gauges; a distinct prefix gives each watcher — e.g. the serving
+// monitor vs the autoheal controller's truth-probing monitor — its own
+// independent family.
+func NewDriftMonitorNamed(reg *Registry, prefix string, maxDist float64, bands, warmup int) (*DriftMonitor, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("telemetry: drift monitor needs a registry")
+	}
+	if prefix == "" {
+		return nil, fmt.Errorf("telemetry: drift monitor needs a metric prefix")
 	}
 	if !(maxDist > 0) || math.IsInf(maxDist, 0) {
 		return nil, fmt.Errorf("telemetry: drift monitor needs a positive finite max distance, got %v", maxDist)
@@ -65,22 +85,62 @@ func NewDriftMonitor(reg *Registry, maxDist float64, bands, warmup int) (*DriftM
 		maxDist: maxDist,
 		bands:   make([]*Histogram, bands),
 		warmup:  warmup,
-		total: reg.Counter("rne_drift_observations_total",
+		alpha:   DefaultDriftAlpha,
+		total: reg.Counter(prefix+"_observations_total",
 			"Guarded queries observed by the accuracy-drift monitor."),
-		scoreG: reg.Gauge("rne_drift_score",
+		scoreG: reg.Gauge(prefix+"_score",
 			"Recent mean deviation over the frozen baseline (1 = no drift)."),
-		recentG: reg.Gauge("rne_drift_recent_error",
+		recentG: reg.Gauge(prefix+"_recent_error",
 			"Exponentially-weighted recent mean relative deviation."),
-		baselineG: reg.Gauge("rne_drift_baseline_error",
+		baselineG: reg.Gauge(prefix+"_baseline_error",
 			"Baseline mean relative deviation frozen after warmup."),
 	}
 	d.scoreG.Set(1)
 	for i := range d.bands {
-		d.bands[i] = reg.Histogram("rne_drift_band_error",
+		d.bands[i] = reg.Histogram(prefix+"_band_error",
 			"Relative deviation of raw estimates from certified-bound midpoints, by distance band.",
 			RelErrorBuckets, "band", fmt.Sprintf("%02d", i))
 	}
 	return d, nil
+}
+
+// DriftSnapshot is a point-in-time view of the monitor's summary state,
+// for controllers that poll drift instead of scraping /metrics.
+type DriftSnapshot struct {
+	// Seen is the number of non-degenerate observations filed so far.
+	Seen int
+	// Warm reports whether the baseline has frozen (Seen > warmup).
+	Warm bool
+	// Baseline is the mean deviation over the warmup window (running
+	// mean until frozen).
+	Baseline float64
+	// Recent is the exponentially-weighted recent mean deviation.
+	Recent float64
+	// Score is Recent/Baseline, the headline drift signal; 1 while the
+	// baseline is still too small to divide by.
+	Score float64
+}
+
+// Snapshot returns the monitor's current summary state. It reads the
+// same fields Observe maintains, so a controller polling Snapshot sees
+// exactly what the rne_*_score gauge exports.
+func (d *DriftMonitor) Snapshot() DriftSnapshot {
+	if d == nil {
+		return DriftSnapshot{Score: 1}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := DriftSnapshot{
+		Seen:     d.seen,
+		Warm:     d.seen > d.warmup,
+		Baseline: d.baseline,
+		Recent:   d.ewma,
+		Score:    1,
+	}
+	if d.baseline > 1e-12 {
+		s.Score = d.ewma / d.baseline
+	}
+	return s
 }
 
 // DriftDeviation is the label-free error proxy the drift monitor
@@ -136,10 +196,7 @@ func (d *DriftMonitor) Observe(raw, lo, hi float64) {
 		d.baseline = d.baseSum / float64(d.seen)
 		d.ewma = d.baseline
 	} else {
-		// Half-life of ~350 observations: responsive within minutes at
-		// production QPS while smoothing per-query noise.
-		const alpha = 0.002
-		d.ewma += alpha * (errv - d.ewma)
+		d.ewma += d.alpha * (errv - d.ewma)
 	}
 	baseline, ewma := d.baseline, d.ewma
 	d.mu.Unlock()
@@ -151,6 +208,21 @@ func (d *DriftMonitor) Observe(raw, lo, hi float64) {
 	} else {
 		d.scoreG.Set(1)
 	}
+}
+
+// SetAlpha overrides the EWMA smoothing factor (DefaultDriftAlpha).
+// Low-volume watchers — e.g. an autoheal controller feeding tens of
+// probes per tick instead of thousands of queries per second — need a
+// larger alpha so the recent-error estimate tracks a regime shift
+// within a few ticks. Values outside (0, 1] are ignored. Call before
+// observing; changing alpha mid-stream only affects later updates.
+func (d *DriftMonitor) SetAlpha(alpha float64) {
+	if !(alpha > 0) || alpha > 1 {
+		return
+	}
+	d.mu.Lock()
+	d.alpha = alpha
+	d.mu.Unlock()
 }
 
 // Bands returns the number of distance bands.

@@ -96,6 +96,16 @@ type BuildStats = core.BuildStats
 // (Algorithm 1 of the paper).
 func Build(g *Graph, opt Options) (*Model, BuildStats, error) { return core.Build(g, opt) }
 
+// FineTune incrementally retrains warm against g: the warm model's
+// embedding seeds a short vertex-phase + fine-tune schedule over fresh
+// samples from g, recovering accuracy after an edge-weight regime
+// shift at a fraction of a full Build. The graph must have the same
+// vertex count as warm; the result is a naive (non-hierarchical)
+// model.
+func FineTune(g *Graph, warm *Model, opt Options) (*Model, BuildStats, error) {
+	return core.FineTune(g, warm, opt)
+}
+
 // Trainer exposes the individual training phases for experimentation.
 type Trainer = core.Trainer
 

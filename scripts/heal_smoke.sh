@@ -1,0 +1,166 @@
+#!/bin/sh
+# heal-smoke: chaos end-to-end check of the autoheal loop through the
+# real binaries.
+#
+# Publish v1 to a fresh registry and serve it with rneserver -autoheal
+# watching the live graph file. Mid-serve, atomically replace the graph
+# with a perturbed regime variant (genroad -regime) while a request
+# hammer runs. The first retrain attempt is killed by an armed
+# checkpoint-save failpoint (-faults); the controller must roll back,
+# cool down, retrain again, publish v2 and hot-swap it — converging
+# back under the error budget with zero failed requests throughout.
+#
+# HEAL_SMOKE_PRESET selects a named preset (e.g. bj-mini) instead of
+# the fast default grid; HEAL_BENCH_OUT writes a BENCH_heal.json with
+# time-to-detect / time-to-recover / max drift score.
+set -eu
+
+GO=${GO:-go}
+PORT=${HEAL_SMOKE_PORT:-18372}
+PRESET=${HEAL_SMOKE_PRESET:-}
+BENCH_OUT=${HEAL_BENCH_OUT:-}
+BUDGET=2
+TMP=$(mktemp -d)
+SRV_PID=""
+HAMMER_PID=""
+cleanup() {
+    [ -n "$HAMMER_PID" ] && kill "$HAMMER_PID" 2>/dev/null || true
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+if [ -n "$PRESET" ]; then
+    DATASET="$PRESET"
+    $GO run ./cmd/genroad -preset "$PRESET" -o "$TMP/g.txt" 2>/dev/null
+    $GO run ./cmd/genroad -preset "$PRESET" -regime rush-am -regime-seed 9 -o "$TMP/g2.txt" 2>/dev/null
+else
+    DATASET="grid-10x10"
+    $GO run ./cmd/genroad -rows 10 -cols 10 -seed 7 -o "$TMP/g.txt" 2>/dev/null
+    $GO run ./cmd/genroad -rows 10 -cols 10 -seed 7 -regime rush-am -regime-seed 9 -o "$TMP/g2.txt" 2>/dev/null
+fi
+$GO build -o "$TMP/rnebuild" ./cmd/rnebuild
+$GO build -o "$TMP/rneserver" ./cmd/rneserver
+
+"$TMP/rnebuild" -graph "$TMP/g.txt" -dim 8 -epochs 2 -seed 1 -report "" \
+    -o "$TMP/m1.rne" -registry "$TMP/reg" -publish demo >/dev/null 2>&1
+
+"$TMP/rneserver" -registry "$TMP/reg" -name demo -addr "127.0.0.1:$PORT" \
+    -autoheal -heal-graph "$TMP/g.txt" \
+    -heal-interval 100ms -heal-probes 16 -heal-budget "$BUDGET" -heal-dwell 2 \
+    -heal-cooldown 500ms -heal-warmup 24 -heal-epochs 2 -heal-rounds 2 \
+    -faults core/checkpoint-save \
+    >"$TMP/server.log" 2>&1 &
+SRV_PID=$!
+
+base="http://127.0.0.1:$PORT"
+await() { # await <what> <tries> <cmd...>
+    what=$1; tries=$2; shift 2
+    i=0
+    until "$@" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt "$tries" ]; then
+            echo "heal-smoke: timed out waiting for $what"
+            tail -40 "$TMP/server.log" || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+statz_has() { curl -sf "$base/statz" | grep -q "$1"; }
+metric() { curl -sf "$base/metrics" | awk -v m="$1" '$1 == m {print $2}'; }
+
+await "server startup" 100 curl -sf "$base/healthz"
+if ! curl -sf "$base/healthz" | grep -q '"version":"v1"'; then
+    echo "heal-smoke: expected registry v1 to be serving"
+    exit 1
+fi
+# The probe monitor must freeze its healthy baseline before the shift.
+await "probe baseline warmup" 200 statz_has '"warm":true'
+
+# Hammer /distance for the whole storm; every failed request leaves a
+# line in $TMP/failures.
+(
+    while :; do
+        curl -sf "$base/distance?s=3&t=77" >/dev/null 2>&1 || echo fail >>"$TMP/failures"
+    done
+) &
+HAMMER_PID=$!
+
+# Regime shift: atomically swap the live graph for its rush-hour
+# variant. Estimates now come from a model trained on the old weights.
+mv "$TMP/g2.txt" "$TMP/g.txt"
+T0=$(date +%s.%N)
+
+# Phase 1: drift detected (controller transitions to triggered) and
+# the injected checkpoint fault kills the first retrain attempt.
+T_DETECT=""
+T_RECOVER=""
+MAX_SCORE=0
+i=0
+while :; do
+    i=$((i + 1))
+    if [ "$i" -gt 1200 ]; then
+        echo "heal-smoke: controller never converged"
+        tail -40 "$TMP/server.log" || true
+        exit 1
+    fi
+    now=$(date +%s.%N)
+    score=$(metric rne_autoheal_score || true)
+    [ -n "$score" ] && MAX_SCORE=$(awk -v a="$MAX_SCORE" -v b="$score" 'BEGIN{print (b>a)?b:a}')
+    if [ -z "$T_DETECT" ]; then
+        trig=$(metric 'rne_autoheal_transitions_total{state="triggered"}' || true)
+        if [ -n "$trig" ] && [ "$trig" -ge 1 ] 2>/dev/null; then
+            T_DETECT=$(awk -v t="$now" -v t0="$T0" 'BEGIN{print t - t0}')
+        fi
+    fi
+    heals=$(metric rne_autoheal_heals_total || true)
+    if [ -n "$heals" ] && [ "$heals" -ge 1 ] 2>/dev/null; then
+        T_RECOVER=$(awk -v t="$now" -v t0="$T0" 'BEGIN{print t - t0}')
+        break
+    fi
+    sleep 0.1
+done
+
+fails=$(metric rne_autoheal_heal_failures_total)
+if [ -z "$fails" ] || [ "$fails" -lt 1 ]; then
+    echo "heal-smoke: injected checkpoint fault never failed a retrain (failures=$fails)"
+    exit 1
+fi
+await "serving version flip to v2" 100 sh -c "curl -sf $base/healthz | grep -q '\"version\":\"v2\"'"
+
+# Convergence: the rebuilt probe monitor re-warms against the healed
+# model and scores back under the error budget.
+await "post-heal re-warmup" 600 statz_has '"warm":true'
+score=$(metric rne_autoheal_score)
+if ! awk -v s="$score" -v b="$BUDGET" 'BEGIN{exit !(s < b)}'; then
+    echo "heal-smoke: post-heal score $score not under budget $BUDGET"
+    exit 1
+fi
+
+kill "$HAMMER_PID" 2>/dev/null || true
+wait "$HAMMER_PID" 2>/dev/null || true
+HAMMER_PID=""
+
+if [ -s "$TMP/failures" ]; then
+    echo "heal-smoke: $(wc -l <"$TMP/failures") requests failed during the chaos storm"
+    exit 1
+fi
+
+if [ -n "$BENCH_OUT" ]; then
+    cat >"$BENCH_OUT" <<EOF
+{
+  "experiment": "heal-smoke",
+  "dataset": "$DATASET",
+  "regime": "rush-am",
+  "error_budget": $BUDGET,
+  "time_to_detect_seconds": ${T_DETECT:-null},
+  "time_to_recover_seconds": $T_RECOVER,
+  "max_drift_score": $MAX_SCORE,
+  "heal_failures_injected": $fails,
+  "requests_failed": 0
+}
+EOF
+    echo "heal-smoke: wrote $BENCH_OUT"
+fi
+echo "heal-smoke: drift detected in ${T_DETECT:-?}s, healed v1 -> v2 in ${T_RECOVER}s (max score $MAX_SCORE), zero failed requests"
