@@ -1,9 +1,9 @@
 # Pre-merge gate: `make ci` must pass before any change lands.
 GO ?= go
 
-.PHONY: ci build vet test race shuffle fuzz-smoke vulncheck bench bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke
+.PHONY: ci build vet test race shuffle fuzz-smoke vulncheck bench bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke overload-smoke
 
-ci: vet race shuffle fuzz-smoke vulncheck bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke ## full pre-merge gate
+ci: vet race shuffle fuzz-smoke vulncheck bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke overload-smoke ## full pre-merge gate
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,14 @@ heal-smoke:
 # replica is killed.
 gate-smoke:
 	@GO="$(GO)" sh scripts/gate_smoke.sh
+
+# Overload drill smoke: three capacity-starved replicas behind rnegate
+# hammered past saturation with one killed mid-run; every answer must
+# be 200/206/429/504, shedding must actually fire, goodput must
+# survive the kill, and a dead-shard /batch must degrade to a partial
+# 206 whose merge is verified against the healthy fleet.
+overload-smoke:
+	@GO="$(GO)" sh scripts/overload_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -6,9 +6,24 @@
 // passive failure counting); a repeatedly-failing backend is ejected
 // from routing and re-probed on exponential backoff until it recovers.
 //
+// The gateway serves overload-safely: each proxied call forwards the
+// remaining request deadline as an X-Rne-Budget-Ms budget so replicas
+// abandon work the gateway can no longer use (504), backend 429/503
+// answers count as backpressure — relayed or retried, never ejection
+// fodder — and retries are bounded by a -retry-budget token bucket so
+// a partial outage cannot double the load on the survivors. When the
+// budget is drained the gateway degrades: /distance relays the
+// backend's own 429 or sheds with jittered Retry-After, and /batch
+// answers 206 with the surviving pairs plus per-pair error entries.
+// -hedge arms hedged /distance requests (second attempt after the
+// observed p95, first answer wins); -admit-p99-target swaps the static
+// in-flight cap for the adaptive AIMD limiter, as on rneserver.
+//
 // The gateway exposes the same operational surface as the replicas:
 // /healthz, /readyz, /statz (JSON) and /metrics (Prometheus text),
-// including per-backend health gauges and ejection counters.
+// including per-backend health gauges and ejection counters, plus
+// rne_retries_total, rne_hedges_total{won=}, rne_batch_partial_total
+// and rne_gateway_backend_backpressure_total.
 //
 // Usage:
 //
@@ -30,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/gateway"
+	"repro/internal/resilience"
 	"repro/internal/telemetry"
 )
 
@@ -42,7 +58,15 @@ func main() {
 	backoffBase := flag.Duration("backoff-base", 500*time.Millisecond, "initial re-probe backoff for an ejected backend")
 	backoffMax := flag.Duration("backoff-max", 15*time.Second, "re-probe backoff cap")
 	backendTimeout := flag.Duration("backend-timeout", 10*time.Second, "per-backend call deadline")
-	maxInFlight := flag.Int("max-inflight", 256, "in-flight request cap before shedding with 429 (negative disables)")
+	retryBudget := flag.Float64("retry-budget", 0.1, "retry/hedge token budget: each primary request earns this many tokens, each retry or hedge spends one (negative disables retries and hedges)")
+	hedge := flag.Bool("hedge", false, "hedge slow /distance calls: fire a second attempt to the next ring owner after the observed p95 backend latency, first answer wins (spends retry-budget tokens)")
+	hedgeMinDelay := flag.Duration("hedge-min-delay", time.Millisecond, "with -hedge: floor for the p95-derived hedge delay")
+	hedgeMaxDelay := flag.Duration("hedge-max-delay", 250*time.Millisecond, "with -hedge: ceiling for the p95-derived hedge delay (also the cold-start delay)")
+	budgetMargin := flag.Duration("budget-margin", 5*time.Millisecond, "proxy-hop margin subtracted from the deadline budget forwarded to backends as X-Rne-Budget-Ms (negative disables)")
+	maxInFlight := flag.Int("max-inflight", 256, "in-flight request cap before shedding with 429 (negative disables; superseded by -admit-p99-target)")
+	admitTarget := flag.Duration("admit-p99-target", 0, "adaptive admission: adjust the in-flight cap to hold observed p99 at this target, shedding /batch before /distance (0 keeps the static -max-inflight cap)")
+	admitMin := flag.Int("admit-min", 4, "with -admit-p99-target: floor for the adapted in-flight cap")
+	admitMax := flag.Int("admit-max", 4096, "with -admit-p99-target: ceiling for the adapted in-flight cap")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (negative disables)")
 	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "drain budget for graceful shutdown")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
@@ -66,7 +90,7 @@ func main() {
 		}
 	}
 
-	gw, err := gateway.New(gateway.Config{
+	gwCfg := gateway.Config{
 		Backends:       urls,
 		VirtualNodes:   *vnodes,
 		HealthInterval: *healthInterval,
@@ -74,10 +98,28 @@ func main() {
 		BackoffBase:    *backoffBase,
 		BackoffMax:     *backoffMax,
 		BackendTimeout: *backendTimeout,
+		RetryBudget:    *retryBudget,
+		Hedge:          *hedge,
+		HedgeMinDelay:  *hedgeMinDelay,
+		HedgeMaxDelay:  *hedgeMaxDelay,
+		BudgetMargin:   *budgetMargin,
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *reqTimeout,
 		Logger:         logger,
-	})
+	}
+	if *admitTarget > 0 {
+		gwCfg.Admission = &resilience.AdmissionConfig{
+			TargetP99: *admitTarget,
+			Min:       *admitMin,
+			Max:       *admitMax,
+		}
+		logger.Info("adaptive admission on", "p99_target", *admitTarget,
+			"min", *admitMin, "max", *admitMax)
+	}
+	if *hedge {
+		logger.Info("hedged /distance on", "min_delay", *hedgeMinDelay, "max_delay", *hedgeMaxDelay)
+	}
+	gw, err := gateway.New(gwCfg)
 	if err != nil {
 		logger.Error("configuring gateway", "error", err)
 		os.Exit(1)

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -60,10 +61,36 @@ type Config struct {
 	BackoffJitter float64
 	// BackendTimeout bounds each proxied backend call (default 10s).
 	BackendTimeout time.Duration
+	// RetryBudget bounds retries and hedges to this fraction of primary
+	// traffic (default 0.1): each primary request earns RetryBudget
+	// tokens and each retry or hedge spends one, so under a broad outage
+	// the gateway degrades instead of doubling the offered load on the
+	// survivors. Negative disables retries and hedges entirely.
+	RetryBudget float64
+	// Hedge enables hedged /distance requests: once the primary backend
+	// call has been outstanding longer than the observed p95 backend
+	// latency (clamped into [HedgeMinDelay, HedgeMaxDelay]), a second
+	// attempt is sent to the next ring owner and the first answer wins.
+	// Hedges spend retry-budget tokens like retries do.
+	Hedge bool
+	// HedgeMinDelay/HedgeMaxDelay clamp the p95-derived hedge delay
+	// (defaults 1ms and 250ms). Until enough latency samples accumulate
+	// the delay stays at HedgeMaxDelay.
+	HedgeMinDelay time.Duration
+	HedgeMaxDelay time.Duration
+	// BudgetMargin is subtracted from the remaining request deadline
+	// before it is forwarded to a backend as a BudgetHeader budget
+	// (default 5ms), covering the proxy hop so the backend gives up
+	// slightly before the gateway's own deadline fires. Negative
+	// disables the margin.
+	BudgetMargin time.Duration
 	// MaxInFlight / RequestTimeout configure the gateway's own
 	// resilience.Wrap stack, with the same semantics as the server's.
 	MaxInFlight    int
 	RequestTimeout time.Duration
+	// Admission, when non-nil, replaces the gateway's static MaxInFlight
+	// cap with the adaptive AIMD limiter (see resilience.AdmissionConfig).
+	Admission *resilience.AdmissionConfig
 	// MaxBatchBytes bounds an inbound /batch body (default 8 MiB).
 	MaxBatchBytes int64
 	// Logger receives health transitions and access logs (nil disables).
@@ -101,6 +128,24 @@ func (c Config) withDefaults() Config {
 	if c.BackendTimeout <= 0 {
 		c.BackendTimeout = 10 * time.Second
 	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 0.1
+	}
+	if c.HedgeMinDelay <= 0 {
+		c.HedgeMinDelay = time.Millisecond
+	}
+	if c.HedgeMaxDelay <= 0 {
+		c.HedgeMaxDelay = 250 * time.Millisecond
+	}
+	if c.HedgeMaxDelay < c.HedgeMinDelay {
+		c.HedgeMaxDelay = c.HedgeMinDelay
+	}
+	if c.BudgetMargin == 0 {
+		c.BudgetMargin = 5 * time.Millisecond
+	}
+	if c.BudgetMargin < 0 {
+		c.BudgetMargin = 0
+	}
 	if c.MaxBatchBytes <= 0 {
 		c.MaxBatchBytes = 8 << 20
 	}
@@ -121,10 +166,11 @@ type backend struct {
 	backoff   time.Duration // current re-probe backoff once ejected
 	nextProbe time.Time     // ejected backends are probed at this time
 
-	requests *telemetry.Counter
-	failures *telemetry.Counter
-	cancels  *telemetry.Counter
-	healthyG *telemetry.Gauge
+	requests     *telemetry.Counter
+	failures     *telemetry.Counter
+	cancels      *telemetry.Counter
+	backpressure *telemetry.Counter
+	healthyG     *telemetry.Gauge
 }
 
 // Gateway fans /batch and /distance across the configured backends.
@@ -136,9 +182,15 @@ type Gateway struct {
 	backends []*backend
 	ring     ring
 
-	ejections *telemetry.Counter
-	revivals  *telemetry.Counter
-	retries   *telemetry.Counter
+	ejections      *telemetry.Counter
+	revivals       *telemetry.Counter
+	retries        *telemetry.Counter
+	retriesDenied  *telemetry.Counter
+	hedgeWins      map[string]*telemetry.Counter // keyed by the won= label
+	batchPartial   *telemetry.Counter
+	pairErrors     *telemetry.Counter
+	backendLatency *telemetry.Histogram
+	retryTokens    *retryBudget
 
 	jitterMu  sync.Mutex
 	jitterRng *rand.Rand
@@ -175,6 +227,21 @@ func New(cfg Config) (*Gateway, error) {
 		"Ejected backends restored to routing by a successful probe.")
 	g.retries = reg.Counter("rne_gateway_retries_total",
 		"Sub-requests retried on another backend after a failure.")
+	g.retriesDenied = reg.Counter("rne_gateway_retries_denied_total",
+		"Retries and hedges denied because the retry token budget was empty.")
+	g.hedgeWins = map[string]*telemetry.Counter{
+		"primary": reg.Counter("rne_hedges_total",
+			"Hedged /distance attempts, by which attempt answered first.", "won", "primary"),
+		"hedge": reg.Counter("rne_hedges_total",
+			"Hedged /distance attempts, by which attempt answered first.", "won", "hedge"),
+	}
+	g.batchPartial = reg.Counter("rne_batch_partial_total",
+		"Batch responses returned partially (206) after a shard failed.")
+	g.pairErrors = reg.Counter("rne_batch_pair_errors_total",
+		"Individual batch pairs answered with an error entry instead of a distance.")
+	g.backendLatency = reg.Histogram("rne_gateway_backend_latency_seconds",
+		"Latency of successful backend calls, feeding the hedge delay.", telemetry.LatencyBuckets)
+	g.retryTokens = newRetryBudget(cfg.RetryBudget)
 
 	seen := make(map[string]bool)
 	ids := make([]string, 0, len(cfg.Backends))
@@ -196,6 +263,8 @@ func New(cfg Config) (*Gateway, error) {
 				"Failed proxied requests and probes, by backend.", "backend", u.Host),
 			cancels: reg.Counter("rne_gateway_backend_cancels_total",
 				"Sub-requests abandoned because the client canceled or its deadline expired, by backend.", "backend", u.Host),
+			backpressure: reg.Counter("rne_gateway_backend_backpressure_total",
+				"Backend 429/503 answers treated as busy-not-dead (never ejection), by backend.", "backend", u.Host),
 			healthyG: reg.Gauge("rne_gateway_backend_healthy",
 				"1 while the backend is routed to, 0 while ejected.", "backend", u.Host),
 		}
@@ -252,6 +321,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /batch", g.handleBatch)
 	h := resilience.Wrap(mux, resilience.Options{
 		MaxInFlight: g.cfg.MaxInFlight,
+		Admission:   g.cfg.Admission,
 		Timeout:     g.cfg.RequestTimeout,
 		Logger:      g.cfg.Logger,
 		Stats:       g.stats,
@@ -365,7 +435,9 @@ func (g *Gateway) probeLoop() {
 }
 
 // probe asks one backend for /readyz; any 200 counts (a replica
-// serving degraded — no spatial index — still answers /batch).
+// serving degraded — no spatial index — still answers /batch), and so
+// does a 429: a replica shedding its own probe is saturated, not dead,
+// and ejecting it would shrink the fleet mid-overload.
 func (g *Gateway) probe(b *backend) error {
 	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.BackendTimeout)
 	defer cancel()
@@ -379,7 +451,7 @@ func (g *Gateway) probe(b *backend) error {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
 		return fmt.Errorf("readyz returned %d", resp.StatusCode)
 	}
 	return nil
@@ -435,22 +507,47 @@ func (g *Gateway) handleReady(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// relay writes a backend response through verbatim.
+func relay(w http.ResponseWriter, status int, body []byte, ct string) {
+	if ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
 // handleDistance proxies the single-pair query to the source vertex's
 // ring owner, falling over to the next healthy backend (and recording
-// the failure) if the owner errors.
+// the failure) if the owner errors. Retries spend retry-budget tokens;
+// when the budget is empty the gateway answers with whatever the
+// backend said (relayed backpressure) or sheds with 429 itself rather
+// than amplifying load. With cfg.Hedge, a slow primary call is hedged
+// to the next ring owner and the first answer wins.
 func (g *Gateway) handleDistance(w http.ResponseWriter, r *http.Request) {
 	src, err := sourceParam(r)
 	if err != nil {
 		g.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	g.retryTokens.onRequest()
+	if g.cfg.Hedge {
+		g.handleDistanceHedged(w, r, src)
+		return
+	}
 	exclude := make(map[*backend]bool)
+	var lastBP *backpressureError
+	denied := false
 	for attempt := 0; attempt < 2; attempt++ {
 		b := g.pick(src, exclude)
 		if b == nil {
 			break
 		}
 		if attempt > 0 {
+			if !g.retryTokens.take() {
+				g.retriesDenied.Inc()
+				denied = true
+				break
+			}
 			g.retries.Inc()
 		}
 		status, body, ct, err := g.forward(r.Context(), b, http.MethodGet,
@@ -464,14 +561,148 @@ func (g *Gateway) handleDistance(w http.ResponseWriter, r *http.Request) {
 				b.cancels.Inc()
 				return
 			}
+			if errors.Is(err, errBudgetExhausted) {
+				g.fail(w, http.StatusGatewayTimeout, "deadline budget exhausted before backend call")
+				return
+			}
+			var bp *backpressureError
+			if errors.As(err, &bp) {
+				// Busy, not broken: retryable on another replica but never
+				// counted toward ejection.
+				lastBP = bp
+				exclude[b] = true
+				continue
+			}
 			g.markFailure(b, err)
 			exclude[b] = true
 			continue
 		}
 		g.markSuccess(b)
-		w.Header().Set("Content-Type", ct)
-		w.WriteHeader(status)
-		w.Write(body)
+		relay(w, status, body, ct)
+		return
+	}
+	if lastBP != nil {
+		// Every reachable owner shed the request; relay the backend's own
+		// shed response (with its Retry-After context) instead of
+		// inventing a 502 for a fleet that is alive but saturated.
+		lastBP.relayTo(w)
+		return
+	}
+	if denied && g.retryTokens.enabled() {
+		// The retry budget is dry because failures already dominate the
+		// traffic mix: the fleet is drowning, not dead. Shed with 429 so
+		// the client backs off, rather than reporting a 502 outage.
+		w.Header().Set("Retry-After", fmt.Sprintf("%.2f", g.jittered(time.Second).Seconds()))
+		g.fail(w, http.StatusTooManyRequests, "retry budget exhausted for vertex %d; back off", src)
+		return
+	}
+	g.fail(w, http.StatusBadGateway, "no healthy backend for vertex %d", src)
+}
+
+// handleDistanceHedged races a primary backend call against a hedged
+// second attempt fired after the p95-derived hedge delay (or
+// immediately when the primary fails). The first successful answer
+// wins; the straggler's response is discarded. Only the receive loop
+// touches health bookkeeping — the launched goroutines just forward.
+func (g *Gateway) handleDistanceHedged(w http.ResponseWriter, r *http.Request, src int32) {
+	primary := g.pick(src, nil)
+	if primary == nil {
+		g.fail(w, http.StatusBadGateway, "no healthy backend for vertex %d", src)
+		return
+	}
+	type attempt struct {
+		b      *backend
+		hedged bool
+		status int
+		body   []byte
+		ct     string
+		err    error
+	}
+	results := make(chan attempt, 2)
+	launch := func(b *backend, hedged bool) {
+		go func() {
+			status, body, ct, err := g.forward(r.Context(), b, http.MethodGet,
+				"/distance?"+r.URL.RawQuery, nil)
+			results <- attempt{b: b, hedged: hedged, status: status, body: body, ct: ct, err: err}
+		}()
+	}
+	launch(primary, false)
+	outstanding := 1
+	hedged := false
+
+	// tryHedge fires the one allowed hedge at the next ring owner,
+	// budget permitting.
+	tryHedge := func() {
+		if hedged {
+			return
+		}
+		hedged = true
+		b := g.pick(src, map[*backend]bool{primary: true})
+		if b == nil {
+			return
+		}
+		if !g.retryTokens.take() {
+			g.retriesDenied.Inc()
+			return
+		}
+		launch(b, true)
+		outstanding++
+	}
+
+	timer := time.NewTimer(hedgeDelay(g.backendLatency, g.cfg.HedgeMinDelay, g.cfg.HedgeMaxDelay))
+	defer timer.Stop()
+	timerC := timer.C
+
+	var lastBP *backpressureError
+	var lastErr error
+	for outstanding > 0 {
+		select {
+		case <-timerC:
+			timerC = nil
+			tryHedge()
+		case res := <-results:
+			outstanding--
+			if res.err != nil {
+				if r.Context().Err() != nil {
+					res.b.cancels.Inc()
+					return
+				}
+				var bp *backpressureError
+				switch {
+				case errors.Is(res.err, errBudgetExhausted):
+					lastErr = res.err
+				case errors.As(res.err, &bp):
+					lastBP = bp
+				default:
+					g.markFailure(res.b, res.err)
+					lastErr = res.err
+				}
+				// A failed primary is a stronger hedge signal than the
+				// latency timer; fire the backup attempt now.
+				tryHedge()
+				continue
+			}
+			g.markSuccess(res.b)
+			if hedged && outstanding > 0 {
+				// A real race happened; record who won. The straggler's
+				// goroutine exits on its own once its call resolves (the
+				// request context is canceled when this handler returns).
+				won := "primary"
+				if res.hedged {
+					won = "hedge"
+				}
+				g.hedgeWins[won].Inc()
+			}
+			relay(w, res.status, res.body, res.ct)
+			return
+		}
+	}
+	if lastBP != nil {
+		lastBP.relayTo(w)
+		return
+	}
+	if errors.Is(lastErr, errBudgetExhausted) {
+		g.fail(w, http.StatusGatewayTimeout, "deadline budget exhausted before backend call")
 		return
 	}
 	g.fail(w, http.StatusBadGateway, "no healthy backend for vertex %d", src)
@@ -491,13 +722,38 @@ func sourceParam(r *http.Request) (int32, error) {
 	return int32(v), nil
 }
 
+// errBudgetExhausted reports that the request's remaining deadline
+// budget is too small to attempt a backend call at all.
+var errBudgetExhausted = errors.New("deadline budget exhausted before backend call")
+
 // forward performs one backend call, returning the response whole so
-// the caller can merge or relay it. A non-2xx, non-4xx status is an
-// error (the backend is unhealthy); 4xx is relayed verbatim — the
-// client's request was bad, not the backend.
+// the caller can merge or relay it.
+//
+// Deadline budgets propagate here: when the inbound request carries a
+// context deadline (the gateway's own RequestTimeout, or a client
+// budget the resilience layer already folded in), the remaining time
+// minus BudgetMargin both caps the call timeout and is forwarded as a
+// BudgetHeader so the backend abandons work the gateway can no longer
+// use.
+//
+// Status classification: 2xx and 4xx are the caller's to relay or
+// merge; 504 is relayed verbatim (the budget ran out downstream — the
+// backend behaved correctly); 429/503 come back as a *backpressureError
+// (busy, not broken: retryable elsewhere but never counted toward
+// ejection); any other 5xx is a real failure.
 func (g *Gateway) forward(ctx context.Context, b *backend, method, path string, body []byte) (int, []byte, string, error) {
+	timeout := g.cfg.BackendTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		remain := time.Until(dl) - g.cfg.BudgetMargin
+		if remain <= 0 {
+			return 0, nil, "", errBudgetExhausted
+		}
+		if remain < timeout {
+			timeout = remain
+		}
+	}
 	b.requests.Inc()
-	ctx, cancel := context.WithTimeout(ctx, g.cfg.BackendTimeout)
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	var rd io.Reader
 	if body != nil {
@@ -510,6 +766,8 @@ func (g *Gateway) forward(ctx context.Context, b *backend, method, path string, 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	resilience.SetBudget(req.Header, timeout)
+	start := time.Now()
 	resp, err := g.client.Do(req)
 	if err != nil {
 		return 0, nil, "", err
@@ -519,8 +777,19 @@ func (g *Gateway) forward(ctx context.Context, b *backend, method, path string, 
 	if err != nil {
 		return 0, nil, "", err
 	}
-	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		b.backpressure.Inc()
+		return 0, nil, "", &backpressureError{
+			status: resp.StatusCode, body: data,
+			ct:         resp.Header.Get("Content-Type"),
+			retryAfter: resp.Header.Get("Retry-After"),
+		}
+	case resp.StatusCode >= 500 && resp.StatusCode != http.StatusGatewayTimeout:
 		return 0, nil, "", fmt.Errorf("%s %s returned %d", method, path, resp.StatusCode)
+	}
+	if resp.StatusCode < 300 {
+		g.backendLatency.Observe(time.Since(start).Seconds())
 	}
 	return resp.StatusCode, data, resp.Header.Get("Content-Type"), nil
 }
@@ -546,12 +815,22 @@ type batchReply struct {
 	ClampedCount *int      `json:"clamped_count"`
 }
 
+// pairError is one unanswered pair in a partial batch response.
+type pairError struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+}
+
 // handleBatch is the fan-out path: split the pairs by their source
 // vertex's ring owner, post every sub-batch concurrently, and scatter
 // the answers back into the original order. A failed sub-batch is
-// retried once on the next healthy backend (with the failure recorded
-// against the first); if any sub-batch is still unserved the whole
-// request fails with 502 rather than returning a partial merge.
+// retried once on the next healthy backend (budget permitting, with
+// real failures recorded against the first); a sub-batch that still
+// cannot be served degrades the response instead of failing it: the
+// surviving pairs come back with their distances, the lost ones as
+// per-pair error entries, under 206 Partial Content with "partial":
+// true. Only when every sub-batch fails (502) — or no pair is
+// routable at all (503) — does the whole request fail.
 func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, g.cfg.MaxBatchBytes)
 	var req batchRequest
@@ -569,13 +848,15 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		g.fail(w, http.StatusBadRequest, "empty batch")
 		return
 	}
+	g.retryTokens.onRequest()
 
 	groups := make(map[*backend]*backendBatch)
+	var errs []pairError
 	for i, p := range req.Pairs {
 		b := g.pick(p[0], nil)
 		if b == nil {
-			g.fail(w, http.StatusServiceUnavailable, "no healthy backends")
-			return
+			errs = append(errs, pairError{Index: i, Error: "no healthy backend"})
+			continue
 		}
 		gr := groups[b]
 		if gr == nil {
@@ -584,6 +865,10 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		gr.index = append(gr.index, i)
 		gr.pairs = append(gr.pairs, p)
+	}
+	if len(groups) == 0 {
+		g.fail(w, http.StatusServiceUnavailable, "no healthy backends")
+		return
 	}
 
 	type result struct {
@@ -607,26 +892,40 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	hi := make([]float64, len(req.Pairs))
 	clamped := 0
 	guarded := true
+	served := 0
+	sawBackoff := false
 	for range groups {
 		res := <-results
 		if res.err != nil {
-			g.fail(w, http.StatusBadGateway, "backend sub-batch failed: %v", res.err)
-			return
+			if r.Context().Err() != nil {
+				// The client is gone; nothing to degrade for.
+				return
+			}
+			if errors.Is(res.err, errBackpressure) ||
+				(g.retryTokens.enabled() && errors.Is(res.err, errRetryDenied)) {
+				sawBackoff = true
+			}
+			for _, orig := range res.gr.index {
+				errs = append(errs, pairError{Index: orig, Error: res.err.Error()})
+			}
+			continue
 		}
 		if res.code != 0 {
 			// A backend rejected its slice as a bad request (e.g. vertex
 			// out of range): the client's fault, relayed verbatim.
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(res.code)
-			w.Write(res.body)
+			relay(w, res.code, res.body, "application/json")
 			return
 		}
 		rp := res.reply
 		if len(rp.Distances) != len(res.gr.index) {
-			g.fail(w, http.StatusBadGateway, "backend %s returned %d distances for %d pairs",
+			shape := fmt.Errorf("backend %s returned %d distances for %d pairs",
 				res.gr.b.id, len(rp.Distances), len(res.gr.index))
-			return
+			for _, orig := range res.gr.index {
+				errs = append(errs, pairError{Index: orig, Error: shape.Error()})
+			}
+			continue
 		}
+		served++
 		if len(rp.Lo) == len(res.gr.index) && len(rp.Hi) == len(res.gr.index) {
 			for k, orig := range res.gr.index {
 				lo[orig], hi[orig] = rp.Lo[k], rp.Hi[k]
@@ -642,19 +941,68 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	resp := map[string]any{"distances": distances}
-	if guarded {
-		// Every backend answered with certified bounds, so the merged
-		// response keeps the guard-mode shape.
-		resp["lo"], resp["hi"], resp["clamped_count"] = lo, hi, clamped
+	if served == 0 {
+		if sawBackoff {
+			// Every shard failed, but at least one failure was shed load or
+			// a budget-denied retry: the fleet is saturated, not down.
+			// Answer 429 so clients back off and retry, not 502.
+			w.Header().Set("Retry-After", fmt.Sprintf("%.2f", g.jittered(time.Second).Seconds()))
+			g.fail(w, http.StatusTooManyRequests,
+				"fleet saturated: every backend sub-batch was shed (%d pairs)", len(req.Pairs))
+			return
+		}
+		g.fail(w, http.StatusBadGateway, "every backend sub-batch failed (%d pairs)", len(req.Pairs))
+		return
 	}
-	g.writeJSON(w, http.StatusOK, resp)
+	if len(errs) == 0 {
+		resp := map[string]any{"distances": distances}
+		if guarded {
+			// Every backend answered with certified bounds, so the merged
+			// response keeps the guard-mode shape.
+			resp["lo"], resp["hi"], resp["clamped_count"] = lo, hi, clamped
+		}
+		g.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	// Partial degradation: null out the lost pairs, attach their error
+	// entries, and say so with 206 + "partial": true. Guard bounds are
+	// dropped — a partial set of certificates is not a certificate.
+	g.batchPartial.Inc()
+	g.pairErrors.Add(int64(len(errs)))
+	sortPairErrors(errs)
+	failed := make([]bool, len(req.Pairs))
+	for _, pe := range errs {
+		failed[pe.Index] = true
+	}
+	nullable := make([]*float64, len(req.Pairs))
+	for i := range distances {
+		if !failed[i] {
+			d := distances[i]
+			nullable[i] = &d
+		}
+	}
+	g.writeJSON(w, http.StatusPartialContent, map[string]any{
+		"distances": nullable,
+		"partial":   true,
+		"errors":    errs,
+	})
+}
+
+// sortPairErrors orders error entries by pair index so partial
+// responses are deterministic regardless of fan-out completion order.
+func sortPairErrors(errs []pairError) {
+	slices.SortFunc(errs, func(a, b pairError) int { return a.Index - b.Index })
 }
 
 // sendBatch posts one sub-batch, retrying once on the next healthy
-// backend when the owner fails. Returns either a parsed reply, or a
-// 4xx status+body to relay, or an error when no backend could serve
-// the slice.
+// backend when the owner fails (spending a retry-budget token; a
+// drained budget stops the retry rather than amplifying load).
+// Backend backpressure (429/503) is retryable but never counted
+// toward ejection. Returns either a parsed reply, or a 4xx
+// status+body to relay, or an error when no backend could serve the
+// slice — the caller degrades those pairs instead of failing the
+// whole batch.
 func (g *Gateway) sendBatch(ctx context.Context, gr *backendBatch) (batchReply, int, []byte, error) {
 	body, err := json.Marshal(batchRequest{Pairs: gr.pairs})
 	if err != nil {
@@ -665,6 +1013,11 @@ func (g *Gateway) sendBatch(ctx context.Context, gr *backendBatch) (batchReply, 
 	var lastErr error
 	for attempt := 0; attempt < 2 && b != nil; attempt++ {
 		if attempt > 0 {
+			if !g.retryTokens.take() {
+				g.retriesDenied.Inc()
+				lastErr = fmt.Errorf("%w; last: %w", errRetryDenied, lastErr)
+				break
+			}
 			g.retries.Inc()
 		}
 		status, data, _, err := g.forward(ctx, b, http.MethodPost, "/batch", body)
@@ -676,15 +1029,29 @@ func (g *Gateway) sendBatch(ctx context.Context, gr *backendBatch) (batchReply, 
 				b.cancels.Inc()
 				return batchReply{}, 0, nil, fmt.Errorf("client canceled: %w", ctx.Err())
 			}
-			g.markFailure(b, err)
-			exclude[b] = true
 			lastErr = err
+			var bp *backpressureError
+			switch {
+			case errors.Is(err, errBudgetExhausted):
+				// No budget left for any backend; retrying cannot help.
+				return batchReply{}, 0, nil, err
+			case errors.As(err, &bp):
+				// Busy, not broken: no ejection bookkeeping.
+			default:
+				g.markFailure(b, err)
+			}
+			exclude[b] = true
 			// Re-pick by the slice's first source so the retry lands on
 			// the ring's next owner for this shard.
 			b = g.pick(gr.pairs[0][0], exclude)
 			continue
 		}
 		g.markSuccess(b)
+		if status == http.StatusGatewayTimeout {
+			// The backend ran out of forwarded budget mid-slice; surface
+			// it as this slice's failure, not a relayable 4xx.
+			return batchReply{}, 0, nil, fmt.Errorf("backend %s: budget exhausted (504)", b.id)
+		}
 		if status != http.StatusOK {
 			return batchReply{}, status, data, nil
 		}

@@ -1,0 +1,132 @@
+// Overload-safety primitives for the fan-out tier: the retry token
+// budget that bounds retry amplification, the backpressure error class
+// that keeps merely-busy replicas from being ejected, and the p95-based
+// hedge delay for opt-in hedged /distance requests.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// errBackpressure marks a backend answer (429 or 503) that means "busy,
+// not broken": the caller may retry elsewhere (budget permitting) but
+// must not count the response toward consecutive-failure ejection —
+// ejecting a saturated replica shrinks the fleet exactly when capacity
+// is scarcest, turning overload into an outage.
+var errBackpressure = errors.New("backend backpressure")
+
+// errRetryDenied marks a sub-request that failed and whose retry the
+// token budget refused. Like backpressure, it means the fleet is
+// drowning rather than dead: callers answer 429 (back off), not 502.
+var errRetryDenied = errors.New("retry denied by budget")
+
+// backpressureError carries the shed response so the caller can relay
+// the backend's own 429/503 (with its Retry-After context) when no
+// retry is possible.
+type backpressureError struct {
+	status     int
+	body       []byte
+	ct         string
+	retryAfter string
+}
+
+func (e *backpressureError) Error() string {
+	return fmt.Sprintf("backend answered %d (backpressure)", e.status)
+}
+
+func (e *backpressureError) Unwrap() error { return errBackpressure }
+
+// relayTo writes the backend's shed response through verbatim,
+// Retry-After hint included.
+func (e *backpressureError) relayTo(w http.ResponseWriter) {
+	if e.retryAfter != "" {
+		w.Header().Set("Retry-After", e.retryAfter)
+	}
+	if e.ct != "" {
+		w.Header().Set("Content-Type", e.ct)
+	}
+	w.WriteHeader(e.status)
+	w.Write(e.body)
+}
+
+// retryBudget is a token bucket bounding retries and hedges to a
+// fraction of primary traffic (the gRPC retry-throttling discipline):
+// every primary request earns ratio tokens, every retry or hedge spends
+// one. Under a partial outage the first failures retry freely; once
+// failures dominate, retries are denied and the gateway degrades
+// (relaying backpressure, returning partial batches) instead of
+// doubling the offered load on the survivors.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	cap    float64
+	ratio  float64
+}
+
+// newRetryBudget returns a budget earning ratio tokens per primary
+// request, holding at most cap. A non-positive ratio denies all
+// retries; the bucket starts full so cold-start blips can still retry.
+func newRetryBudget(ratio float64) *retryBudget {
+	cap := 32.0
+	if ratio <= 0 {
+		cap = 0
+	}
+	return &retryBudget{tokens: cap, cap: cap, ratio: ratio}
+}
+
+// onRequest credits one primary request.
+func (rb *retryBudget) onRequest() {
+	if rb.ratio <= 0 {
+		return
+	}
+	rb.mu.Lock()
+	rb.tokens += rb.ratio
+	if rb.tokens > rb.cap {
+		rb.tokens = rb.cap
+	}
+	rb.mu.Unlock()
+}
+
+// enabled reports whether retries are configured at all. A denial from
+// an enabled budget means failures currently dominate traffic (treat
+// as saturation); a denial from a disabled budget is just policy.
+func (rb *retryBudget) enabled() bool { return rb.ratio > 0 }
+
+// take spends one token, reporting whether a retry (or hedge) is
+// allowed right now.
+func (rb *retryBudget) take() bool {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.tokens < 1 {
+		return false
+	}
+	rb.tokens--
+	return true
+}
+
+// hedgeDelay derives the wait before firing a hedged second attempt
+// from the observed p95 of successful backend /distance calls, clamped
+// into [min, max]. Until the histogram has enough signal the delay
+// stays at max — cold-start hedging would double traffic exactly when
+// the gateway knows least about backend latency.
+func hedgeDelay(h *telemetry.Histogram, min, max time.Duration) time.Duration {
+	const warmup = 20
+	snap := h.Snapshot()
+	if snap.Count < warmup {
+		return max
+	}
+	d := time.Duration(snap.Quantile(0.95) * float64(time.Second))
+	if d < min {
+		return min
+	}
+	if d > max {
+		return max
+	}
+	return d
+}

@@ -1,0 +1,196 @@
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// BudgetHeader carries the remaining deadline budget of a request, in
+// (possibly fractional) milliseconds. A gateway derives it from the
+// client's deadline, subtracts its own overhead margin, and forwards
+// what is left to each backend; every tier spends from the same budget
+// instead of stacking independent timeouts. A request arriving with a
+// non-positive budget is answered 504 immediately — the cheapest
+// possible way to abandon work nobody is waiting for.
+const BudgetHeader = "X-Rne-Budget-Ms"
+
+// ParseBudget extracts the forwarded deadline budget from r, reporting
+// whether a parseable budget header was present. A zero or negative
+// budget is returned as-is (the caller answers 504 without doing work).
+func ParseBudget(r *http.Request) (time.Duration, bool) {
+	raw := r.Header.Get(BudgetHeader)
+	if raw == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, false
+	}
+	return time.Duration(ms * float64(time.Millisecond)), true
+}
+
+// SetBudget stamps the remaining budget onto an outbound request's
+// headers, rounded to microsecond precision.
+func SetBudget(h http.Header, d time.Duration) {
+	h.Set(BudgetHeader, strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64))
+}
+
+// retryAfterHint renders a Retry-After value of d spread by a uniform
+// ±jitter fraction, so a synchronized fleet of shed clients does not
+// retry in lockstep and re-saturate the replica at the same instant.
+// Sub-10s hints keep two decimals (our clients parse Retry-After as a
+// number); longer hints round to whole seconds.
+func retryAfterHint(d time.Duration, jitter float64) string {
+	secs := d.Seconds()
+	if jitter > 0 {
+		secs *= 1 + jitter*(2*rand.Float64()-1)
+	}
+	if secs < 0.01 {
+		secs = 0.01
+	}
+	if secs < 10 {
+		return strconv.FormatFloat(secs, 'f', 2, 64)
+	}
+	return strconv.Itoa(int(secs + 0.5))
+}
+
+// deadlineWriter buffers the handler's response so a handler racing its
+// deadline can never interleave a half-written body with the timeout
+// response — the same discipline as http.TimeoutHandler, which this
+// middleware replaces to add budget propagation and 504 semantics.
+type deadlineWriter struct {
+	mu       sync.Mutex
+	h        http.Header
+	buf      bytes.Buffer
+	status   int
+	timedOut bool
+}
+
+func (w *deadlineWriter) Header() http.Header { return w.h }
+
+func (w *deadlineWriter) WriteHeader(code int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.timedOut || w.status != 0 {
+		return
+	}
+	w.status = code
+}
+
+func (w *deadlineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.timedOut {
+		return 0, http.ErrHandlerTimeout
+	}
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.buf.Write(p)
+}
+
+// Deadline bounds each request by the tighter of the local timeout and
+// the forwarded deadline budget (BudgetHeader). When the local timeout
+// fires the request is answered 503 (the replica's own limit); when the
+// forwarded budget is exhausted it is answered 504 — the distinction
+// lets a gateway tell "this replica is slow" from "the client's
+// deadline ran out while we worked". Both carry a jittered Retry-After.
+// The handler's context is canceled either way, so cooperative handlers
+// abandon the work instead of computing an answer nobody will read.
+func Deadline(next http.Handler, local time.Duration, jitter float64, retryAfter time.Duration, st *Stats) http.Handler {
+	var exhaustedLocal, exhaustedBudget *counterOrNil
+	if st != nil {
+		exhaustedLocal = &counterOrNil{st.reg.Counter("rne_deadline_exhausted_total",
+			"Requests abandoned at their deadline, by budget source.", "source", "local")}
+		exhaustedBudget = &counterOrNil{st.reg.Counter("rne_deadline_exhausted_total",
+			"Requests abandoned at their deadline, by budget source.", "source", "budget")}
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		budget := local
+		fromBudget := false
+		if b, ok := ParseBudget(r); ok {
+			if b <= 0 {
+				exhaustedBudget.inc()
+				w.Header().Set("Retry-After", retryAfterHint(retryAfter, jitter))
+				writeJSONError(w, http.StatusGatewayTimeout,
+					"deadline budget exhausted before the request was admitted")
+				return
+			}
+			if budget <= 0 || b < budget {
+				budget = b
+				fromBudget = true
+			}
+		}
+		if budget <= 0 {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		defer cancel()
+		r = r.WithContext(ctx)
+		dw := &deadlineWriter{h: make(http.Header)}
+		done := make(chan struct{})
+		panicChan := make(chan any, 1)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					panicChan <- p
+				}
+			}()
+			next.ServeHTTP(dw, r)
+			close(done)
+		}()
+		select {
+		case p := <-panicChan:
+			panic(p)
+		case <-done:
+			dw.mu.Lock()
+			defer dw.mu.Unlock()
+			dst := w.Header()
+			for k, v := range dw.h {
+				dst[k] = v
+			}
+			if dw.status == 0 {
+				dw.status = http.StatusOK
+			}
+			w.WriteHeader(dw.status)
+			w.Write(dw.buf.Bytes())
+		case <-ctx.Done():
+			dw.mu.Lock()
+			dw.timedOut = true
+			dw.mu.Unlock()
+			if context.Cause(ctx) == context.Canceled {
+				// The client went away (parent context canceled): there is
+				// no one to answer, so write nothing.
+				return
+			}
+			status := http.StatusServiceUnavailable
+			msg := fmt.Sprintf("request exceeded %v deadline", budget)
+			if fromBudget {
+				status = http.StatusGatewayTimeout
+				msg = fmt.Sprintf("deadline budget of %v exhausted", budget)
+				exhaustedBudget.inc()
+			} else {
+				exhaustedLocal.inc()
+			}
+			w.Header().Set("Retry-After", retryAfterHint(retryAfter, jitter))
+			writeJSONError(w, status, msg)
+		}
+	})
+}
+
+// counterOrNil makes the deadline counters optional without nil checks
+// at every increment site.
+type counterOrNil struct{ c interface{ Inc() } }
+
+func (c *counterOrNil) inc() {
+	if c != nil && c.c != nil {
+		c.c.Inc()
+	}
+}

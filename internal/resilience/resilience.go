@@ -2,10 +2,14 @@
 // serving path: composable net/http middleware that keeps rneserver
 // alive and well-behaved under the paper's motivating high-volume
 // dispatch/range workloads. It provides panic recovery (a crashing
-// handler costs one 500, not the process), per-request deadlines,
-// an in-flight concurrency limiter that sheds load with 429 +
-// Retry-After, and request accounting surfaced on GET /statz (JSON)
-// and GET /metrics (Prometheus text, via internal/telemetry).
+// handler costs one 500, not the process), per-request deadlines with
+// cross-tier budget propagation (a forwarded BudgetHeader bounds the
+// work a replica will attempt; exhaustion answers 504, local timeouts
+// 503), an in-flight concurrency limiter — either a static cap or the
+// adaptive AIMD limiter that tracks observed p99 latency and sheds by
+// priority (health/admin never, /batch before /distance) — with 429 +
+// jittered Retry-After, and request accounting surfaced on GET /statz
+// (JSON) and GET /metrics (Prometheus text, via internal/telemetry).
 package resilience
 
 import (
@@ -14,7 +18,6 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime/debug"
-	"strconv"
 	"time"
 
 	"repro/internal/telemetry"
@@ -26,11 +29,26 @@ import (
 type Options struct {
 	// MaxInFlight caps concurrently-served requests; excess requests
 	// are shed with 429 + Retry-After. Default 256; negative disables.
+	// Ignored when Admission configures the adaptive limiter, except as
+	// the adaptive limiter's Initial when that is unset.
 	MaxInFlight int
+	// Admission, when non-nil, replaces the static MaxInFlight cap with
+	// the adaptive AIMD limiter: the concurrency limit tracks observed
+	// p99 latency against Admission.TargetP99, health/admin routes are
+	// never shed, and /batch sheds before /distance. An invalid config
+	// falls back to the static cap (and is logged).
+	Admission *AdmissionConfig
 	// RetryAfter is the hint returned with shed requests (default 1s).
 	RetryAfter time.Duration
+	// RetryAfterJitter spreads every Retry-After hint by a uniform
+	// ±fraction (default 0.2), so synchronized shed clients do not
+	// retry in lockstep. Negative disables jitter.
+	RetryAfterJitter float64
 	// Timeout bounds each request via its context deadline; requests
-	// that exceed it receive 503. Default 30s; negative disables.
+	// that exceed it receive 503 — or 504 when the deadline came from a
+	// forwarded BudgetHeader budget tighter than Timeout. Default 30s;
+	// negative disables the local timeout (forwarded budgets still
+	// apply).
 	Timeout time.Duration
 	// Logger receives panic reports and access logs (nil disables).
 	Logger *slog.Logger
@@ -46,6 +64,12 @@ func (o Options) withDefaults() Options {
 	if o.RetryAfter == 0 {
 		o.RetryAfter = time.Second
 	}
+	if o.RetryAfterJitter == 0 {
+		o.RetryAfterJitter = 0.2
+	}
+	if o.RetryAfterJitter < 0 {
+		o.RetryAfterJitter = 0
+	}
 	if o.Timeout == 0 {
 		o.Timeout = 30 * time.Second
 	}
@@ -53,19 +77,36 @@ func (o Options) withDefaults() Options {
 }
 
 // Wrap assembles the standard production stack around next, outermost
-// first: stats/logging, panic recovery, concurrency limiting, then the
-// per-request deadline. Recovery sits inside accounting so panics are
-// counted as 500s; the limiter sits inside recovery so even a limiter
-// bug cannot kill the process; the deadline is innermost so shed
-// requests never consume a timer.
+// first: stats/logging, panic recovery, concurrency limiting (static or
+// adaptive), then the per-request deadline. Recovery sits inside
+// accounting so panics are counted as 500s; the limiter sits inside
+// recovery so even a limiter bug cannot kill the process; the deadline
+// is innermost so shed requests never consume a timer and the latency
+// the adaptive limiter observes includes time spent at the deadline.
 func Wrap(next http.Handler, o Options) http.Handler {
 	o = o.withDefaults()
 	h := next
-	if o.Timeout > 0 {
-		h = Timeout(h, o.Timeout)
+	timeout := o.Timeout
+	if timeout < 0 {
+		timeout = 0
 	}
-	if o.MaxInFlight > 0 {
-		h = Limiter(h, o.MaxInFlight, o.RetryAfter, o.Stats)
+	h = Deadline(h, timeout, o.RetryAfterJitter, o.RetryAfter, o.Stats)
+	limited := false
+	if o.Admission != nil {
+		var reg *telemetry.Registry
+		if o.Stats != nil {
+			reg = o.Stats.Registry()
+		}
+		al, err := NewAdaptiveLimiter(*o.Admission, reg)
+		if err == nil {
+			h = AdaptiveLimit(h, al, o.RetryAfter, o.RetryAfterJitter, o.Stats)
+			limited = true
+		} else {
+			telemetry.OrNop(o.Logger).Warn("adaptive admission disabled; using static cap", "error", err)
+		}
+	}
+	if !limited && o.MaxInFlight > 0 {
+		h = limiter(h, o.MaxInFlight, o.RetryAfter, o.RetryAfterJitter, o.Stats)
 	}
 	h = Recover(h, o.Logger, o.Stats)
 	if o.Stats != nil || o.Logger != nil {
@@ -140,6 +181,10 @@ func Recover(next http.Handler, logger *slog.Logger, st *Stats) http.Handler {
 // buffered by the underlying http.TimeoutHandler, so a handler racing
 // its deadline can never interleave a half-written body with the
 // timeout response.
+//
+// Wrap no longer uses this: the Deadline middleware subsumes it, adding
+// forwarded-budget (504) semantics and a Retry-After hint. Timeout is
+// kept for callers composing their own stacks.
 func Timeout(next http.Handler, d time.Duration) http.Handler {
 	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf("request exceeded %v deadline", d)})
 	return http.TimeoutHandler(next, d, string(body))
@@ -150,8 +195,11 @@ func Timeout(next http.Handler, d time.Duration) http.Handler {
 // unboundedly. Admission is a non-blocking semaphore acquire, so shed
 // requests cost O(1) regardless of saturation.
 func Limiter(next http.Handler, maxInFlight int, retryAfter time.Duration, st *Stats) http.Handler {
+	return limiter(next, maxInFlight, retryAfter, 0, st)
+}
+
+func limiter(next http.Handler, maxInFlight int, retryAfter time.Duration, jitter float64, st *Stats) http.Handler {
 	sem := make(chan struct{}, maxInFlight)
-	retrySecs := strconv.Itoa(int((retryAfter + time.Second - 1) / time.Second))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case sem <- struct{}{}:
@@ -161,9 +209,10 @@ func Limiter(next http.Handler, maxInFlight int, retryAfter time.Duration, st *S
 			if st != nil {
 				st.shed.Inc()
 			}
-			w.Header().Set("Retry-After", retrySecs)
+			hint := retryAfterHint(retryAfter, jitter)
+			w.Header().Set("Retry-After", hint)
 			writeJSONError(w, http.StatusTooManyRequests,
-				fmt.Sprintf("server saturated (%d requests in flight); retry after %s s", maxInFlight, retrySecs))
+				fmt.Sprintf("server saturated (%d requests in flight); retry after %s s", maxInFlight, hint))
 		}
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -115,8 +116,12 @@ func TestLimiterShedsPastCap(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("saturated request: status %d body %q", resp.StatusCode, body)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra != "2" {
-		t.Fatalf("Retry-After = %q, want 2", ra)
+	// The hint is jittered ±20% around the configured 2s so shed
+	// clients spread their retries instead of stampeding in lockstep.
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.ParseFloat(ra, 64)
+	if err != nil || secs < 1.6-1e-9 || secs > 2.4+1e-9 {
+		t.Fatalf("Retry-After = %q, want a number in [1.6, 2.4]", ra)
 	}
 	close(release)
 	wg.Wait()

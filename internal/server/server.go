@@ -35,9 +35,18 @@ import (
 type Config struct {
 	// MaxInFlight caps concurrently-served requests; excess load is
 	// shed with 429 + Retry-After (default 256, negative disables).
+	// Ignored when Admission is set.
 	MaxInFlight int
+	// Admission, when non-nil, replaces the static MaxInFlight cap with
+	// the adaptive AIMD concurrency limiter: the admitted-concurrency
+	// limit tracks observed p99 latency against Admission.TargetP99,
+	// health/admin routes are never shed, and /batch sheds before
+	// /distance (see resilience.AdmissionConfig).
+	Admission *resilience.AdmissionConfig
 	// RequestTimeout bounds each request (default 30s, negative
-	// disables); over-budget requests receive 503.
+	// disables); over-budget requests receive 503 — or 504 when the
+	// deadline came from a forwarded X-Rne-Budget-Ms budget, which the
+	// resilience stack folds into the request deadline.
 	RequestTimeout time.Duration
 	// MaxBatchBytes caps the /batch request body; larger bodies get
 	// 413 (default 8 MiB).
@@ -230,6 +239,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
 	h := resilience.Wrap(mux, resilience.Options{
 		MaxInFlight: s.cfg.MaxInFlight,
+		Admission:   s.cfg.Admission,
 		Timeout:     s.cfg.RequestTimeout,
 		Logger:      s.cfg.Logger,
 		Stats:       s.stats,
@@ -558,6 +568,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		hi := make([]float64, len(ss))
 		clamped := 0
 		for i := range ss {
+			// Abandon a batch whose deadline budget ran out mid-loop: the
+			// resilience layer already owns the 503/504 answer, and every
+			// further pair would be work no one can use.
+			if i&255 == 0 && r.Context().Err() != nil {
+				return
+			}
 			var g hybrid.GuardResult
 			if explain {
 				var ge guardExplanation
@@ -584,10 +600,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	// Evaluate in chunks so an exhausted deadline budget abandons the
+	// batch between chunks instead of computing pairs no one can use
+	// (the resilience layer owns the 503/504 answer).
+	const batchChunk = 4096
 	out := make([]float64, len(ss))
-	if err := sn.view.EstimateBatch(ss, ts, out); err != nil {
-		s.fail(w, http.StatusInternalServerError, "%v", err)
-		return
+	for off := 0; off < len(ss); off += batchChunk {
+		if r.Context().Err() != nil {
+			return
+		}
+		end := min(off+batchChunk, len(ss))
+		if err := sn.view.EstimateBatch(ss[off:end], ts[off:end], out[off:end]); err != nil {
+			s.fail(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
 	}
 	for i := range ss {
 		if explain {

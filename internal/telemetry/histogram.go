@@ -34,6 +34,13 @@ type Histogram struct {
 	sumBits atomic.Uint64
 }
 
+// NewHistogram returns a standalone histogram over the given bucket
+// upper bounds (strictly increasing, finite; +Inf implicit), not
+// registered on any Registry — for internal windowed measurements such
+// as the adaptive admission limiter's per-interval p99, which must not
+// appear on /metrics.
+func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
+
 func newHistogram(bounds []float64) *Histogram {
 	if len(bounds) == 0 {
 		panic("telemetry: histogram needs at least one bucket bound")
@@ -100,6 +107,34 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		s.Counts[i] = h.counts[i].Load()
 	}
 	return s
+}
+
+// Sub returns the observations recorded between prev and s — the
+// windowed view a periodic controller needs from a cumulative
+// histogram. Both snapshots must come from the same histogram; counts
+// are clamped at zero so a mismatched pair degrades to an empty window
+// instead of negative buckets.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	d := HistSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+		Count:  s.Count - prev.Count,
+		Sum:    s.Sum - prev.Sum,
+	}
+	if d.Count < 0 {
+		d.Count = 0
+	}
+	for i := range s.Counts {
+		if i < len(prev.Counts) {
+			d.Counts[i] = s.Counts[i] - prev.Counts[i]
+		} else {
+			d.Counts[i] = s.Counts[i]
+		}
+		if d.Counts[i] < 0 {
+			d.Counts[i] = 0
+		}
+	}
+	return d
 }
 
 // Quantile estimates the q-quantile (0 <= q <= 1) by linear

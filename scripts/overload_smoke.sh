@@ -1,0 +1,180 @@
+#!/bin/sh
+# overload-smoke: overload-safety drill through the real binaries.
+#
+# Three capacity-starved rneserver replicas (tiny -max-inflight) behind
+# rnegate, hammered past fleet capacity with one replica killed
+# mid-run. The invariants:
+#
+#   1. every client-observed status is 200, 206, 429 or 504 — overload
+#      and a crashed replica degrade service, they never produce 5xx
+#      chaos or dropped connections;
+#   2. shedding actually happened (at least one 429: the drill
+#      saturated) and goodput survives the kill (2xx after it);
+#   3. a /batch aimed at the dead shard through a no-retry gateway
+#      degrades to a partial 206 — surviving pairs bit-identical to the
+#      healthy fleet's answer, failed pairs null with per-pair error
+#      entries — instead of failing whole.
+#
+# OVERLOAD_BENCH_OUT writes a BENCH_overload.json with offered load,
+# goodput, shed rate and client p99.
+set -eu
+
+GO=${GO:-go}
+PA=${OVERLOAD_SMOKE_PORT_A:-18382}
+PB=${OVERLOAD_SMOKE_PORT_B:-18383}
+PC=${OVERLOAD_SMOKE_PORT_C:-18384}
+PG=${OVERLOAD_SMOKE_PORT_G:-18385}
+PN=${OVERLOAD_SMOKE_PORT_N:-18386}
+BENCH_OUT=${OVERLOAD_BENCH_OUT:-}
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+$GO run ./cmd/genroad -rows 10 -cols 10 -seed 7 -o "$TMP/g.txt"
+$GO build -o "$TMP/rnebuild" ./cmd/rnebuild
+$GO build -o "$TMP/rneserver" ./cmd/rneserver
+$GO build -o "$TMP/rnegate" ./cmd/rnegate
+
+"$TMP/rnebuild" -graph "$TMP/g.txt" -dim 8 -epochs 2 -seed 1 -report "" \
+    -o "$TMP/m.rne" >/dev/null 2>&1
+
+# Replicas with a single-slot in-flight cap: 24 parallel clients are
+# many times fleet capacity, so admission shedding is guaranteed to fire.
+for port in $PA $PB $PC; do
+    "$TMP/rneserver" -model "$TMP/m.rne" -addr "127.0.0.1:$port" \
+        -max-inflight 1 -request-timeout 5s >"$TMP/srv-$port.log" 2>&1 &
+    PIDS="$PIDS $!"
+    eval "PID_$port=$!"
+done
+
+backends="http://127.0.0.1:$PA,http://127.0.0.1:$PB,http://127.0.0.1:$PC"
+# The hammered gateway: fast health checks, bounded retries.
+"$TMP/rnegate" -addr "127.0.0.1:$PG" -backends "$backends" \
+    -health-interval 100ms -eject-after 2 -backoff-base 100ms \
+    -retry-budget 0.2 -backend-timeout 2s -request-timeout 5s \
+    >"$TMP/gate.log" 2>&1 &
+PIDS="$PIDS $!"
+# The no-retry gateway proves partial degradation: with retries
+# disabled and ejection effectively off, a batch whose shard is dead
+# must come back 206 with per-pair errors, not fail over silently.
+"$TMP/rnegate" -addr "127.0.0.1:$PN" -backends "$backends" \
+    -health-interval 10s -eject-after 1000 -retry-budget -1 \
+    >"$TMP/gate-noretry.log" 2>&1 &
+PIDS="$PIDS $!"
+
+gate="http://127.0.0.1:$PG"
+noretry="http://127.0.0.1:$PN"
+wait_200() {
+    i=0
+    until curl -sf "$1" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ $i -gt 100 ] && return 1
+        sleep 0.1
+    done
+}
+for port in $PA $PB $PC; do
+    wait_200 "http://127.0.0.1:$port/healthz" || { echo "overload-smoke: replica on $port never came up"; cat "$TMP/srv-$port.log"; exit 1; }
+done
+wait_200 "$gate/readyz" || { echo "overload-smoke: gateway never became ready"; cat "$TMP/gate.log"; exit 1; }
+wait_200 "$noretry/readyz" || { echo "overload-smoke: no-retry gateway never became ready"; cat "$TMP/gate-noretry.log"; exit 1; }
+
+# The fixed batch spans sources across the hash space so its sub-groups
+# always cover more than one replica: a single dead shard can only
+# degrade it, never fail it whole.
+BODY='{"pairs":[[0,99],[9,42],[17,4],[25,61],[33,88],[41,5],[49,70],[57,12],[65,30],[73,96],[81,22],[89,55]]}'
+# The hammer's batches are deliberately heavy (4000 pairs): individual
+# estimates are microsecond-fast, so saturation needs requests that
+# actually occupy a replica slot for measurable time.
+BIG="$TMP/big.json"
+{
+    printf '{"pairs":['
+    awk 'BEGIN { for (i = 0; i < 4000; i++) printf "%s[%d,%d]", (i ? "," : ""), (i * 7) % 100, (i * 13 + 3) % 100 }'
+    printf ']}'
+} >"$BIG"
+GATE="$gate"
+export BODY BIG GATE
+
+# hammer <count> <outfile>: count requests at 24-way parallelism, every
+# other one a heavy fan-out /batch, recording "status time_total" per
+# line.
+hammer() {
+    seq 1 "$1" | xargs -P 24 -I_N sh -c '
+        i=$1
+        if [ $((i % 2)) -eq 0 ]; then
+            curl -s -o /dev/null -w "%{http_code} %{time_total}\n" \
+                -d @"$BIG" "$GATE/batch"
+        else
+            curl -s -o /dev/null -w "%{http_code} %{time_total}\n" \
+                "$GATE/distance?s=$((i * 7 % 100))&t=$((i * 13 % 100))"
+        fi' _ _N >>"$2" || true
+}
+
+hammer 150 "$TMP/phase_a.txt"            # phase A: full fleet, saturated
+kill "$(eval echo "\$PID_$PC")" 2>/dev/null || true
+hammer 150 "$TMP/phase_b.txt"            # phase B: one replica dead, same load
+cat "$TMP/phase_a.txt" "$TMP/phase_b.txt" >"$TMP/all.txt"
+
+# Invariant 1: only the sanctioned status set.
+if bad=$(awk '$1 != 200 && $1 != 206 && $1 != 429 && $1 != 504 {print; exit 1}' "$TMP/all.txt"); then :; else
+    echo "overload-smoke: forbidden status under overload: $bad"
+    sort "$TMP/all.txt" | awk '{print $1}' | uniq -c
+    cat "$TMP/gate.log"
+    exit 1
+fi
+
+# Invariant 2: the drill saturated, and goodput survived the kill.
+shed=$(awk '$1 == 429' "$TMP/all.txt" | wc -l)
+good_b=$(awk '$1 == 200 || $1 == 206' "$TMP/phase_b.txt" | wc -l)
+if [ "$shed" -lt 1 ]; then
+    echo "overload-smoke: no 429s — the hammer never saturated the fleet"
+    exit 1
+fi
+if [ "$good_b" -lt 1 ]; then
+    echo "overload-smoke: zero goodput after the kill — survivors stopped serving"
+    cat "$TMP/gate.log"
+    exit 1
+fi
+
+# Invariant 3: partial-degradation merge check. The healthy-path answer
+# (hammered gateway, retries on, dead shard ejected by now) is the
+# reference; the no-retry gateway's 206 must null exactly the dead
+# pairs and carry the reference values bit-identically everywhere else.
+full=$(curl -s -d "$BODY" "$gate/batch")
+code=$(curl -s -o "$TMP/partial.json" -w '%{http_code}' -d "$BODY" "$noretry/batch")
+if [ "$code" != 206 ]; then
+    echo "overload-smoke: dead-shard batch = $code, want 206 (body: $(cat "$TMP/partial.json"))"
+    cat "$TMP/gate-noretry.log"
+    exit 1
+fi
+grep -q '"partial":true' "$TMP/partial.json" || { echo "overload-smoke: 206 without partial flag"; cat "$TMP/partial.json"; exit 1; }
+grep -q '"errors":\[{"index":' "$TMP/partial.json" || { echo "overload-smoke: 206 without per-pair error entries"; cat "$TMP/partial.json"; exit 1; }
+full_d=$(printf '%s' "$full" | sed 's/.*"distances":\[\([^]]*\)\].*/\1/')
+part_d=$(sed 's/.*"distances":\[\([^]]*\)\].*/\1/' "$TMP/partial.json")
+awk -v a="$full_d" -v b="$part_d" 'BEGIN {
+    n = split(a, A, ","); m = split(b, B, ",")
+    if (n != m) { print "overload-smoke: partial merge wrong shape: " m " of " n " pairs"; exit 1 }
+    nulls = 0
+    for (i = 1; i <= n; i++) {
+        if (B[i] == "null") { nulls++; continue }
+        if (A[i] != B[i]) { print "overload-smoke: partial merge corrupted pair " i-1 ": " B[i] " want " A[i]; exit 1 }
+    }
+    if (nulls == 0) { print "overload-smoke: no pair was dropped — dead shard not exercised"; exit 1 }
+    if (nulls == n) { print "overload-smoke: every pair dropped — nothing survived"; exit 1 }
+}' || exit 1
+
+offered=$(wc -l <"$TMP/all.txt")
+good=$(awk '$1 == 200 || $1 == 206' "$TMP/all.txt" | wc -l)
+partial=$(awk '$1 == 206' "$TMP/all.txt" | wc -l)
+timeout=$(awk '$1 == 504' "$TMP/all.txt" | wc -l)
+p99=$(awk '{print $2}' "$TMP/all.txt" | sort -n | awk '{v[NR]=$1} END {print v[int(NR*0.99) < 1 ? 1 : int(NR*0.99)]}')
+
+if [ -n "$BENCH_OUT" ]; then
+    printf '{\n  "experiment": "overload-smoke",\n  "dataset": "grid-10x10",\n  "replicas": 3,\n  "replica_max_inflight": 1,\n  "parallel_clients": 24,\n  "offered": %s,\n  "goodput": %s,\n  "shed_429": %s,\n  "partial_206": %s,\n  "timeout_504": %s,\n  "goodput_after_kill": %s,\n  "client_p99_seconds": %s\n}\n' \
+        "$offered" "$good" "$shed" "$partial" "$timeout" "$good_b" "$p99" >"$BENCH_OUT"
+    echo "overload-smoke: wrote $BENCH_OUT"
+fi
+echo "overload-smoke: $offered offered, $good served, $shed shed, p99 ${p99}s; partial 206 merge verified against the healthy fleet"
