@@ -1,9 +1,9 @@
 # Pre-merge gate: `make ci` must pass before any change lands.
 GO ?= go
 
-.PHONY: ci build vet test race shuffle fuzz-smoke vulncheck bench bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke overload-smoke
+.PHONY: ci build vet test race shuffle fuzz-smoke vulncheck bench bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke overload-smoke trace-smoke
 
-ci: vet race shuffle fuzz-smoke vulncheck bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke overload-smoke ## full pre-merge gate
+ci: vet race shuffle fuzz-smoke vulncheck bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke overload-smoke trace-smoke ## full pre-merge gate
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,15 @@ gate-smoke:
 # 206 whose merge is verified against the healthy fleet.
 overload-smoke:
 	@GO="$(GO)" sh scripts/overload_smoke.sh
+
+# Distributed-tracing smoke through the real binaries: a traced
+# gateway + two traced replicas serve hedged /distance and sharded
+# /batch traffic; asserts one gateway trace carries every backend
+# attempt plus matching replica handler spans, then re-runs untraced
+# and emits the tail-latency attribution (with the on/off p99 delta)
+# as BENCH_trace.json via rnereplay -traces.
+trace-smoke:
+	@GO="$(GO)" sh scripts/trace_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

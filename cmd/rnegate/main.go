@@ -68,6 +68,9 @@ func main() {
 	admitMin := flag.Int("admit-min", 4, "with -admit-p99-target: floor for the adapted in-flight cap")
 	admitMax := flag.Int("admit-max", 4096, "with -admit-p99-target: ceiling for the adapted in-flight cap")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (negative disables)")
+	trace := flag.Bool("trace", false, "distributed tracing: per-attempt backend spans, traceparent propagation to replicas, sampled span JSONL at -trace-out")
+	traceOut := flag.String("trace-out", "gateway.spans.jsonl", "with -trace: span JSONL output path")
+	traceSample := flag.Int("trace-sample", 1, "with -trace: keep one trace in N (head sampling; children inherit)")
 	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "drain budget for graceful shutdown")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	logFormat := flag.String("log-format", "text", "log encoding: text or json")
@@ -118,6 +121,14 @@ func main() {
 	}
 	if *hedge {
 		logger.Info("hedged /distance on", "min_delay", *hedgeMinDelay, "max_delay", *hedgeMaxDelay)
+	}
+	if *trace {
+		gwCfg.Trace = telemetry.TraceConfig{
+			Path:        *traceOut,
+			Service:     "gateway",
+			SampleEvery: *traceSample,
+		}
+		logger.Info("tracing on", "out", *traceOut, "sample_every", *traceSample)
 	}
 	gw, err := gateway.New(gwCfg)
 	if err != nil {

@@ -14,10 +14,18 @@
 // tree). -landmarks adds an ALT guard so drift bands are scored the
 // way a guarded server would.
 //
+// With -traces, rnereplay instead runs tail-latency attribution: it
+// reads span JSONL files written by traced rnegate/rneserver
+// processes (-trace-out), stitches spans into whole traces, and
+// reports the queue/network/kernel/guard share of request p50/p95/p99
+// plus the slowest concrete traces to go read. No graph, model or
+// query log is needed in this mode.
+//
 // Usage:
 //
 //	rnereplay -graph bj.txt -log queries.jsonl -out BENCH_replay.json
 //	rnereplay -graph bj.txt -gen 5000 -landmarks 8 -out now.json -baseline BENCH_replay.json
+//	rnereplay -traces gw.spans.jsonl,s1.spans.jsonl,s2.spans.jsonl -out BENCH_trace.json
 //
 // Exit codes: 0 ok, 1 error, 2 usage, 3 regression verdict.
 package main
@@ -27,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	rne "repro"
 	"repro/internal/qlog"
@@ -46,6 +55,9 @@ func main() {
 	qlogOut := flag.String("qlog-out", "", "also record the replayed workload as a fresh query log at this path")
 	baselinePath := flag.String("baseline", "", "previous report to diff against; regression exits 3")
 	tolFactor := flag.Float64("tolerance", 0.10, "allowed fractional error worsening before the diff flags a regression")
+	tracesArg := flag.String("traces", "", "comma-separated span JSONL files: run tail-latency attribution instead of an error replay")
+	p99On := flag.Float64("p99-on", 0, "measured p99 with tracing on, microseconds (embedded in the -traces report)")
+	p99Off := flag.Float64("p99-off", 0, "measured p99 with tracing off, microseconds (embedded in the -traces report)")
 	flag.Parse()
 
 	fatal := func(format string, args ...any) {
@@ -55,6 +67,25 @@ func main() {
 	usage := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "rnereplay: "+format+"\n", args...)
 		os.Exit(2)
+	}
+
+	if *tracesArg != "" {
+		// Attribution mode needs no oracle: the spans carry their own
+		// ground truth (measured durations).
+		out := *outPath
+		set := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "out" {
+				set = true
+			}
+		})
+		if !set {
+			out = "BENCH_trace.json"
+		}
+		if err := runTraces(strings.Split(*tracesArg, ","), out, *p99On, *p99Off); err != nil {
+			fatal("%v", err)
+		}
+		return
 	}
 
 	var g *rne.Graph
@@ -156,6 +187,38 @@ func main() {
 			os.Exit(3)
 		}
 	}
+}
+
+// runTraces is the -traces mode: read span JSONL, aggregate into the
+// per-hop tail-latency report, print it and write it as JSON.
+func runTraces(paths []string, outPath string, p99OnUS, p99OffUS float64) error {
+	clean := paths[:0]
+	for _, p := range paths {
+		if p = strings.TrimSpace(p); p != "" {
+			clean = append(clean, p)
+		}
+	}
+	spans, err := replay.ReadSpanFiles(clean)
+	if err != nil {
+		return err
+	}
+	rep, err := replay.AggregateTraces(spans)
+	if err != nil {
+		return err
+	}
+	if p99OnUS > 0 || p99OffUS > 0 {
+		rep.SetOverhead(p99OnUS, p99OffUS)
+	}
+	rep.WriteHuman(os.Stdout)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
 }
 
 // recordWorkload writes the workload back out as a query log — every

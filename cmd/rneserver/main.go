@@ -103,6 +103,9 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and a /metrics mirror on this operator-only address (empty disables)")
 	qlogPath := flag.String("qlog", "", "record a sampled query log (JSONL, replayable with rnereplay) at this path (empty disables)")
 	qlogSample := flag.Int("qlog-sample", 100, "with -qlog: record 1 in N served queries")
+	trace := flag.Bool("trace", false, "distributed tracing: handler/admission/kernel/guard spans, gateway traceparent honored, sampled span JSONL at -trace-out")
+	traceOut := flag.String("trace-out", "server.spans.jsonl", "with -trace: span JSONL output path")
+	traceSample := flag.Int("trace-sample", 1, "with -trace: keep one locally-rooted trace in N (gateway-sampled traces are always kept)")
 	autoHeal := flag.Bool("autoheal", false, "run the drift→retrain→swap controller (requires -registry and -heal-graph)")
 	healGraphPath := flag.String("heal-graph", "", "live graph file the autoheal controller probes for exact truth and retrains against (picked up again when the file changes)")
 	healInterval := flag.Duration("heal-interval", 2*time.Second, "autoheal probe tick period")
@@ -280,6 +283,13 @@ func main() {
 		QueryLog:       qlog.Config{Path: *qlogPath, SampleEvery: *qlogSample},
 		Reloader:       reloader,
 	}
+	if *trace {
+		srvCfg.Trace = telemetry.TraceConfig{
+			Path:        *traceOut,
+			Service:     "server",
+			SampleEvery: *traceSample,
+		}
+	}
 	if *admitTarget > 0 {
 		srvCfg.Admission = &resilience.AdmissionConfig{
 			TargetP99: *admitTarget,
@@ -318,6 +328,9 @@ func main() {
 	if *qlogPath != "" {
 		logger.Info("query log on", "path", *qlogPath, "sample", fmt.Sprintf("1-in-%d", *qlogSample))
 	}
+	if *trace {
+		logger.Info("tracing on", "path", *traceOut, "sample", fmt.Sprintf("1-in-%d", *traceSample))
+	}
 
 	// The autoheal controller closes the drift→retrain→swap loop: it
 	// probes served estimates against exact distances over -heal-graph,
@@ -340,6 +353,7 @@ func main() {
 			Warmup:   *healWarmup,
 			Registry: srv.Stats().Registry(),
 			Logger:   logger,
+			Tracer:   srv.Tracer(),
 		})
 		if err != nil {
 			fatal("configuring autoheal", "error", err)
@@ -436,7 +450,10 @@ func newHealer(store *rne.ModelRegistry, srv *server.Server, prober *autoheal.Gr
 		defer os.Remove(opt.CheckpointPath)
 
 		start := time.Now()
+		_, ftSpan := telemetry.StartChild(ctx, "finetune")
 		tuned, stats, err := rne.FineTune(g, warm.Model, opt)
+		ftSpan.SetError(err)
+		ftSpan.End()
 		if err != nil {
 			return "", fmt.Errorf("heal: fine-tune from %s: %w", serving, err)
 		}
@@ -451,11 +468,19 @@ func newHealer(store *rne.ModelRegistry, srv *server.Server, prober *autoheal.Gr
 				return "", fmt.Errorf("heal: rebuilding ALT guard: %w", err)
 			}
 		}
+		_, pubSpan := telemetry.StartChild(ctx, "publish")
 		version, err := store.Publish(name, art)
+		pubSpan.SetError(err)
+		pubSpan.End()
 		if err != nil {
 			return "", fmt.Errorf("heal: publishing: %w", err)
 		}
-		if _, err := srv.Reload(); err != nil {
+		_, swapSpan := telemetry.StartChild(ctx, "swap")
+		_, err = srv.Reload()
+		swapSpan.SetAttr("version", version)
+		swapSpan.SetError(err)
+		swapSpan.End()
+		if err != nil {
 			if qerr := store.Quarantine(name, version); qerr != nil {
 				logger.Error("heal: quarantining rejected version failed", "version", version, "error", qerr)
 			}

@@ -101,6 +101,11 @@ type Config struct {
 	Registry *telemetry.Registry
 	// Logger receives transition and failure logs (nil discards).
 	Logger *slog.Logger
+	// Tracer, when non-nil, records every heal attempt as a
+	// force-sampled root trace (heal attempts are rare and expensive —
+	// head sampling must never lose one), with the Heal callback's
+	// fine-tune/publish/swap phases as child spans.
+	Tracer *telemetry.RequestTracer
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -323,7 +328,15 @@ func (c *Controller) heal(ctx context.Context, score float64) {
 	log.Warn("autoheal: drift past budget, retraining",
 		"score", score, "budget", c.cfg.Budget, "serving", from)
 
+	ctx, span := c.cfg.Tracer.StartSpanForced(ctx, "autoheal.heal")
+	span.SetAttr("from", from)
+	span.SetAttr("score", fmt.Sprintf("%.3f", score))
 	version, err := c.cfg.Heal(ctx)
+	if err == nil {
+		span.SetAttr("to", version)
+	}
+	span.SetError(err)
+	span.End()
 
 	c.mu.Lock()
 	defer c.mu.Unlock()

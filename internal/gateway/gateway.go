@@ -98,6 +98,15 @@ type Config struct {
 	// Transport overrides the backend HTTP transport (tests use the
 	// httptest client transport); nil uses http.DefaultTransport.
 	Transport http.RoundTripper
+	// Trace, when its Path is non-empty, turns on request-scoped
+	// distributed tracing: every request gets a handler span, every
+	// backend attempt (primary, retry, hedge, per-shard batch leg) a
+	// child span whose context is injected into the outbound call as a
+	// W3C traceparent — so replica-side spans parent under the exact
+	// attempt that caused them. Sampled spans persist as JSONL (see
+	// telemetry.RequestTracer); drop/write counters export as
+	// rne_trace_dropped_total / rne_trace_written_total.
+	Trace telemetry.TraceConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -191,6 +200,7 @@ type Gateway struct {
 	pairErrors     *telemetry.Counter
 	backendLatency *telemetry.Histogram
 	retryTokens    *retryBudget
+	tracer         *telemetry.RequestTracer // nil disables tracing
 
 	jitterMu  sync.Mutex
 	jitterRng *rand.Rand
@@ -241,7 +251,34 @@ func New(cfg Config) (*Gateway, error) {
 		"Individual batch pairs answered with an error entry instead of a distance.")
 	g.backendLatency = reg.Histogram("rne_gateway_backend_latency_seconds",
 		"Latency of successful backend calls, feeding the hedge delay.", telemetry.LatencyBuckets)
+	g.backendLatency.EnableExemplars()
 	g.retryTokens = newRetryBudget(cfg.RetryBudget)
+	if cfg.Trace.Path != "" {
+		tc := cfg.Trace
+		if tc.Service == "" {
+			tc.Service = "gateway"
+		}
+		dropped := g.stats.Counter("trace_dropped")
+		written := g.stats.Counter("trace_written")
+		callerDrop, callerWrite := tc.OnDrop, tc.OnWrite
+		tc.OnDrop = func() {
+			dropped.Inc()
+			if callerDrop != nil {
+				callerDrop()
+			}
+		}
+		tc.OnWrite = func() {
+			written.Inc()
+			if callerWrite != nil {
+				callerWrite()
+			}
+		}
+		tr, err := telemetry.NewRequestTracer(tc)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: %w", err)
+		}
+		g.tracer = tr
+	}
 
 	seen := make(map[string]bool)
 	ids := make([]string, 0, len(cfg.Backends))
@@ -280,16 +317,20 @@ func New(cfg Config) (*Gateway, error) {
 	return g, nil
 }
 
-// Close stops the health-probe loop. The handler keeps working with
-// the last known backend states.
+// Close stops the health-probe loop and flushes the request tracer.
+// The handler keeps working with the last known backend states.
 func (g *Gateway) Close() error {
 	g.stopOnce.Do(func() { close(g.stop) })
 	g.wg.Wait()
+	g.tracer.Close() // nil-safe
 	return nil
 }
 
 // Stats exposes the request counters backing /statz and /metrics.
 func (g *Gateway) Stats() *resilience.Stats { return g.stats }
+
+// Tracer exposes the request tracer (nil when disabled).
+func (g *Gateway) Tracer() *telemetry.RequestTracer { return g.tracer }
 
 // HealthyBackends reports how many backends are currently routed to.
 func (g *Gateway) HealthyBackends() int {
@@ -319,13 +360,20 @@ func (g *Gateway) Handler() http.Handler {
 	mux.Handle("GET /metrics", g.stats.Registry().Handler())
 	mux.HandleFunc("GET /distance", g.handleDistance)
 	mux.HandleFunc("POST /batch", g.handleBatch)
-	h := resilience.Wrap(mux, resilience.Options{
+	// Same trace layering as the replicas: admission marker just inside
+	// the resilience stack, handler span around the whole of it.
+	var inner http.Handler = mux
+	if g.tracer != nil {
+		inner = telemetry.TraceAdmitted(mux)
+	}
+	h := resilience.Wrap(inner, resilience.Options{
 		MaxInFlight: g.cfg.MaxInFlight,
 		Admission:   g.cfg.Admission,
 		Timeout:     g.cfg.RequestTimeout,
 		Logger:      g.cfg.Logger,
 		Stats:       g.stats,
 	})
+	h = telemetry.TraceHTTP(g.tracer, h)
 	return telemetry.RequestID(h)
 }
 
@@ -542,6 +590,7 @@ func (g *Gateway) handleDistance(w http.ResponseWriter, r *http.Request) {
 		if b == nil {
 			break
 		}
+		kind := "primary"
 		if attempt > 0 {
 			if !g.retryTokens.take() {
 				g.retriesDenied.Inc()
@@ -549,9 +598,10 @@ func (g *Gateway) handleDistance(w http.ResponseWriter, r *http.Request) {
 				break
 			}
 			g.retries.Inc()
+			kind = "retry"
 		}
 		status, body, ct, err := g.forward(r.Context(), b, http.MethodGet,
-			"/distance?"+r.URL.RawQuery, nil)
+			"/distance?"+r.URL.RawQuery, nil, kind)
 		if err != nil {
 			if r.Context().Err() != nil {
 				// The client hung up or its deadline expired mid-proxy:
@@ -620,9 +670,16 @@ func (g *Gateway) handleDistanceHedged(w http.ResponseWriter, r *http.Request, s
 	}
 	results := make(chan attempt, 2)
 	launch := func(b *backend, hedged bool) {
+		kind := "primary"
+		if hedged {
+			kind = "hedge"
+		}
 		go func() {
+			// The attempt span lives in this goroutine: a hedge loser's
+			// span is closed here once its call resolves (the handler
+			// returning cancels the request context), not leaked.
 			status, body, ct, err := g.forward(r.Context(), b, http.MethodGet,
-				"/distance?"+r.URL.RawQuery, nil)
+				"/distance?"+r.URL.RawQuery, nil, kind)
 			results <- attempt{b: b, hedged: hedged, status: status, body: body, ct: ct, err: err}
 		}()
 	}
@@ -727,7 +784,11 @@ func sourceParam(r *http.Request) (int32, error) {
 var errBudgetExhausted = errors.New("deadline budget exhausted before backend call")
 
 // forward performs one backend call, returning the response whole so
-// the caller can merge or relay it.
+// the caller can merge or relay it. kind names which leg of the
+// request this attempt is ("primary", "retry", "hedge", "shard",
+// "shard-retry"); it labels the attempt span and, for non-primary
+// legs, rides to the backend as an AttemptHeader so replica query
+// logs can tell one slow query from one that cost two backends.
 //
 // Deadline budgets propagate here: when the inbound request carries a
 // context deadline (the gateway's own RequestTimeout, or a client
@@ -736,12 +797,20 @@ var errBudgetExhausted = errors.New("deadline budget exhausted before backend ca
 // BudgetHeader so the backend abandons work the gateway can no longer
 // use.
 //
+// Every attempt that is actually made gets its own child span (a
+// budget-exhausted bail-out never reaches the wire, so it gets none),
+// and the outbound call carries that span's context as a traceparent —
+// the replica's handler span parents under the exact attempt that
+// caused it, hedge losers and retried shards included. The gateway's
+// request ID is forwarded on every leg so all replicas log the same
+// correlation ID instead of minting their own.
+//
 // Status classification: 2xx and 4xx are the caller's to relay or
 // merge; 504 is relayed verbatim (the budget ran out downstream — the
 // backend behaved correctly); 429/503 come back as a *backpressureError
 // (busy, not broken: retryable elsewhere but never counted toward
 // ejection); any other 5xx is a real failure.
-func (g *Gateway) forward(ctx context.Context, b *backend, method, path string, body []byte) (int, []byte, string, error) {
+func (g *Gateway) forward(ctx context.Context, b *backend, method, path string, body []byte, kind string) (int, []byte, string, error) {
 	timeout := g.cfg.BackendTimeout
 	if dl, ok := ctx.Deadline(); ok {
 		remain := time.Until(dl) - g.cfg.BudgetMargin
@@ -753,6 +822,14 @@ func (g *Gateway) forward(ctx context.Context, b *backend, method, path string, 
 		}
 	}
 	b.requests.Inc()
+	spanName := "backend " + path
+	if i := strings.IndexByte(spanName, '?'); i >= 0 {
+		spanName = spanName[:i]
+	}
+	ctx, span := telemetry.StartChild(ctx, spanName)
+	defer span.End()
+	span.SetAttr("backend", b.id)
+	span.SetAttr("kind", kind)
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	var rd io.Reader
@@ -761,35 +838,50 @@ func (g *Gateway) forward(ctx context.Context, b *backend, method, path string, 
 	}
 	req, err := http.NewRequestWithContext(ctx, method, b.base+path, rd)
 	if err != nil {
+		span.SetError(err)
 		return 0, nil, "", err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resilience.SetBudget(req.Header, timeout)
+	if rid := telemetry.RequestIDFrom(ctx); rid != "" {
+		req.Header.Set(telemetry.RequestIDHeader, rid)
+	}
+	switch kind {
+	case "retry", "hedge", "shard-retry":
+		req.Header.Set(telemetry.AttemptHeader, kind)
+	}
+	telemetry.InjectTraceParent(req.Header, span.Context())
 	start := time.Now()
 	resp, err := g.client.Do(req)
 	if err != nil {
+		span.SetError(err)
 		return 0, nil, "", err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBatchBytes))
 	if err != nil {
+		span.SetError(err)
 		return 0, nil, "", err
 	}
+	span.SetStatus(resp.StatusCode)
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
 		b.backpressure.Inc()
+		span.Event("backpressure", fmt.Sprintf("backend answered %d", resp.StatusCode))
 		return 0, nil, "", &backpressureError{
 			status: resp.StatusCode, body: data,
 			ct:         resp.Header.Get("Content-Type"),
 			retryAfter: resp.Header.Get("Retry-After"),
 		}
 	case resp.StatusCode >= 500 && resp.StatusCode != http.StatusGatewayTimeout:
-		return 0, nil, "", fmt.Errorf("%s %s returned %d", method, path, resp.StatusCode)
+		err := fmt.Errorf("%s %s returned %d", method, path, resp.StatusCode)
+		span.SetError(err)
+		return 0, nil, "", err
 	}
 	if resp.StatusCode < 300 {
-		g.backendLatency.Observe(time.Since(start).Seconds())
+		g.backendLatency.ObserveExemplar(time.Since(start).Seconds(), span.ExemplarID())
 	}
 	return resp.StatusCode, data, resp.Header.Get("Content-Type"), nil
 }
@@ -970,6 +1062,10 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// dropped — a partial set of certificates is not a certificate.
 	g.batchPartial.Inc()
 	g.pairErrors.Add(int64(len(errs)))
+	if rspan := telemetry.SpanFromContext(r.Context()); rspan.Recording() {
+		rspan.Event("partial", fmt.Sprintf("%d of %d pairs failed", len(errs), len(req.Pairs)))
+		rspan.SetAttrInt("pair_errors", int64(len(errs)))
+	}
 	sortPairErrors(errs)
 	failed := make([]bool, len(req.Pairs))
 	for _, pe := range errs {
@@ -1012,6 +1108,7 @@ func (g *Gateway) sendBatch(ctx context.Context, gr *backendBatch) (batchReply, 
 	b := gr.b
 	var lastErr error
 	for attempt := 0; attempt < 2 && b != nil; attempt++ {
+		kind := "shard"
 		if attempt > 0 {
 			if !g.retryTokens.take() {
 				g.retriesDenied.Inc()
@@ -1019,8 +1116,9 @@ func (g *Gateway) sendBatch(ctx context.Context, gr *backendBatch) (batchReply, 
 				break
 			}
 			g.retries.Inc()
+			kind = "shard-retry"
 		}
-		status, data, _, err := g.forward(ctx, b, http.MethodPost, "/batch", body)
+		status, data, _, err := g.forward(ctx, b, http.MethodPost, "/batch", body, kind)
 		if err != nil {
 			if ctx.Err() != nil {
 				// Client cancellation, propagated into the sub-request:

@@ -43,6 +43,19 @@ type Record struct {
 	// corrected the raw estimate.
 	Clamp     string  `json:"clamp,omitempty"`
 	LatencyUS float64 `json:"latency_us"`
+	// TraceID is the W3C trace ID of the request that served this query
+	// when tracing is enabled, so recorded workloads can be joined
+	// against the span JSONL offline.
+	TraceID string `json:"trace_id,omitempty"`
+	// Attempt marks queries served on a non-primary gateway leg
+	// ("retry", "hedge", "shard-retry"), relayed via the X-Rne-Attempt
+	// header — the difference between one slow query and one query that
+	// cost the fleet two backends.
+	Attempt string `json:"attempt,omitempty"`
+	// Outcome is "" for fully-served queries and "partial" for pairs
+	// whose batch was abandoned mid-loop (deadline/cancel): they were
+	// computed, but the client never saw them.
+	Outcome string `json:"outcome,omitempty"`
 }
 
 // Config tunes a Logger. Zero values select the documented defaults.

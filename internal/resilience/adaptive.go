@@ -299,6 +299,8 @@ func AdaptiveLimit(next http.Handler, l *AdaptiveLimiter, retryAfter time.Durati
 			if st != nil {
 				st.shed.Inc()
 			}
+			telemetry.TraceEvent(r.Context(), "shed",
+				fmt.Sprintf("admission limit %d, %s priority", l.Limit(), p))
 			hint := retryAfterHint(retryAfter, jitter)
 			w.Header().Set("Retry-After", hint)
 			writeJSONError(w, http.StatusTooManyRequests,

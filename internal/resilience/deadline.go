@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // BudgetHeader carries the remaining deadline budget of a request, in
@@ -117,6 +119,7 @@ func Deadline(next http.Handler, local time.Duration, jitter float64, retryAfter
 		if b, ok := ParseBudget(r); ok {
 			if b <= 0 {
 				exhaustedBudget.inc()
+				telemetry.TraceEvent(r.Context(), "budget_exhausted", "spent before admission")
 				w.Header().Set("Retry-After", retryAfterHint(retryAfter, jitter))
 				writeJSONError(w, http.StatusGatewayTimeout,
 					"deadline budget exhausted before the request was admitted")
@@ -168,6 +171,7 @@ func Deadline(next http.Handler, local time.Duration, jitter float64, retryAfter
 			if context.Cause(ctx) == context.Canceled {
 				// The client went away (parent context canceled): there is
 				// no one to answer, so write nothing.
+				telemetry.TraceEvent(r.Context(), "client_gone", "canceled before completion")
 				return
 			}
 			status := http.StatusServiceUnavailable
@@ -176,8 +180,10 @@ func Deadline(next http.Handler, local time.Duration, jitter float64, retryAfter
 				status = http.StatusGatewayTimeout
 				msg = fmt.Sprintf("deadline budget of %v exhausted", budget)
 				exhaustedBudget.inc()
+				telemetry.TraceEvent(r.Context(), "budget_exhausted", msg)
 			} else {
 				exhaustedLocal.inc()
+				telemetry.TraceEvent(r.Context(), "deadline_exceeded", msg)
 			}
 			w.Header().Set("Retry-After", retryAfterHint(retryAfter, jitter))
 			writeJSONError(w, status, msg)

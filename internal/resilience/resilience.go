@@ -209,6 +209,8 @@ func limiter(next http.Handler, maxInFlight int, retryAfter time.Duration, jitte
 			if st != nil {
 				st.shed.Inc()
 			}
+			telemetry.TraceEvent(r.Context(), "shed",
+				fmt.Sprintf("static limiter at %d in flight", maxInFlight))
 			hint := retryAfterHint(retryAfter, jitter)
 			w.Header().Set("Retry-After", hint)
 			writeJSONError(w, http.StatusTooManyRequests,
@@ -237,8 +239,12 @@ func Observe(next http.Handler, st *Stats, logger *slog.Logger) http.Handler {
 			}
 			if st != nil {
 				st.inFlight.Add(-1)
-				st.observe(status, elapsed)
-				st.observeRoute(r.URL.Path, elapsed)
+				// Observe runs inside the trace middleware, so the context
+				// carries the request's span when tracing is on; its trace
+				// ID becomes the latency bucket's exemplar.
+				traceID := telemetry.SpanFromContext(r.Context()).ExemplarID()
+				st.observe(status, elapsed, traceID)
+				st.observeRoute(r.URL.Path, elapsed, traceID)
 			}
 			logger.Info("request",
 				"method", r.Method, "path", r.URL.Path, "status", status,

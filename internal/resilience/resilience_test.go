@@ -244,7 +244,7 @@ func TestStatsConcurrent(t *testing.T) {
 // The stats handler serves valid JSON.
 func TestStatsHandler(t *testing.T) {
 	st := NewStats()
-	st.observe(200, time.Millisecond)
+	st.observe(200, time.Millisecond, "")
 	ts := httptest.NewServer(st.Handler())
 	defer ts.Close()
 	resp, body := get(t, ts.URL)

@@ -73,6 +73,10 @@ func NewStatsWith(reg *telemetry.Registry) *Stats {
 		otherRoute: reg.Histogram("rne_http_route_duration_seconds",
 			"Request latency by route.", telemetry.LatencyBuckets, "route", "other"),
 	}
+	// Exemplars tie p99 buckets to stored traces; with tracing off the
+	// trace ID is always "" and the slots stay empty.
+	s.latency.EnableExemplars()
+	s.otherRoute.EnableExemplars()
 	for i, class := range statusClasses {
 		s.byClass[i] = reg.Counter("rne_http_requests_total",
 			"HTTP requests served, by status class.", "class", class)
@@ -93,19 +97,24 @@ func (s *Stats) TrackRoutes(paths ...string) {
 	defer s.routeMu.Unlock()
 	for _, p := range paths {
 		if _, ok := s.routes[p]; !ok {
-			s.routes[p] = s.reg.Histogram("rne_http_route_duration_seconds",
+			h := s.reg.Histogram("rne_http_route_duration_seconds",
 				"Request latency by route.", telemetry.LatencyBuckets, "route", p)
+			h.EnableExemplars()
+			s.routes[p] = h
 		}
 	}
 }
 
-func (s *Stats) observe(status int, elapsed time.Duration) {
+// observe files the request's status and latency; traceID (the sampled
+// request's trace, "" when untraced) becomes the latency bucket's
+// exemplar so tail buckets link to stored traces.
+func (s *Stats) observe(status int, elapsed time.Duration, traceID string) {
 	class := status / 100
 	if class < 1 || class > 5 {
 		class = 0
 	}
 	s.byClass[class].Inc()
-	s.latency.ObserveDuration(elapsed)
+	s.latency.ObserveExemplar(elapsed.Seconds(), traceID)
 	ns := elapsed.Nanoseconds()
 	for {
 		cur := s.latencyMaxNS.Load()
@@ -116,14 +125,14 @@ func (s *Stats) observe(status int, elapsed time.Duration) {
 }
 
 // observeRoute files the request under its route's latency histogram.
-func (s *Stats) observeRoute(path string, elapsed time.Duration) {
+func (s *Stats) observeRoute(path string, elapsed time.Duration, traceID string) {
 	s.routeMu.RLock()
 	h := s.routes[path]
 	s.routeMu.RUnlock()
 	if h == nil {
 		h = s.otherRoute
 	}
-	h.ObserveDuration(elapsed)
+	h.ObserveExemplar(elapsed.Seconds(), traceID)
 }
 
 // Counter returns the named extra counter, creating it on first use

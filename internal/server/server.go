@@ -74,6 +74,14 @@ type Config struct {
 	// (Close flushes it) and exports its drop/write counters on /metrics
 	// as rne_qlog_dropped_total / rne_qlog_written_total.
 	QueryLog qlog.Config
+	// Trace, when its Path is non-empty, turns on request-scoped
+	// distributed tracing: every request gets a handler span (continuing
+	// an inbound traceparent when a gateway forwarded one) with
+	// admission/kernel/guard/index child spans, head-sampled 1-in-
+	// SampleEvery and persisted as JSONL (see telemetry.RequestTracer).
+	// The server owns the tracer (Close flushes it) and exports drop and
+	// write counters as rne_trace_dropped_total / rne_trace_written_total.
+	Trace telemetry.TraceConfig
 	// Reloader, when non-nil, supplies a fresh ModelSet on demand: it
 	// backs POST /admin/reload and Server.Reload (which rneserver also
 	// invokes on SIGHUP). Typically it re-resolves the latest version
@@ -102,6 +110,10 @@ type Server struct {
 
 	// qlog samples served queries to a JSONL file; nil disables.
 	qlog *qlog.Logger
+
+	// tracer records request-scoped spans to a JSONL file; nil disables
+	// (every span operation is a nil-safe no-op).
+	tracer *telemetry.RequestTracer
 }
 
 // New returns a server for the model with default hardening; idx may
@@ -166,12 +178,42 @@ func NewFromSet(set ModelSet, cfg Config) (*Server, error) {
 		}
 		s.qlog = ql
 	}
+	if cfg.Trace.Path != "" {
+		tc := cfg.Trace
+		if tc.Service == "" {
+			tc.Service = "server"
+		}
+		dropped := s.stats.Counter("trace_dropped")
+		written := s.stats.Counter("trace_written")
+		callerDrop, callerWrite := tc.OnDrop, tc.OnWrite
+		tc.OnDrop = func() {
+			dropped.Inc()
+			if callerDrop != nil {
+				callerDrop()
+			}
+		}
+		tc.OnWrite = func() {
+			written.Inc()
+			if callerWrite != nil {
+				callerWrite()
+			}
+		}
+		tr, err := telemetry.NewRequestTracer(tc)
+		if err != nil {
+			if s.qlog != nil {
+				s.qlog.Close()
+			}
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.tracer = tr
+	}
 	return s, nil
 }
 
-// Close flushes and closes the query log, if one is configured. Safe
-// to call whether or not serving ever started.
+// Close flushes and closes the query log and request tracer, if
+// configured. Safe to call whether or not serving ever started.
 func (s *Server) Close() error {
+	s.tracer.Close() // nil-safe
 	if s.qlog == nil {
 		return nil
 	}
@@ -181,6 +223,11 @@ func (s *Server) Close() error {
 // QueryLog exposes the sampled query logger (nil when disabled), so
 // operators and tests can read its seen/sampled/dropped counters.
 func (s *Server) QueryLog() *qlog.Logger { return s.qlog }
+
+// Tracer exposes the request tracer (nil when disabled), so sidecars
+// like the autoheal controller can trace their own operations into the
+// same span stream.
+func (s *Server) Tracer() *telemetry.RequestTracer { return s.tracer }
 
 // Stats exposes the request counters backing /statz.
 func (s *Server) Stats() *resilience.Stats { return s.stats }
@@ -237,13 +284,22 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /knn", s.handleKNN)
 	mux.HandleFunc("GET /range", s.handleRange)
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
-	h := resilience.Wrap(mux, resilience.Options{
+	// With tracing on, the admission marker sits just inside the
+	// resilience stack (everything between handler-span start and it is
+	// queueing) and the handler span wraps the whole stack, so sheds and
+	// deadline expiries land inside the span as events.
+	var inner http.Handler = mux
+	if s.tracer != nil {
+		inner = telemetry.TraceAdmitted(mux)
+	}
+	h := resilience.Wrap(inner, resilience.Options{
 		MaxInFlight: s.cfg.MaxInFlight,
 		Admission:   s.cfg.Admission,
 		Timeout:     s.cfg.RequestTimeout,
 		Logger:      s.cfg.Logger,
 		Stats:       s.stats,
 	})
+	h = telemetry.TraceHTTP(s.tracer, h)
 	return telemetry.RequestID(h)
 }
 
@@ -376,13 +432,11 @@ func (s *Server) explainGuard(sn *snapshot, src, dst int32) (hybrid.GuardResult,
 	}
 }
 
-// logQuery samples one served estimate into the query log, tagging it
-// with the request ID the telemetry middleware assigned. g carries the
-// guard provenance when guard mode served the query (nil otherwise).
-func (s *Server) logQuery(r *http.Request, route string, src, dst int32, est float64, g *hybrid.GuardResult, start time.Time) {
-	if s.qlog == nil {
-		return
-	}
+// queryRecord builds one query-log record, tagging it with the request
+// ID, the trace ID (when tracing is on, for offline joins against the
+// span JSONL) and the gateway's attempt marker (retry/hedge legs). g
+// carries the guard provenance when guard mode served the query.
+func (s *Server) queryRecord(r *http.Request, route string, src, dst int32, est float64, g *hybrid.GuardResult, start time.Time) qlog.Record {
 	rec := qlog.Record{
 		TimeUnixNano: start.UnixNano(),
 		RequestID:    telemetry.RequestIDFrom(r.Context()),
@@ -391,13 +445,23 @@ func (s *Server) logQuery(r *http.Request, route string, src, dst int32, est flo
 		T:            dst,
 		Estimate:     est,
 		LatencyUS:    float64(time.Since(start).Nanoseconds()) / 1e3,
+		TraceID:      telemetry.SpanFromContext(r.Context()).TraceID(),
+		Attempt:      telemetry.SanitizeAttempt(r.Header.Get(telemetry.AttemptHeader)),
 	}
 	if g != nil {
 		rec.Raw, rec.Lo, rec.Hi = g.Raw, g.Lo, g.Hi
 		rec.HasBounds = true
 		rec.Clamp = clampDirection(*g)
 	}
-	s.qlog.Observe(rec)
+	return rec
+}
+
+// logQuery samples one served estimate into the query log.
+func (s *Server) logQuery(r *http.Request, route string, src, dst int32, est float64, g *hybrid.GuardResult, start time.Time) {
+	if s.qlog == nil {
+		return
+	}
+	s.qlog.Observe(s.queryRecord(r, route, src, dst, est, g, start))
 }
 
 func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
@@ -417,6 +481,7 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	if sn.guard != nil {
 		var g hybrid.GuardResult
 		out := map[string]any{"s": src, "t": dst}
+		_, gspan := telemetry.StartChild(r.Context(), "guard")
 		if explain {
 			var ge guardExplanation
 			g, ge = s.explainGuard(sn, src, dst)
@@ -427,13 +492,19 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		} else {
 			g = s.guardedEstimate(sn, src, dst)
 		}
+		if g.ClampedLow || g.ClampedHigh {
+			gspan.SetAttr("clamp", clampDirection(g))
+		}
+		gspan.End()
 		out["distance"], out["lo"], out["hi"] = g.Est, g.Lo, g.Hi
 		out["clamped"] = g.ClampedLow || g.ClampedHigh
 		s.logQuery(r, "/distance", src, dst, g.Est, &g, start)
 		s.writeJSON(w, http.StatusOK, out)
 		return
 	}
+	_, kspan := telemetry.StartChild(r.Context(), "kernel")
 	est := sn.view.Estimate(src, dst)
+	kspan.End()
 	out := map[string]any{"s": src, "t": dst, "distance": est}
 	if explain && sn.view.full != nil {
 		out["model"] = sn.view.full.ExplainEstimate(src, dst)
@@ -567,11 +638,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		lo := make([]float64, len(ss))
 		hi := make([]float64, len(ss))
 		clamped := 0
+		// Query-log records buffer until the loop resolves so an
+		// abandoned batch can tag every record Outcome "partial" — the
+		// pairs were computed but the client never saw them.
+		var recs []qlog.Record
+		if s.qlog != nil {
+			recs = make([]qlog.Record, 0, len(ss))
+		}
+		_, gspan := telemetry.StartChild(r.Context(), "guard")
+		gspan.SetAttrInt("pairs", int64(len(ss)))
+		flushRecs := func(outcome string) {
+			for i := range recs {
+				recs[i].Outcome = outcome
+				s.qlog.Observe(recs[i])
+			}
+		}
 		for i := range ss {
 			// Abandon a batch whose deadline budget ran out mid-loop: the
 			// resilience layer already owns the 503/504 answer, and every
 			// further pair would be work no one can use.
 			if i&255 == 0 && r.Context().Err() != nil {
+				gspan.Event("abandoned", fmt.Sprintf("deadline/cancel after %d of %d pairs", i, len(ss)))
+				gspan.SetAttrInt("pairs_done", int64(i))
+				gspan.End()
+				flushRecs("partial")
 				return
 			}
 			var g hybrid.GuardResult
@@ -589,8 +679,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if g.ClampedLow || g.ClampedHigh {
 				clamped++
 			}
-			s.logQuery(r, "/batch", ss[i], ts[i], g.Est, &g, start)
+			if s.qlog != nil {
+				recs = append(recs, s.queryRecord(r, "/batch", ss[i], ts[i], g.Est, &g, start))
+			}
 		}
+		gspan.SetAttrInt("clamped", int64(clamped))
+		gspan.End()
+		flushRecs("")
 		resp := map[string]any{
 			"distances": out, "lo": lo, "hi": hi, "clamped_count": clamped,
 		}
@@ -605,16 +700,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// (the resilience layer owns the 503/504 answer).
 	const batchChunk = 4096
 	out := make([]float64, len(ss))
+	_, kspan := telemetry.StartChild(r.Context(), "kernel")
+	kspan.SetAttrInt("pairs", int64(len(ss)))
 	for off := 0; off < len(ss); off += batchChunk {
 		if r.Context().Err() != nil {
+			kspan.Event("abandoned", fmt.Sprintf("deadline/cancel after %d of %d pairs", off, len(ss)))
+			kspan.End()
 			return
 		}
 		end := min(off+batchChunk, len(ss))
 		if err := sn.view.EstimateBatch(ss[off:end], ts[off:end], out[off:end]); err != nil {
+			kspan.SetError(err)
+			kspan.End()
 			s.fail(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
 	}
+	kspan.End()
 	for i := range ss {
 		if explain {
 			explanations[i] = batchExplanation{DominantLevel: dominantLevel(sn, ss[i], ts[i])}
@@ -644,11 +746,16 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "k must be in [1,%d]", sn.idx.Size())
 		return
 	}
+	_, ispan := telemetry.StartChild(r.Context(), "index")
 	results, st := sn.idx.KNNStats(src, k)
+	ispan.SetAttrInt("visited", int64(st.NodesVisited))
+	ispan.End()
+	_, kspan := telemetry.StartChild(r.Context(), "kernel")
 	dists := make([]float64, len(results))
 	for i, v := range results {
 		dists[i] = sn.view.Estimate(src, v)
 	}
+	kspan.End()
 	resp := map[string]any{"targets": results, "distances": dists}
 	if wantExplain(r) {
 		resp["stats"] = st
@@ -672,7 +779,10 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "tau must be a non-negative number")
 		return
 	}
+	_, ispan := telemetry.StartChild(r.Context(), "index")
 	results, st := sn.idx.RangeStats(src, tau)
+	ispan.SetAttrInt("visited", int64(st.NodesVisited))
+	ispan.End()
 	if results == nil {
 		results = []int32{}
 	}

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/qlog"
+	"repro/internal/telemetry"
+)
+
+func readServerSpans(t *testing.T, path string) []telemetry.SpanRecord {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []telemetry.SpanRecord
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec telemetry.SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad span line: %v", err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// A traced replica continues the gateway's trace: its handler span
+// parents under the inbound attempt span, its admission and kernel
+// child spans nest inside the handler span, and the sampled query log
+// carries the same trace ID plus the relayed attempt kind — so spans,
+// metrics exemplars and qlog rows all join on one key.
+func TestTracedReplicaSpansAndQlogJoin(t *testing.T) {
+	g, err := gen.Grid(8, 8, gen.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions(1)
+	opt.Dim = 8
+	opt.Epochs = 2
+	opt.VertexSampleRatio = 10
+	opt.FineTuneRounds = 1
+	opt.HierSampleCap = 2000
+	opt.ValidationPairs = 50
+	m, _, err := core.Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	spanPath := filepath.Join(dir, "server.spans.jsonl")
+	qlogPath := filepath.Join(dir, "queries.jsonl")
+	srv, err := NewFromSet(ModelSet{Model: m}, Config{
+		Trace:    telemetry.TraceConfig{Path: spanPath},
+		QueryLog: qlog.Config{Path: qlogPath, SampleEvery: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Simulate a gateway attempt: inbound traceparent + attempt header.
+	upstream := telemetry.SpanContext{}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/distance?s=1&t=9", nil)
+	{
+		h := http.Header{}
+		h.Set("traceparent", "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+		var ok bool
+		upstream, ok = telemetry.ExtractTraceParent(h)
+		if !ok {
+			t.Fatal("test traceparent invalid")
+		}
+		telemetry.InjectTraceParent(req.Header, upstream)
+	}
+	req.Header.Set(telemetry.AttemptHeader, "hedge")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("distance status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := readServerSpans(t, spanPath)
+	byName := map[string]telemetry.SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	handler, ok := byName["GET /distance"]
+	if !ok {
+		t.Fatalf("no handler span in %v", spans)
+	}
+	if handler.TraceID != upstream.TraceIDString() || handler.ParentID != upstream.SpanIDString() {
+		t.Fatalf("handler span did not continue the gateway trace: %+v", handler)
+	}
+	if handler.Service != "server" {
+		t.Fatalf("service %q, want server", handler.Service)
+	}
+	admission, ok := byName["admission"]
+	if !ok {
+		t.Fatal("no admission span")
+	}
+	kernel, ok := byName["kernel"]
+	if !ok {
+		t.Fatal("no kernel span")
+	}
+	for _, child := range []telemetry.SpanRecord{admission, kernel} {
+		if child.ParentID != handler.SpanID || child.TraceID != handler.TraceID {
+			t.Fatalf("child span not nested in the handler span: %+v", child)
+		}
+		if child.DurationUS > handler.DurationUS {
+			t.Fatalf("child %s (%v us) exceeds handler (%v us)",
+				child.Name, child.DurationUS, handler.DurationUS)
+		}
+	}
+	// Durations must sum consistently: the accounted children cannot
+	// exceed the handler span that contains them.
+	if admission.DurationUS+kernel.DurationUS > handler.DurationUS {
+		t.Fatalf("admission %v + kernel %v exceed handler %v",
+			admission.DurationUS, kernel.DurationUS, handler.DurationUS)
+	}
+
+	// The qlog row for the same query joins on trace_id and carries the
+	// relayed attempt kind.
+	qf, err := os.Open(qlogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qf.Close()
+	var rec qlog.Record
+	sc := bufio.NewScanner(qf)
+	if !sc.Scan() {
+		t.Fatal("empty query log")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.TraceID != upstream.TraceIDString() {
+		t.Fatalf("qlog trace_id %q does not join the trace %q", rec.TraceID, upstream.TraceIDString())
+	}
+	if rec.Attempt != "hedge" {
+		t.Fatalf("qlog attempt %q, want hedge", rec.Attempt)
+	}
+}
+
+// Guard-mode batches get a guard span; an untraced server must write
+// no spans and serve identically.
+func TestUntracedServerWritesNothing(t *testing.T) {
+	ts, _ := newTestServer(t, false)
+	resp, err := http.Get(ts.URL + "/distance?s=1&t=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// newTestServer configures no Trace: the handler chain must not
+	// reference a tracer (nil-safe no-op path).
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExemplarCaptureAndExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("rne_request_duration_seconds", "Latency.", LatencyBuckets)
+	h.EnableExemplars()
+	h.EnableExemplars() // idempotent
+	h.ObserveExemplar(0.002, "0af7651916cd43dd8448eb211c80319c")
+	h.ObserveExemplar(0.004, "") // no trace: plain observation, no exemplar
+	h.Observe(0.008)
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `# {trace_id="0af7651916cd43dd8448eb211c80319c"}`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition lacks the exemplar suffix:\n%s", out)
+	}
+	// Exemplars belong to _bucket lines only.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, " # {") && !strings.Contains(line, "_bucket") {
+			t.Fatalf("exemplar on a non-bucket line: %q", line)
+		}
+	}
+	if err := CheckExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition with exemplars fails validation: %v", err)
+	}
+}
+
+func TestExemplarLastWriteWinsPerBucket(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	h.EnableExemplars()
+	h.ObserveExemplar(0.002, "aaaa")
+	h.ObserveExemplar(0.002, "bbbb") // same bucket: replaces
+	found := false
+	for i := 0; i <= len(LatencyBuckets); i++ {
+		if ex := h.bucketExemplar(i); ex != nil {
+			if ex.TraceID != "bbbb" {
+				t.Fatalf("bucket %d kept stale exemplar %q", i, ex.TraceID)
+			}
+			if found {
+				t.Fatal("one observation filled two buckets")
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no exemplar captured")
+	}
+}
+
+func TestExemplarDisabledIsFree(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	// Without EnableExemplars the trace ID is discarded, not stored.
+	h.ObserveExemplar(0.002, "cccc")
+	for i := 0; i <= len(LatencyBuckets); i++ {
+		if h.bucketExemplar(i) != nil {
+			t.Fatal("exemplar stored while disabled")
+		}
+	}
+	if h.Snapshot().Count != 1 {
+		t.Fatal("observation lost")
+	}
+}
+
+func TestCheckExpositionRejectsBadExemplars(t *testing.T) {
+	bad := []string{
+		// Exemplar on a counter line.
+		"# HELP rne_x_total c\n# TYPE rne_x_total counter\nrne_x_total 1 # {trace_id=\"ab\"} 1\n",
+		// Malformed exemplar labels.
+		"# HELP rne_d_seconds h\n# TYPE rne_d_seconds histogram\nrne_d_seconds_bucket{le=\"+Inf\"} 1 # {trace_id=} 1\nrne_d_seconds_sum 1\nrne_d_seconds_count 1\n",
+	}
+	for _, in := range bad {
+		if err := CheckExposition(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted invalid exposition:\n%s", in)
+		}
+	}
+}

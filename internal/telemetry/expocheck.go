@@ -17,6 +17,10 @@ var (
 	typeLineRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
 	sampleLineRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (NaN|[+-]Inf|[0-9eE.+-]+)( [0-9]+)?$`)
 	labelPairRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"`)
+	// exemplarRe matches the OpenMetrics exemplar block appended after
+	// ` # ` on _bucket lines: a label set, a value, an optional
+	// seconds timestamp.
+	exemplarRe = regexp.MustCompile(`^\{[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*")*\} (?:NaN|[+-]Inf|[0-9eE.+-]+)(?: [0-9eE.+-]+)?$`)
 )
 
 // CheckExposition validates that r holds well-formed Prometheus text
@@ -56,6 +60,14 @@ func CheckExposition(r io.Reader) error {
 			}
 			return fmt.Errorf("line %d: malformed comment line %q", lineNo, line)
 		}
+		// An exemplar suffix (` # {labels} value [ts]`) is split off
+		// before the sample grammar runs; it is only legal on _bucket
+		// lines, checked once the family is resolved below.
+		exemplar := ""
+		if i := strings.Index(line, " # {"); i >= 0 {
+			exemplar = line[i+3:]
+			line = line[:i]
+		}
 		m := sampleLineRe.FindStringSubmatch(line)
 		if m == nil {
 			return fmt.Errorf("line %d: malformed sample line %q", lineNo, line)
@@ -84,6 +96,14 @@ func CheckExposition(r io.Reader) error {
 		}
 		if (suffix == "_bucket") != (leValue != "") {
 			return fmt.Errorf("line %d: le label is required on _bucket samples and only there", lineNo)
+		}
+		if exemplar != "" {
+			if suffix != "_bucket" {
+				return fmt.Errorf("line %d: exemplar on non-bucket sample %s", lineNo, name)
+			}
+			if !exemplarRe.MatchString(exemplar) {
+				return fmt.Errorf("line %d: malformed exemplar %q", lineNo, exemplar)
+			}
 		}
 		seriesKey := name + "{" + labels + "}"
 		if leValue != "" {

@@ -32,6 +32,64 @@ type Histogram struct {
 	counts  []atomic.Int64 // len(bounds)+1; last is the overflow bucket
 	count   atomic.Int64
 	sumBits atomic.Uint64
+
+	// exemplars, when enabled, holds one slot per bucket (last-write
+	// wins) linking the bucket to a stored trace.
+	exemplars atomic.Pointer[[]atomic.Pointer[Exemplar]]
+}
+
+// Exemplar links one histogram bucket to a concrete traced request:
+// the observation that landed there, when, and which trace shows why
+// it took that long. Rendered in the exposition as an OpenMetrics-style
+// `# {trace_id="..."} value timestamp` suffix on _bucket lines.
+type Exemplar struct {
+	TraceID      string
+	Value        float64
+	TimeUnixNano int64
+}
+
+// EnableExemplars arms per-bucket exemplar capture. Call at setup,
+// before the histogram is observed concurrently. Idempotent.
+func (h *Histogram) EnableExemplars() {
+	if h.exemplars.Load() != nil {
+		return
+	}
+	slots := make([]atomic.Pointer[Exemplar], len(h.counts))
+	h.exemplars.CompareAndSwap(nil, &slots)
+}
+
+// ObserveExemplar is Observe plus, when exemplars are enabled and
+// traceID is non-empty, an exemplar stamped onto the bucket the value
+// landed in (last write wins — under load the freshest trace is the
+// most useful one). Cost over Observe: one atomic pointer store and
+// one small allocation, only for sampled (traceID != "") requests.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	slots := h.exemplars.Load()
+	if slots == nil {
+		return
+	}
+	(*slots)[sort.SearchFloat64s(h.bounds, v)].Store(&Exemplar{
+		TraceID:      traceID,
+		Value:        v,
+		TimeUnixNano: time.Now().UnixNano(),
+	})
+}
+
+// bucketExemplar returns bucket i's exemplar (nil when absent or
+// exemplars are disabled). Index len(bounds) is the +Inf bucket.
+func (h *Histogram) bucketExemplar(i int) *Exemplar {
+	slots := h.exemplars.Load()
+	if slots == nil || i < 0 || i >= len(*slots) {
+		return nil
+	}
+	return (*slots)[i].Load()
 }
 
 // NewHistogram returns a standalone histogram over the given bucket

@@ -247,8 +247,10 @@ func formatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// seriesLine renders one `name{labels} value` sample.
-func seriesLine(w *bufio.Writer, name, labels, extraLabel, value string) {
+// seriesLine renders one `name{labels} value` sample, with an optional
+// OpenMetrics-style exemplar suffix (`# {trace_id="..."} value ts`)
+// appended on histogram bucket lines.
+func seriesLine(w *bufio.Writer, name, labels, extraLabel, value string, ex *Exemplar) {
 	w.WriteString(name)
 	if labels != "" || extraLabel != "" {
 		w.WriteByte('{')
@@ -261,6 +263,14 @@ func seriesLine(w *bufio.Writer, name, labels, extraLabel, value string) {
 	}
 	w.WriteByte(' ')
 	w.WriteString(value)
+	if ex != nil {
+		w.WriteString(` # {trace_id="`)
+		w.WriteString(escapeLabelValue(ex.TraceID))
+		w.WriteString(`"} `)
+		w.WriteString(formatValue(ex.Value))
+		w.WriteByte(' ')
+		w.WriteString(formatValue(float64(ex.TimeUnixNano) / 1e9))
+	}
 	w.WriteByte('\n')
 }
 
@@ -301,7 +311,7 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		for _, s := range sn.series {
 			switch f.kind {
 			case kindCounter:
-				seriesLine(bw, f.name, s.labels, "", strconv.FormatInt(s.counter.Value(), 10))
+				seriesLine(bw, f.name, s.labels, "", strconv.FormatInt(s.counter.Value(), 10), nil)
 			case kindGauge:
 				v := 0.0
 				if s.gaugeFn != nil {
@@ -309,19 +319,21 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 				} else {
 					v = s.gauge.Value()
 				}
-				seriesLine(bw, f.name, s.labels, "", formatValue(v))
+				seriesLine(bw, f.name, s.labels, "", formatValue(v), nil)
 			case kindHistogram:
 				hs := s.hist.Snapshot()
 				var cum int64
 				for i, b := range hs.Bounds {
 					cum += hs.Counts[i]
 					seriesLine(bw, f.name+"_bucket", s.labels,
-						`le="`+formatValue(b)+`"`, strconv.FormatInt(cum, 10))
+						`le="`+formatValue(b)+`"`, strconv.FormatInt(cum, 10),
+						s.hist.bucketExemplar(i))
 				}
 				cum += hs.Counts[len(hs.Bounds)]
-				seriesLine(bw, f.name+"_bucket", s.labels, `le="+Inf"`, strconv.FormatInt(cum, 10))
-				seriesLine(bw, f.name+"_sum", s.labels, "", formatValue(hs.Sum))
-				seriesLine(bw, f.name+"_count", s.labels, "", strconv.FormatInt(cum, 10))
+				seriesLine(bw, f.name+"_bucket", s.labels, `le="+Inf"`, strconv.FormatInt(cum, 10),
+					s.hist.bucketExemplar(len(hs.Bounds)))
+				seriesLine(bw, f.name+"_sum", s.labels, "", formatValue(hs.Sum), nil)
+				seriesLine(bw, f.name+"_count", s.labels, "", strconv.FormatInt(cum, 10), nil)
 			}
 		}
 	}

@@ -1,0 +1,161 @@
+#!/bin/sh
+# trace-smoke: end-to-end distributed tracing check through the real
+# binaries.
+#
+# Start two traced rneserver replicas behind a traced rnegate (hedging
+# armed), drive /distance and /batch traffic, and assert the span
+# files stitch into whole traces: one gateway /batch trace must
+# contain every backend-attempt span, and every attempt must have a
+# matching replica-side handler span carrying the same trace ID
+# (traceparent propagation across the wire). Then re-run the same
+# traffic through an untraced fleet, measure the p99 delta, and emit
+# the tail-latency attribution as BENCH_trace.json via
+# rnereplay -traces.
+set -eu
+
+GO=${GO:-go}
+PA=${TRACE_SMOKE_PORT_A:-18472}
+PB=${TRACE_SMOKE_PORT_B:-18473}
+PG=${TRACE_SMOKE_PORT_G:-18474}
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+$GO run ./cmd/genroad -rows 10 -cols 10 -seed 7 -o "$TMP/g.txt"
+$GO build -o "$TMP/rnebuild" ./cmd/rnebuild
+$GO build -o "$TMP/rneserver" ./cmd/rneserver
+$GO build -o "$TMP/rnegate" ./cmd/rnegate
+$GO build -o "$TMP/rnereplay" ./cmd/rnereplay
+
+"$TMP/rnebuild" -graph "$TMP/g.txt" -dim 8 -epochs 2 -seed 1 -report "" \
+    -o "$TMP/m.rne" >/dev/null 2>&1
+
+gate="http://127.0.0.1:$PG"
+wait_200() {
+    i=0
+    until curl -sf "$1" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ $i -gt 100 ] && return 1
+        sleep 0.1
+    done
+}
+
+# start_fleet <trace: yes|no>: two replicas + gateway, recording PIDs
+# in FLEET_PIDS.
+start_fleet() {
+    srv_flags=""
+    gw_flags=""
+    if [ "$1" = yes ]; then
+        srv_flags="-trace"
+        gw_flags="-trace -trace-out $TMP/gw.spans.jsonl"
+    fi
+    # shellcheck disable=SC2086
+    "$TMP/rneserver" -model "$TMP/m.rne" -addr "127.0.0.1:$PA" \
+        $srv_flags -trace-out "$TMP/sa.spans.jsonl" >"$TMP/a.log" 2>&1 &
+    A_PID=$!
+    # shellcheck disable=SC2086
+    "$TMP/rneserver" -model "$TMP/m.rne" -addr "127.0.0.1:$PB" \
+        $srv_flags -trace-out "$TMP/sb.spans.jsonl" >"$TMP/b.log" 2>&1 &
+    B_PID=$!
+    # shellcheck disable=SC2086
+    "$TMP/rnegate" -addr "127.0.0.1:$PG" \
+        -backends "http://127.0.0.1:$PA,http://127.0.0.1:$PB" \
+        -health-interval 100ms -retry-budget 1 \
+        -hedge -hedge-min-delay 1us -hedge-max-delay 20us \
+        $gw_flags >"$TMP/gate.log" 2>&1 &
+    G_PID=$!
+    FLEET_PIDS="$A_PID $B_PID $G_PID"
+    PIDS="$PIDS $FLEET_PIDS"
+    wait_200 "http://127.0.0.1:$PA/healthz" || { echo "trace-smoke: backend A never came up"; cat "$TMP/a.log"; exit 1; }
+    wait_200 "http://127.0.0.1:$PB/healthz" || { echo "trace-smoke: backend B never came up"; cat "$TMP/b.log"; exit 1; }
+    wait_200 "$gate/readyz" || { echo "trace-smoke: gateway never became ready"; cat "$TMP/gate.log"; exit 1; }
+}
+
+# stop_fleet: SIGTERM so every process drains and flushes its span
+# file on the graceful-shutdown path.
+stop_fleet() {
+    for p in $FLEET_PIDS; do kill -TERM "$p" 2>/dev/null || true; done
+    for p in $FLEET_PIDS; do wait "$p" 2>/dev/null || true; done
+}
+
+# drive <timings-file>: mixed traffic; /distance timings recorded for
+# the p99 comparison.
+drive() {
+    : >"$1"
+    body='{"pairs":[[0,99],[17,42],[3,61],[88,5],[25,60],[7,70]]}'
+    i=0
+    while [ $i -lt 10 ]; do
+        curl -sf -d "$body" "$gate/batch" >/dev/null || { echo "trace-smoke: /batch failed"; cat "$TMP/gate.log"; exit 1; }
+        i=$((i + 1))
+    done
+    i=0
+    while [ $i -lt 60 ]; do
+        curl -sf -o /dev/null -w '%{time_total}\n' \
+            "$gate/distance?s=$((i % 97))&t=$(((i * 7 + 3) % 97))" >>"$1" \
+            || { echo "trace-smoke: /distance failed"; cat "$TMP/gate.log"; exit 1; }
+        i=$((i + 1))
+    done
+}
+
+# p99_us <timings-file>: exact order statistic, seconds -> microseconds.
+p99_us() {
+    sort -n "$1" | awk '{a[NR]=$1} END {
+        i = int(NR * 0.99); if (i < 1) i = 1; if (NR * 0.99 > i) i++;
+        printf "%.0f", a[i] * 1000000 }'
+}
+
+# --- pass 1: traced fleet ------------------------------------------
+start_fleet yes
+drive "$TMP/on.times"
+stop_fleet
+P99_ON=$(p99_us "$TMP/on.times")
+
+for f in gw.spans.jsonl sa.spans.jsonl sb.spans.jsonl; do
+    [ -s "$TMP/$f" ] || { echo "trace-smoke: $f is empty or missing"; exit 1; }
+done
+
+# One gateway /batch trace must hold every backend-attempt span, and
+# each attempt a replica handler span with the same trace ID.
+TID=$(grep '"name":"POST /batch"' "$TMP/gw.spans.jsonl" | head -1 \
+    | sed 's/.*"trace_id":"\([0-9a-f]*\)".*/\1/')
+[ -n "$TID" ] || { echo "trace-smoke: no gateway /batch root span"; exit 1; }
+ATTEMPTS=$(grep "\"trace_id\":\"$TID\"" "$TMP/gw.spans.jsonl" \
+    | grep -c '"name":"backend /batch"' || true)
+[ "$ATTEMPTS" -ge 1 ] || { echo "trace-smoke: /batch trace $TID has no attempt spans"; exit 1; }
+REPLICA=$(cat "$TMP/sa.spans.jsonl" "$TMP/sb.spans.jsonl" \
+    | grep "\"trace_id\":\"$TID\"" | grep -c '"name":"POST /batch"' || true)
+if [ "$REPLICA" -ne "$ATTEMPTS" ]; then
+    echo "trace-smoke: trace $TID has $ATTEMPTS gateway attempts but $REPLICA replica handler spans"
+    exit 1
+fi
+
+# Hedged /distance traffic must leave hedge-attempt spans behind.
+grep -q '"kind":"hedge"' "$TMP/gw.spans.jsonl" \
+    || { echo "trace-smoke: no hedge attempt span recorded"; exit 1; }
+# Replica-side phase spans must be present for attribution.
+grep -q '"name":"kernel"' "$TMP/sa.spans.jsonl" "$TMP/sb.spans.jsonl" \
+    || { echo "trace-smoke: no kernel spans on the replicas"; exit 1; }
+
+# --- pass 2: identical traffic, tracing off ------------------------
+# Keep the pass-1 span files for the report and verify the untraced
+# fleet creates none of its own.
+for f in gw sa sb; do mv "$TMP/$f.spans.jsonl" "$TMP/$f.keep.jsonl"; done
+start_fleet no
+drive "$TMP/off.times"
+stop_fleet
+P99_OFF=$(p99_us "$TMP/off.times")
+for f in gw sa sb; do
+    [ ! -s "$TMP/$f.spans.jsonl" ] || { echo "trace-smoke: untraced fleet wrote $f spans"; exit 1; }
+done
+
+# --- attribution report --------------------------------------------
+"$TMP/rnereplay" -traces "$TMP/gw.keep.jsonl,$TMP/sa.keep.jsonl,$TMP/sb.keep.jsonl" \
+    -p99-on "$P99_ON" -p99-off "$P99_OFF" -out BENCH_trace.json
+grep -q '"phases"' BENCH_trace.json || { echo "trace-smoke: BENCH_trace.json has no phase breakdown"; exit 1; }
+grep -q '"delta_pct"' BENCH_trace.json || { echo "trace-smoke: overhead delta missing from report"; exit 1; }
+
+echo "trace-smoke: one /batch trace carried $ATTEMPTS attempt + $REPLICA replica spans; p99 on ${P99_ON}us vs off ${P99_OFF}us"
