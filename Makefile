@@ -1,9 +1,9 @@
 # Pre-merge gate: `make ci` must pass before any change lands.
 GO ?= go
 
-.PHONY: ci build vet test race shuffle fuzz-smoke vulncheck bench bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke overload-smoke trace-smoke
+.PHONY: ci build vet test race shuffle fuzz-smoke vulncheck bench bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke overload-smoke trace-smoke load-smoke
 
-ci: vet race shuffle fuzz-smoke vulncheck bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke overload-smoke trace-smoke ## full pre-merge gate
+ci: vet race shuffle fuzz-smoke vulncheck bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke overload-smoke trace-smoke load-smoke ## full pre-merge gate
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,13 @@ overload-smoke:
 # as BENCH_trace.json via rnereplay -traces.
 trace-smoke:
 	@GO="$(GO)" sh scripts/trace_smoke.sh
+
+# Load-harness smoke through the real binaries: a short closed+open
+# ramp against one replica (with pprof capture from -debug-addr), then
+# against rnegate over two replicas, appended into one BENCH_load.json;
+# asserts the client/server metrics join is non-empty in both runs.
+load-smoke:
+	@GO="$(GO)" sh scripts/load_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

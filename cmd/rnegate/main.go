@@ -23,7 +23,9 @@
 // /healthz, /readyz, /statz (JSON) and /metrics (Prometheus text),
 // including per-backend health gauges and ejection counters, plus
 // rne_retries_total, rne_hedges_total{won=}, rne_batch_partial_total
-// and rne_gateway_backend_backpressure_total.
+// and rne_gateway_backend_backpressure_total. -debug-addr serves
+// net/http/pprof and a /metrics mirror on a separate operator-only
+// listener, as on rneserver.
 //
 // Usage:
 //
@@ -37,7 +39,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -68,6 +72,7 @@ func main() {
 	admitMin := flag.Int("admit-min", 4, "with -admit-p99-target: floor for the adapted in-flight cap")
 	admitMax := flag.Int("admit-max", 4096, "with -admit-p99-target: ceiling for the adapted in-flight cap")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (negative disables)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and a /metrics mirror on this operator-only address (empty disables)")
 	trace := flag.Bool("trace", false, "distributed tracing: per-attempt backend spans, traceparent propagation to replicas, sampled span JSONL at -trace-out")
 	traceOut := flag.String("trace-out", "gateway.spans.jsonl", "with -trace: span JSONL output path")
 	traceSample := flag.Int("trace-sample", 1, "with -trace: keep one trace in N (head sampling; children inherit)")
@@ -137,6 +142,10 @@ func main() {
 	}
 	defer gw.Close()
 
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, gw, logger)
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           gw.Handler(),
@@ -172,5 +181,23 @@ func main() {
 			os.Exit(1)
 		}
 		logger.Info("shutdown complete")
+	}
+}
+
+// serveDebug runs the operator-only listener, matching rneserver's:
+// net/http/pprof profiles (the load harness captures CPU/heap from
+// here mid-step) plus a /metrics mirror, kept off the public address
+// so profiling can never be triggered by query traffic.
+func serveDebug(addr string, gw *gateway.Gateway, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", gw.Stats().Registry().Handler())
+	logger.Info("debug listener up", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Warn("debug listener failed", "addr", addr, "error", err)
 	}
 }

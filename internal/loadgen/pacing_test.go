@@ -1,0 +1,136 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Open loop against a slow target: the offered arrival schedule (100
+// qps) outruns what two clients serving 50ms requests can carry
+// (~40 qps), so a queue builds between intended arrival and send.
+//
+// This is the coordinated-omission test. A generator that timed
+// requests from their *send* instant would report ~50ms at every
+// quantile — each client conveniently waits until it is free before
+// starting the clock. Measuring from the intended arrival makes the
+// backlog visible: the tail must be several multiples of the service
+// time, the send lag must exceed a full service time, and the
+// arrivals the step ended before sending are reported, not dropped.
+func TestOpenLoopPacingAccountsForCoordinatedOmission(t *testing.T) {
+	const service = 50 * time.Millisecond
+	ft := newFakeTarget(t, service)
+
+	r, err := New(context.Background(), Config{
+		Target:         ft.URL,
+		Seed:           11,
+		ScrapeInterval: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every observation's intent is reconstructible: record them via
+	// the test hook to verify the schedule itself.
+	var mu sync.Mutex
+	var lags []time.Duration
+	r.onObserve = func(o obs) {
+		mu.Lock()
+		lags = append(lags, o.lag)
+		mu.Unlock()
+	}
+
+	res, err := r.RunStep(context.Background(), Step{
+		Clients:  2,
+		QPS:      100,
+		Duration: 700 * time.Millisecond,
+		Warmup:   0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "open" || res.OfferedQPS != 100 {
+		t.Fatalf("mode %q offered %v, want open loop at 100", res.Mode, res.OfferedQPS)
+	}
+
+	// Achieved throughput is capacity-bound, far below offered.
+	if res.AchievedQPS >= 0.8*res.OfferedQPS {
+		t.Errorf("achieved %v qps at offered %v: the slow target cannot have kept up", res.AchievedQPS, res.OfferedQPS)
+	}
+
+	// The latency tail charges the queue to the target. With ~2.5x
+	// overload the backlog grows all step; p99 must be well above a
+	// single service time (a CO-blind generator would report ~1x).
+	var p99 float64
+	for _, rs := range res.Routes {
+		if rs.Class == "2xx" && rs.P99MS > p99 {
+			p99 = rs.P99MS
+		}
+	}
+	if minP99 := 3 * float64(service/time.Millisecond); p99 < minP99 {
+		t.Errorf("open-loop p99 = %.1fms, want >= %.0fms (queueing delay must be charged to the target)", p99, minP99)
+	}
+
+	// The same backlog shows up as send lag: requests left the client
+	// at least one full service time after their intended arrival.
+	if res.SendLag == nil {
+		t.Fatal("open loop reported no send lag")
+	}
+	if res.SendLag.MaxMS < float64(service/time.Millisecond) {
+		t.Errorf("max send lag %.1fms, want >= %.0fms (clients fell behind the schedule)",
+			res.SendLag.MaxMS, float64(service/time.Millisecond))
+	}
+
+	// ~70 arrivals were intended; two 50ms-serial clients can send at
+	// most ~28. The untaken arrivals must be accounted, and intended =
+	// sent-or-inflight + unsent must reconcile.
+	if res.UnsentArrivals <= 0 {
+		t.Errorf("unsent arrivals = %d, want > 0 under 2.5x overload", res.UnsentArrivals)
+	}
+	intended := int64(700 * time.Millisecond / (time.Second / 100))
+	if got := res.Sent + res.UnsentArrivals; got > intended {
+		t.Errorf("sent %d + unsent %d = %d exceeds the %d intended arrivals", res.Sent, res.UnsentArrivals, got, intended)
+	}
+
+	// Lag is monotone-ish under a growing backlog: the last completed
+	// request's lag must exceed the first's.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lags) >= 4 && lags[len(lags)-1] <= lags[0] {
+		t.Errorf("send lag did not grow under sustained overload: first %v last %v", lags[0], lags[len(lags)-1])
+	}
+}
+
+// A fast target under a modest open-loop schedule: clients keep up,
+// so send lag stays small and achieved tracks offered. This is the
+// control for the overload case above — pacing must not fabricate
+// queueing where none exists.
+func TestOpenLoopPacingKeepsScheduleOnFastTarget(t *testing.T) {
+	ft := newFakeTarget(t, 0)
+	r, err := New(context.Background(), Config{
+		Target:         ft.URL,
+		Seed:           13,
+		ScrapeInterval: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunStep(context.Background(), Step{
+		Clients:  2,
+		QPS:      50,
+		Duration: 600 * time.Millisecond,
+		Warmup:   100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loose bounds: CI machines stall, but an unloaded localhost target
+	// at 50 qps must achieve a substantial fraction of offered.
+	if res.AchievedQPS < 0.5*res.OfferedQPS {
+		t.Errorf("achieved %v qps of offered %v on an idle target", res.AchievedQPS, res.OfferedQPS)
+	}
+	if res.UnsentArrivals > int64(float64(res.Sent)*0.5) {
+		t.Errorf("unsent %d vs sent %d: pacing fell behind on an idle target", res.UnsentArrivals, res.Sent)
+	}
+}

@@ -83,6 +83,10 @@ func NewStatsWith(reg *telemetry.Registry) *Stats {
 	}
 	reg.GaugeFunc("rne_uptime_seconds", "Seconds since the stats epoch (process start).",
 		func() float64 { return time.Since(s.start).Seconds() })
+	// Every serving surface (replica and gateway alike) exports the Go
+	// runtime block — goroutines, heap, GC cycles and pauses — so a
+	// load harness can attribute latency knees to the runtime.
+	telemetry.RegisterRuntimeMetrics(reg)
 	return s
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -14,6 +15,33 @@ import (
 var LatencyBuckets = []float64{
 	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
 	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// LogBuckets returns log-spaced bucket bounds from min to at least max
+// with perDecade buckets per factor of ten — the HDR-style layout a
+// load generator wants: constant *relative* quantile resolution
+// (within one bucket ratio) across six or more decades of latency.
+// Bounds are snapped to one decimal digit of mantissa so the rendered
+// exposition stays readable. Panics on invalid arguments, like the
+// histogram constructors it feeds.
+func LogBuckets(min, max float64, perDecade int) []float64 {
+	if !(min > 0) || !(max > min) || perDecade < 1 {
+		panic(fmt.Sprintf("telemetry: invalid LogBuckets(%v, %v, %d)", min, max, perDecade))
+	}
+	ratio := math.Pow(10, 1/float64(perDecade))
+	var out []float64
+	for v := min; ; v *= ratio {
+		// Snap to two significant decimal digits so neighboring bounds
+		// stay distinct and human-readable (1, 1.6, 2.5, 4, 6.3, ...).
+		b, _ := strconv.ParseFloat(strconv.FormatFloat(v, 'g', 2, 64), 64)
+		if len(out) > 0 && b <= out[len(out)-1] {
+			continue
+		}
+		out = append(out, b)
+		if b >= max {
+			return out
+		}
+	}
 }
 
 // RelErrorBuckets spans 0.1% to 250% relative error, matching the
@@ -167,6 +195,34 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// Merge returns the bucket-wise sum of two snapshots taken from
+// histograms with identical bounds — the reduction step that folds
+// per-client (or per-shard) histograms into one fleet view. Merging is
+// commutative and associative, so quantiles computed from the result
+// do not depend on the order clients are folded in.
+func (s HistSnapshot) Merge(o HistSnapshot) (HistSnapshot, error) {
+	if len(s.Bounds) != len(o.Bounds) {
+		return HistSnapshot{}, fmt.Errorf("telemetry: merging histograms with %d vs %d bounds",
+			len(s.Bounds), len(o.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return HistSnapshot{}, fmt.Errorf("telemetry: merging histograms with different bounds at %d: %v vs %v",
+				i, s.Bounds[i], o.Bounds[i])
+		}
+	}
+	m := HistSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+	}
+	for i := range s.Counts {
+		m.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return m, nil
+}
+
 // Sub returns the observations recorded between prev and s — the
 // windowed view a periodic controller needs from a cumulative
 // histogram. Both snapshots must come from the same histogram; counts
@@ -200,7 +256,11 @@ func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
 // Prometheus's histogram_quantile computes. The first bucket
 // interpolates from zero (observations are assumed non-negative);
 // quantiles landing in the overflow bucket return the last finite
-// bound. Returns NaN on an empty histogram or out-of-range q.
+// bound. A rank that lands exactly on a bucket boundary resolves to
+// that boundary (the upper edge of the populated bucket below it) —
+// never the upper bound of the empty bucket above, which would
+// overstate the quantile by a full bucket width. Returns NaN on an
+// empty histogram or out-of-range q.
 func (s HistSnapshot) Quantile(q float64) float64 {
 	total := int64(0)
 	for _, c := range s.Counts {
@@ -226,7 +286,12 @@ func (s HistSnapshot) Quantile(q float64) float64 {
 		}
 		hi := s.Bounds[i]
 		if c == 0 {
-			return hi
+			// The rank sits on this empty bucket's boundary (only
+			// reachable at rank 0): walk on to the first populated
+			// bucket, whose lower edge is the quantile — returning
+			// this bucket's upper bound would overstate it by a full
+			// bucket width.
+			continue
 		}
 		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
 	}

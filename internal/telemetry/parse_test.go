@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Round trip: what WriteTo renders, ParseExposition reads back —
+// including histogram buckets with exemplar suffixes.
+func TestParseExpositionRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rne_test_requests_total", "Requests.", "class", "2xx").Add(41)
+	reg.Gauge("rne_test_limit", "Limit.").Set(12.5)
+	h := reg.Histogram("rne_test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.EnableExemplars()
+	h.ObserveExemplar(0.05, "deadbeef")
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	samples, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := samples[`rne_test_requests_total{class="2xx"}`]; got != 41 {
+		t.Errorf("counter = %v, want 41", got)
+	}
+	if got := samples["rne_test_limit"]; got != 12.5 {
+		t.Errorf("gauge = %v, want 12.5", got)
+	}
+	if got := samples[`rne_test_latency_seconds_bucket{le="0.1"}`]; got != 1 {
+		t.Errorf("le=0.1 bucket = %v, want 1 (exemplar suffix must not break parsing)", got)
+	}
+	if got := samples[`rne_test_latency_seconds_bucket{le="+Inf"}`]; got != 3 {
+		t.Errorf("+Inf bucket = %v, want 3", got)
+	}
+	if got := samples["rne_test_latency_seconds_count"]; got != 3 {
+		t.Errorf("count = %v, want 3", got)
+	}
+
+	// The histogram reassembles into a snapshot whose quantiles match
+	// the original's.
+	hs, ok := HistogramFromSamples(samples, "rne_test_latency_seconds")
+	if !ok {
+		t.Fatal("HistogramFromSamples found no buckets")
+	}
+	orig := h.Snapshot()
+	for _, q := range []float64{0.5, 0.99} {
+		if a, b := hs.Quantile(q), orig.Quantile(q); a != b {
+			t.Errorf("q=%v: reassembled %v vs original %v", q, a, b)
+		}
+	}
+	if hs.Count != orig.Count {
+		t.Errorf("reassembled count %d, want %d", hs.Count, orig.Count)
+	}
+}
+
+func TestParseExpositionRejectsGarbage(t *testing.T) {
+	if _, err := ParseExposition(strings.NewReader("this is not exposition\n")); err == nil {
+		t.Fatal("garbage parsed without error")
+	}
+}

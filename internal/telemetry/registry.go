@@ -103,11 +103,13 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // series is one labeled instance within a family; exactly one of the
 // value fields is set, matching the family kind.
 type series struct {
-	labels  string // rendered, key-sorted label pairs without braces
-	counter *Counter
-	gauge   *Gauge
-	gaugeFn func() float64
-	hist    *Histogram
+	labels    string // rendered, key-sorted label pairs without braces
+	counter   *Counter
+	gauge     *Gauge
+	gaugeFn   func() float64
+	counterFn func() float64
+	hist      *Histogram
+	histFn    func() HistSnapshot
 }
 
 // family groups all series sharing a metric name.
@@ -190,6 +192,27 @@ func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
 	f := r.getFamily(name, help, kindGauge, nil)
 	r.getSeries(f, labels, func() *series { return &series{gaugeFn: fn} })
+}
+
+// CounterFunc registers a counter whose value is computed by fn at
+// exposition time — for monotonic values the runtime already tracks
+// (e.g. GC cycles), where mirroring them into an atomic would only
+// add staleness. fn must be monotonically non-decreasing.
+// Re-registering the same series keeps the original function.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	f := r.getFamily(name, help, kindCounter, nil)
+	r.getSeries(f, labels, func() *series { return &series{counterFn: fn} })
+}
+
+// HistogramFunc registers a histogram whose snapshot is produced by fn
+// at exposition time — for distributions maintained outside the
+// registry (e.g. the runtime's GC pause histogram). fn must return
+// snapshots with stable bounds and non-decreasing counts so the
+// rendered series behaves like any cumulative Prometheus histogram.
+// Re-registering the same series keeps the original function.
+func (r *Registry) HistogramFunc(name, help string, fn func() HistSnapshot, labels ...string) {
+	f := r.getFamily(name, help, kindHistogram, nil)
+	r.getSeries(f, labels, func() *series { return &series{histFn: fn} })
 }
 
 // Histogram registers (or fetches) a histogram with the given bucket
@@ -311,7 +334,11 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		for _, s := range sn.series {
 			switch f.kind {
 			case kindCounter:
-				seriesLine(bw, f.name, s.labels, "", strconv.FormatInt(s.counter.Value(), 10), nil)
+				if s.counterFn != nil {
+					seriesLine(bw, f.name, s.labels, "", formatValue(s.counterFn()), nil)
+				} else {
+					seriesLine(bw, f.name, s.labels, "", strconv.FormatInt(s.counter.Value(), 10), nil)
+				}
 			case kindGauge:
 				v := 0.0
 				if s.gaugeFn != nil {
@@ -321,17 +348,28 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 				}
 				seriesLine(bw, f.name, s.labels, "", formatValue(v), nil)
 			case kindHistogram:
-				hs := s.hist.Snapshot()
+				var hs HistSnapshot
+				if s.histFn != nil {
+					hs = s.histFn()
+				} else {
+					hs = s.hist.Snapshot()
+				}
+				exemplar := func(i int) *Exemplar {
+					if s.hist == nil {
+						return nil
+					}
+					return s.hist.bucketExemplar(i)
+				}
 				var cum int64
 				for i, b := range hs.Bounds {
 					cum += hs.Counts[i]
 					seriesLine(bw, f.name+"_bucket", s.labels,
 						`le="`+formatValue(b)+`"`, strconv.FormatInt(cum, 10),
-						s.hist.bucketExemplar(i))
+						exemplar(i))
 				}
 				cum += hs.Counts[len(hs.Bounds)]
 				seriesLine(bw, f.name+"_bucket", s.labels, `le="+Inf"`, strconv.FormatInt(cum, 10),
-					s.hist.bucketExemplar(len(hs.Bounds)))
+					exemplar(len(hs.Bounds)))
 				seriesLine(bw, f.name+"_sum", s.labels, "", formatValue(hs.Sum), nil)
 				seriesLine(bw, f.name+"_count", s.labels, "", strconv.FormatInt(cum, 10), nil)
 			}

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// The runtime block renders as valid exposition with live values: a
+// process always has goroutines and heap, and after an explicit GC the
+// cycle counter and pause histogram must both have moved.
+func TestRuntimeMetricsExposition(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	RegisterRuntimeMetrics(reg) // idempotent
+
+	runtime.GC()
+	runtime.GC()
+
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("runtime exposition invalid: %v\n%s", err, buf.String())
+	}
+	samples, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := samples[MetricGoroutines]; g < 1 {
+		t.Errorf("%s = %v, want >= 1", MetricGoroutines, g)
+	}
+	if hb := samples[MetricHeapBytes]; hb <= 0 {
+		t.Errorf("%s = %v, want > 0", MetricHeapBytes, hb)
+	}
+	if gc := samples[MetricGCCycles]; gc < 2 {
+		t.Errorf("%s = %v, want >= 2 after two explicit GCs", MetricGCCycles, gc)
+	}
+	hs, ok := HistogramFromSamples(samples, MetricGCPauses)
+	if !ok {
+		t.Fatalf("%s buckets missing from exposition", MetricGCPauses)
+	}
+	if hs.Count < 1 {
+		t.Errorf("%s count = %d, want >= 1 after explicit GCs", MetricGCPauses, hs.Count)
+	}
+	if len(hs.Bounds) != len(GCPauseBuckets) {
+		t.Errorf("pause bounds %d, want %d stable bounds", len(hs.Bounds), len(GCPauseBuckets))
+	}
+}

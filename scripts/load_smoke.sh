@@ -1,0 +1,130 @@
+#!/bin/sh
+# load-smoke: the load harness end to end through the real binaries.
+#
+# A short ramp (closed loop, then a paced open loop) is driven twice:
+# against a single rneserver replica, then against rnegate fronting two
+# replicas — both runs appended into one BENCH_load.json. The
+# invariants:
+#
+#   1. both runs complete with measured 2xx traffic on every exercised
+#      route and a positive achieved rate;
+#   2. the client/server join is non-empty: each step carries counter
+#      deltas from the scraped /metrics (requests served, by class) and
+#      the Go runtime gauges (goroutines, heap) the serving tier now
+#      exports;
+#   3. pprof capture from the replica's -debug-addr worked (a non-empty
+#      heap profile was fetched mid-step);
+#   4. the report holds exactly the two named runs, so the
+#      single-replica vs gateway comparison is present in one file.
+#
+# LOAD_BENCH_OUT copies the resulting BENCH_load.json out of the
+# scratch directory.
+set -eu
+
+GO=${GO:-go}
+PA=${LOAD_SMOKE_PORT_A:-18390}
+PB=${LOAD_SMOKE_PORT_B:-18391}
+PG=${LOAD_SMOKE_PORT_G:-18392}
+PD=${LOAD_SMOKE_PORT_D:-18393}
+BENCH_OUT=${LOAD_BENCH_OUT:-}
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+$GO run ./cmd/genroad -rows 10 -cols 10 -seed 7 -o "$TMP/g.txt"
+$GO build -o "$TMP/rnebuild" ./cmd/rnebuild
+$GO build -o "$TMP/rneserver" ./cmd/rneserver
+$GO build -o "$TMP/rnegate" ./cmd/rnegate
+$GO build -o "$TMP/rneload" ./cmd/rneload
+
+"$TMP/rnebuild" -graph "$TMP/g.txt" -dim 8 -epochs 2 -seed 1 -report "" \
+    -o "$TMP/m.rne" >/dev/null 2>&1
+
+wait_200() {
+    i=0
+    until curl -sf "$1" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ $i -gt 100 ] && return 1
+        sleep 0.1
+    done
+}
+
+# Replica A carries the operator listener so the harness's pprof
+# capture path is exercised, not just compiled.
+"$TMP/rneserver" -model "$TMP/m.rne" -addr "127.0.0.1:$PA" \
+    -debug-addr "127.0.0.1:$PD" -request-timeout 5s \
+    >"$TMP/srv-a.log" 2>&1 &
+PIDS="$PIDS $!"
+"$TMP/rneserver" -model "$TMP/m.rne" -addr "127.0.0.1:$PB" \
+    -request-timeout 5s >"$TMP/srv-b.log" 2>&1 &
+PIDS="$PIDS $!"
+wait_200 "http://127.0.0.1:$PA/healthz" || { echo "load-smoke: replica A never came up"; cat "$TMP/srv-a.log"; exit 1; }
+wait_200 "http://127.0.0.1:$PB/healthz" || { echo "load-smoke: replica B never came up"; cat "$TMP/srv-b.log"; exit 1; }
+
+BENCH="$TMP/BENCH_load.json"
+
+# Run 1: single replica, mixed routes, closed loop then 100 qps open
+# loop, heap profile captured from the debug listener at step end.
+"$TMP/rneload" -target "http://127.0.0.1:$PA" \
+    -steps 'c=2,qps=0,d=1s,w=300ms;c=2,qps=100,d=1s,w=300ms' \
+    -mix distance=8,batch=1,knn=1 -batch-size 8 \
+    -debug-url "http://127.0.0.1:$PD" -profile-heap -profile-dir "$TMP/profiles" \
+    -name replica -tags replicas=1 -out "$BENCH" \
+    >"$TMP/load-replica.log" 2>&1 || { echo "load-smoke: replica run failed"; cat "$TMP/load-replica.log"; exit 1; }
+
+# Run 2: the gateway over both replicas (no /knn there), joined against
+# the gateway and both backends, appended into the same report.
+"$TMP/rnegate" -addr "127.0.0.1:$PG" \
+    -backends "http://127.0.0.1:$PA,http://127.0.0.1:$PB" \
+    -health-interval 100ms -request-timeout 5s \
+    >"$TMP/gate.log" 2>&1 &
+PIDS="$PIDS $!"
+wait_200 "http://127.0.0.1:$PG/readyz" || { echo "load-smoke: gateway never became ready"; cat "$TMP/gate.log"; exit 1; }
+
+"$TMP/rneload" -target "http://127.0.0.1:$PG" -vertices 100 \
+    -steps 'c=2,qps=0,d=1s,w=300ms;c=2,qps=100,d=1s,w=300ms' \
+    -mix distance=8,batch=1 -batch-size 8 \
+    -scrape "gate=http://127.0.0.1:$PG,r1=http://127.0.0.1:$PA,r2=http://127.0.0.1:$PB" \
+    -name gateway -tags replicas=2 -append -out "$BENCH" \
+    >"$TMP/load-gateway.log" 2>&1 || { echo "load-smoke: gateway run failed"; cat "$TMP/load-gateway.log"; exit 1; }
+
+# Invariant 1+2+4: both named runs present, 2xx traffic measured, and
+# the join carries server counter deltas and runtime gauges.
+for want in '"name": "replica"' '"name": "gateway"' \
+    '"class": "2xx"' '"counters_delta"' \
+    'rne_http_requests_total{class' 'rne_go_goroutines' 'rne_go_heap_bytes'; do
+    grep -q "$want" "$BENCH" || {
+        echo "load-smoke: BENCH_load.json missing $want"
+        cat "$BENCH"
+        exit 1
+    }
+done
+runs=$(grep -c '"target":' "$BENCH")
+if [ "$runs" != 2 ]; then
+    echo "load-smoke: report has $runs runs, want 2 (replica + gateway)"
+    exit 1
+fi
+if grep -q '"scrape_error"' "$BENCH"; then
+    echo "load-smoke: a scrape failed — the join is incomplete"
+    grep '"scrape_error"' "$BENCH"
+    exit 1
+fi
+
+# Invariant 3: the heap profile was actually captured.
+prof=$(find "$TMP/profiles" -name '*-heap.pprof' -size +0c | wc -l)
+if [ "$prof" -lt 1 ]; then
+    echo "load-smoke: no non-empty heap profile captured from -debug-addr"
+    ls -la "$TMP/profiles" 2>/dev/null || true
+    cat "$TMP/load-replica.log"
+    exit 1
+fi
+
+if [ -n "$BENCH_OUT" ]; then
+    cp "$BENCH" "$BENCH_OUT"
+    echo "load-smoke: wrote $BENCH_OUT"
+fi
+echo "load-smoke: 2 runs joined (replica + 2-replica gateway), $prof heap profile(s) captured"
