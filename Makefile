@@ -1,9 +1,9 @@
 # Pre-merge gate: `make ci` must pass before any change lands.
 GO ?= go
 
-.PHONY: ci build vet test race shuffle fuzz-smoke vulncheck bench bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke overload-smoke trace-smoke load-smoke
+.PHONY: ci build vet test race shuffle fuzz-smoke vulncheck bench bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke overload-smoke trace-smoke load-smoke shard-smoke
 
-ci: vet race shuffle fuzz-smoke vulncheck bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke overload-smoke trace-smoke load-smoke ## full pre-merge gate
+ci: vet race shuffle fuzz-smoke vulncheck bench-smoke replay-smoke swap-smoke gate-smoke heal-smoke overload-smoke trace-smoke load-smoke shard-smoke ## full pre-merge gate
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,15 @@ trace-smoke:
 # asserts the client/server metrics join is non-empty in both runs.
 load-smoke:
 	@GO="$(GO)" sh scripts/load_smoke.sh
+
+# Geo-sharded serving smoke: a bj-mini model cut into two level-1
+# region shards behind the region-routing gateway; asserts intra-shard
+# answers match the full replica bit-for-bit, cross-shard answers stay
+# inside certified guard bounds, shard replicas hold strictly fewer
+# embedding bytes than the full one, and killing one shard degrades
+# only its region. Emits BENCH_shard.json (full vs sharded).
+shard-smoke:
+	@GO="$(GO)" sh scripts/shard_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -107,6 +107,9 @@ func main() {
 	registryRoot := flag.String("registry", "", "versioned model registry root (see rneserver -registry)")
 	publishName := flag.String("publish", "", "publish the built artifacts to -registry as a new version under this model name")
 	publishCompact := flag.Bool("publish-compact", false, "with -publish: also store the float32 compact sibling (for rneserver -compact)")
+	publishShards := flag.Bool("publish-shards", false, "with -publish: also cut the model into region shards and store them (for rneserver -shard / rnegate -shard-map)")
+	shardLevel := flag.Int("shard-level", 1, "hierarchy depth to cut shards at (with -publish-shards)")
+	shardCount := flag.Int("shard-count", 0, "shard count K for -publish-shards (0 = one shard per cut-level region)")
 	reportPath := flag.String("report", "build-report.json", "write the machine-readable build report here (empty disables)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live build metrics on this address at /metrics while training (empty disables)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
@@ -147,6 +150,15 @@ func main() {
 	}
 	if *publishCompact && *publishName == "" {
 		usage("-publish-compact requires -publish")
+	}
+	if *publishShards && *publishName == "" {
+		usage("-publish-shards requires -publish")
+	}
+	if *publishShards && *naive {
+		usage("-publish-shards requires hierarchical training (drop -naive)")
+	}
+	if *publishShards && *shardLevel < 1 {
+		usage(fmt.Sprintf("-shard-level must be >= 1, got %d", *shardLevel))
 	}
 
 	var g *rne.Graph
@@ -304,10 +316,25 @@ func main() {
 
 	// Publishing is additive to the file outputs: the registry version
 	// carries the model plus whatever siblings this run built (-alt-out's
-	// guard index, -index-out's spatial index, and the float32 compact
-	// sibling with -publish-compact). rneserver -registry replicas pick
-	// the new version up on their next SIGHUP or POST /admin/reload.
+	// guard index, -index-out's spatial index, the float32 compact
+	// sibling with -publish-compact, and the geo-shard artifacts with
+	// -publish-shards). rneserver -registry replicas pick the new version
+	// up on their next SIGHUP or POST /admin/reload.
 	if *publishName != "" {
+		var split *rne.ShardSplit
+		if *publishShards {
+			split, err = rne.CutShards(model, lt, rne.ShardConfig{
+				CutLevel: *shardLevel,
+				Shards:   *shardCount,
+			})
+			if err != nil {
+				fail(err)
+			}
+			for _, sm := range split.Shards {
+				logger.Info("cut shard", "shard", sm.ShardID(), "of", sm.NumShards(),
+					"owned", sm.OwnedVertices(), "embedding_bytes", sm.EmbeddingBytes())
+			}
+		}
 		store, err := rne.OpenModelRegistry(*registryRoot)
 		if err != nil {
 			fail(err)
@@ -317,12 +344,14 @@ func main() {
 			Compact: *publishCompact,
 			ALT:     lt,
 			Index:   idx,
+			Shards:  split,
 		})
 		if err != nil {
 			fail(err)
 		}
 		logger.Info("published to registry", "root", *registryRoot,
 			"name", *publishName, "version", version,
-			"compact", *publishCompact, "guard", lt != nil, "spatial", idx != nil)
+			"compact", *publishCompact, "guard", lt != nil, "spatial", idx != nil,
+			"shards", *publishShards)
 	}
 }

@@ -6,6 +6,14 @@
 // passive failure counting); a repeatedly-failing backend is ejected
 // from routing and re-probed on exponential backoff until it recovers.
 //
+// With -shard-map (the routing table of a version published by
+// rnebuild -publish-shards) the gateway routes by region instead of
+// by hash: each request goes to a replica serving the owning geo-shard
+// of its source vertex (shard identity is discovered from /readyz),
+// /batch is split per shard, GET /knn and /range are proxied to the
+// region owner, and /readyz degrades per region — losing every replica
+// of one shard fails only that region's vertices.
+//
 // The gateway serves overload-safely: each proxied call forwards the
 // remaining request deadline as an X-Rne-Budget-Ms budget so replicas
 // abandon work the gateway can no longer use (504), backend 429/503
@@ -48,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	rne "repro"
 	"repro/internal/gateway"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
@@ -56,7 +65,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":9090", "listen address")
 	backends := flag.String("backends", "", "comma-separated rneserver base URLs (required)")
-	vnodes := flag.Int("vnodes", 64, "virtual nodes per backend on the consistent-hash ring")
+	shardMapPath := flag.String("shard-map", "", "vertex→shard routing map from a sharded registry version (models/<name>/<vN>/shards/shardmap.rnemap): route by region instead of consistent hash")
+	vnodes := flag.Int("vnodes", 64, "virtual nodes per backend on the consistent-hash ring (ignored with -shard-map)")
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "active /readyz probe period")
 	ejectAfter := flag.Int("eject-after", 3, "consecutive failures before a backend is ejected")
 	backoffBase := flag.Duration("backoff-base", 500*time.Millisecond, "initial re-probe backoff for an ejected backend")
@@ -98,8 +108,21 @@ func main() {
 		}
 	}
 
+	var shardMap *rne.ShardMap
+	if *shardMapPath != "" {
+		shardMap, err = rne.LoadShardMap(*shardMapPath)
+		if err != nil {
+			logger.Error("loading shard map", "path", *shardMapPath, "error", err)
+			os.Exit(1)
+		}
+		logger.Info("region routing on", "path", *shardMapPath,
+			"shards", shardMap.NumShards(), "vertices", shardMap.NumVertices(),
+			"cut_level", shardMap.CutLevel())
+	}
+
 	gwCfg := gateway.Config{
 		Backends:       urls,
+		ShardMap:       shardMap,
 		VirtualNodes:   *vnodes,
 		HealthInterval: *healthInterval,
 		EjectAfter:     *ejectAfter,

@@ -12,6 +12,11 @@
 // SIGHUP or POST /admin/reload, without dropping a request. Corrupt
 // versions are quarantined with fallback to the newest good one.
 // -compact serves the float32 sibling at half the resident memory.
+// -shard k serves geo-shard k of a sharded version (rnebuild
+// -publish-shards): exact answers inside its region, upper-level
+// estimates for cross-shard pairs, and 421 with an owner hint for
+// sources it does not own — put rnegate -shard-map in front to route
+// by region.
 //
 // With -alt-index (a file saved by rnebuild -alt-out) or, in training
 // mode, -alt-landmarks, the server runs in guard mode: every /distance
@@ -88,6 +93,7 @@ func main() {
 	registryRoot := flag.String("registry", "", "versioned model registry root (rnebuild -publish): serve the latest good version of -name and hot-swap it on SIGHUP or POST /admin/reload")
 	regName := flag.String("name", "default", "model name within -registry")
 	compact := flag.Bool("compact", false, "serve the float32 compact model at half the resident memory (/explain answers 501)")
+	shardID := flag.Int("shard", -1, "serve geo-shard k of a sharded registry version (requires -registry; out-of-region sources answer 421, /knn, /range and /explain answer 501)")
 	graphPath := flag.String("graph", "", "graph file: train on startup, full API")
 	preset := flag.String("preset", "", "built-in preset instead of -graph")
 	targetFrac := flag.Float64("target-frac", 0.1, "fraction of vertices indexed as spatial targets (clamped to [0,1])")
@@ -143,6 +149,17 @@ func main() {
 	if *autoHeal && (*registryRoot == "" || *healGraphPath == "") {
 		fatal("-autoheal requires -registry and -heal-graph")
 	}
+	if *shardID >= 0 {
+		if *registryRoot == "" {
+			fatal("-shard requires -registry (shards are published by rnebuild -publish-shards)")
+		}
+		if *compact {
+			fatal("-shard is exclusive with -compact (shards already carry only their region's rows)")
+		}
+		if *autoHeal {
+			fatal("-autoheal needs the full model to retrain; run it on a full replica that republishes shards, not on a -shard replica")
+		}
+	}
 
 	var set server.ModelSet
 	var reloader func() (server.ModelSet, error)
@@ -161,7 +178,13 @@ func main() {
 			fatal("opening registry", "error", err)
 		}
 		loadSet := func() (server.ModelSet, error) {
-			rs, err := store.LoadLatest(*regName, rne.RegistryLoadOpts{Compact: *compact})
+			var rs *rne.RegistrySet
+			var err error
+			if *shardID >= 0 {
+				rs, err = store.LoadLatestShard(*regName, *shardID)
+			} else {
+				rs, err = store.LoadLatest(*regName, rne.RegistryLoadOpts{Compact: *compact})
+			}
 			if err != nil {
 				return server.ModelSet{}, err
 			}
@@ -172,8 +195,14 @@ func main() {
 			fatal("loading from registry", "error", err)
 		}
 		reloader = loadSet
-		logger.Info("loaded from registry", "name", *regName, "version", set.Version,
-			"compact", *compact, "guard", set.Guard != nil, "spatial", set.Index != nil)
+		if set.Shard != nil {
+			logger.Info("loaded shard from registry", "name", *regName, "version", set.Version,
+				"shard", set.Shard.ShardID(), "of", set.Shard.NumShards(),
+				"owned", set.Shard.OwnedVertices(), "guard", set.Guard != nil)
+		} else {
+			logger.Info("loaded from registry", "name", *regName, "version", set.Version,
+				"compact", *compact, "guard", set.Guard != nil, "spatial", set.Index != nil)
+		}
 	case *modelPath != "":
 		var err error
 		model, err = rne.LoadModel(*modelPath)
@@ -513,19 +542,23 @@ func versionHasCompact(store *rne.ModelRegistry, name, version string) bool {
 
 // registrySet converts a loaded registry version into the server's
 // swap unit, building the ALT guard over whichever model variant the
-// version was loaded with.
+// version was loaded with (the region-restricted guard, on a shard).
 func registrySet(rs *rne.RegistrySet) (server.ModelSet, error) {
 	set := server.ModelSet{
 		Model:   rs.Model,
 		Compact: rs.Compact,
+		Shard:   rs.Shard,
 		Index:   rs.Index,
 		Version: rs.Version,
 	}
 	if rs.ALT != nil {
 		var err error
-		if rs.Model != nil {
+		switch {
+		case rs.Shard != nil:
+			set.Guard, err = rne.NewShardBoundedEstimator(rs.Shard, rs.ALT)
+		case rs.Model != nil:
 			set.Guard, err = rne.NewBoundedEstimatorFromIndex(rs.Model, rs.ALT)
-		} else {
+		default:
 			set.Guard, err = rne.NewCompactBoundedEstimator(rs.Compact, rs.ALT)
 		}
 		if err != nil {

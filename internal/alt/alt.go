@@ -73,6 +73,33 @@ func (idx *Index) IndexBytes() int64 {
 	return int64(len(idx.labels)) * 8
 }
 
+// Restrict returns a new index holding only the landmarks at the
+// given positions (indices into Landmarks(), not vertex ids). The
+// label matrix keeps its full |V| columns, so the restricted index
+// still bounds every vertex pair — any landmark subset yields valid,
+// merely looser, triangle-inequality bounds. This is how a shard
+// carries a region-sized guard that stays correct for cross-region
+// pairs.
+func (idx *Index) Restrict(keep []int) (*Index, error) {
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("alt: restricting to an empty landmark set")
+	}
+	out := &Index{
+		g:         idx.g,
+		labels:    make([]float64, len(keep)*idx.n),
+		landmarks: make([]int32, len(keep)),
+		n:         idx.n,
+	}
+	for j, i := range keep {
+		if i < 0 || i >= len(idx.landmarks) {
+			return nil, fmt.Errorf("alt: landmark position %d out of range [0,%d)", i, len(idx.landmarks))
+		}
+		out.landmarks[j] = idx.landmarks[i]
+		copy(out.labels[j*idx.n:(j+1)*idx.n], idx.labels[i*idx.n:(i+1)*idx.n])
+	}
+	return out, nil
+}
+
 // Bounds returns the landmark lower and upper bounds on d(s,t).
 func (idx *Index) Bounds(s, t int32) (lo, hi float64) {
 	hi = sssp.Inf

@@ -1,10 +1,23 @@
 // Package gateway is the scale-out tier in front of rneserver
 // replicas: one stdlib-only HTTP process that fans a /batch request
-// out across N backends and merges the answers in order. Pairs are
-// routed by consistent hashing on the source vertex, so each backend
-// repeatedly sees the same shard of the vertex space (its embedding
-// rows stay cache-hot) and adding or ejecting a replica reassigns one
-// shard instead of reshuffling all keys.
+// out across N backends and merges the answers in order, and proxies
+// the single-source routes (/distance, /knn, /range) to their owner.
+// Two routing modes:
+//
+//   - Hash mode (default): pairs are routed by consistent hashing on
+//     the source vertex over replicas that each hold the whole model,
+//     so each backend repeatedly sees the same slice of the vertex
+//     space (its embedding rows stay cache-hot) and adding or ejecting
+//     a replica reassigns one slice instead of reshuffling all keys.
+//   - Region mode (Config.ShardMap): replicas hold geo-shards of one
+//     split model (internal/shard), and the gateway routes each source
+//     vertex to a replica of its owning shard via the compact
+//     vertex→shard map, round-robining across same-shard replicas.
+//     Shard identity is discovered from each replica's /readyz; a
+//     replica answering 421 (stale map, misrouted vertex) is counted
+//     on rne_gateway_stale_routes_total and relayed with its redirect
+//     hint. A shard with no healthy replica degrades only its own
+//     region — other regions keep serving.
 //
 // Backends are health-checked actively (periodic /readyz probes) and
 // passively (proxy failures count); a backend that fails repeatedly is
@@ -33,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/resilience"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
 
@@ -43,7 +57,15 @@ type Config struct {
 	// (e.g. "http://10.0.0.1:8080"). At least one is required.
 	Backends []string
 	// VirtualNodes per backend on the consistent-hash ring (default 64).
+	// Unused in region mode.
 	VirtualNodes int
+	// ShardMap switches the gateway into region-routing mode: each
+	// source vertex goes to a replica of its owning geo-shard (loaded
+	// from the sharded registry version's shards/shardmap.rnemap).
+	// Backends then must be shard replicas; their shard identity is
+	// discovered from /readyz probes, and a backend reporting a
+	// mismatched topology (wrong shard count) is treated as failing.
+	ShardMap *shard.Map
 	// HealthInterval is the active /readyz probe period (default 2s).
 	HealthInterval time.Duration
 	// EjectAfter ejects a backend from routing after this many
@@ -170,6 +192,10 @@ type backend struct {
 
 	healthy atomic.Bool
 
+	// shardID is the geo-shard this backend reported on its last
+	// successful probe (-1 until discovered). Only used in region mode.
+	shardID atomic.Int32
+
 	mu        sync.Mutex
 	fails     int           // consecutive failures (active or passive)
 	backoff   time.Duration // current re-probe backoff once ejected
@@ -198,9 +224,14 @@ type Gateway struct {
 	hedgeWins      map[string]*telemetry.Counter // keyed by the won= label
 	batchPartial   *telemetry.Counter
 	pairErrors     *telemetry.Counter
+	staleRoutes    *telemetry.Counter
 	backendLatency *telemetry.Histogram
 	retryTokens    *retryBudget
 	tracer         *telemetry.RequestTracer // nil disables tracing
+
+	// shardRR holds one round-robin cursor per geo-shard (region mode
+	// only), spreading a shard's traffic across its replicas.
+	shardRR []atomic.Uint32
 
 	jitterMu  sync.Mutex
 	jitterRng *rand.Rand
@@ -229,7 +260,7 @@ func New(cfg Config) (*Gateway, error) {
 		jitterRng: rand.New(rand.NewSource(time.Now().UnixNano())),
 		stop:      make(chan struct{}),
 	}
-	g.stats.TrackRoutes("/batch", "/distance")
+	g.stats.TrackRoutes("/batch", "/distance", "/knn", "/range")
 	reg := g.stats.Registry()
 	g.ejections = reg.Counter("rne_gateway_ejections_total",
 		"Backends ejected from routing after consecutive failures.")
@@ -249,6 +280,14 @@ func New(cfg Config) (*Gateway, error) {
 		"Batch responses returned partially (206) after a shard failed.")
 	g.pairErrors = reg.Counter("rne_batch_pair_errors_total",
 		"Individual batch pairs answered with an error entry instead of a distance.")
+	g.staleRoutes = reg.Counter("rne_gateway_stale_routes_total",
+		"Backend 421 answers: the replica disowned a vertex this gateway routed to it (stale shard map).")
+	if cfg.ShardMap != nil {
+		g.shardRR = make([]atomic.Uint32, cfg.ShardMap.NumShards())
+		reg.Gauge("rne_model_bytes",
+			"Resident bytes of routing state, by component.",
+			"component", "shardmap").Set(float64(cfg.ShardMap.IndexBytes()))
+	}
 	g.backendLatency = reg.Histogram("rne_gateway_backend_latency_seconds",
 		"Latency of successful backend calls, feeding the hedge delay.", telemetry.LatencyBuckets)
 	g.backendLatency.EnableExemplars()
@@ -307,6 +346,7 @@ func New(cfg Config) (*Gateway, error) {
 		}
 		b.healthy.Store(true)
 		b.healthyG.Set(1)
+		b.shardID.Store(-1)
 		g.backends = append(g.backends, b)
 		ids = append(ids, u.Host)
 	}
@@ -346,11 +386,14 @@ func (g *Gateway) HealthyBackends() int {
 // Handler returns the gateway route table wrapped in the same
 // resilience stack the replicas use:
 //
-//	GET  /healthz    gateway liveness + per-backend health
-//	GET  /readyz     ready iff at least one backend is routed to (503 otherwise)
+//	GET  /healthz    gateway liveness + per-backend health (and shard ids)
+//	GET  /readyz     ready iff at least one backend is routed to (503 otherwise);
+//	                 region mode additionally reports per-shard coverage
 //	GET  /statz      request/latency/status counters (JSON)
 //	GET  /metrics    Prometheus text exposition
-//	GET  /distance   proxied to the source vertex's ring owner
+//	GET  /distance   proxied to the source vertex's owner (ring or region)
+//	GET  /knn        proxied to the source vertex's owner
+//	GET  /range      proxied to the source vertex's owner
 //	POST /batch      split by source vertex, fanned out, merged in order
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -359,6 +402,8 @@ func (g *Gateway) Handler() http.Handler {
 	mux.Handle("GET /statz", g.stats.Handler())
 	mux.Handle("GET /metrics", g.stats.Registry().Handler())
 	mux.HandleFunc("GET /distance", g.handleDistance)
+	mux.HandleFunc("GET /knn", g.handleKNN)
+	mux.HandleFunc("GET /range", g.handleRange)
 	mux.HandleFunc("POST /batch", g.handleBatch)
 	// Same trace layering as the replicas: admission marker just inside
 	// the resilience stack, handler span around the whole of it.
@@ -388,6 +433,62 @@ func (g *Gateway) pick(src int32, exclude map[*backend]bool) *backend {
 		return nil
 	}
 	return g.backends[i]
+}
+
+// route returns the backend that owns src: the consistent-hash ring
+// owner in hash mode, or (region mode) a healthy replica of src's
+// shard, round-robined per shard. Returns nil when no owning backend
+// qualifies — in region mode, replicas of *other* shards never do,
+// since they would disown the vertex with a 421.
+func (g *Gateway) route(src int32, exclude map[*backend]bool) *backend {
+	sm := g.cfg.ShardMap
+	if sm == nil {
+		return g.pick(src, exclude)
+	}
+	owner, ok := sm.ShardOf(src)
+	if !ok {
+		return nil
+	}
+	start := int(g.shardRR[owner].Add(1))
+	n := len(g.backends)
+	for i := 0; i < n; i++ {
+		b := g.backends[(start+i)%n]
+		if b.healthy.Load() && !exclude[b] && int(b.shardID.Load()) == owner {
+			return b
+		}
+	}
+	return nil
+}
+
+// noBackendFor answers a request no backend can serve. Hash mode: the
+// classic 502. Region mode: the shard's replicas are all gone while
+// other regions keep serving, so the honest answer is a region-scoped
+// 503 the client can retry after the shard recovers.
+func (g *Gateway) noBackendFor(w http.ResponseWriter, src int32) {
+	if sm := g.cfg.ShardMap; sm != nil {
+		if owner, ok := sm.ShardOf(src); ok {
+			w.Header().Set("Retry-After", fmt.Sprintf("%.2f", g.jittered(time.Second).Seconds()))
+			g.fail(w, http.StatusServiceUnavailable,
+				"shard %d degraded: no healthy replica for vertex %d", owner, src)
+			return
+		}
+	}
+	g.fail(w, http.StatusBadGateway, "no healthy backend for vertex %d", src)
+}
+
+// checkMapped rejects (with 400) a source vertex outside the shard
+// map's range before any routing; a no-op in hash mode, where range
+// validation is the backend's job.
+func (g *Gateway) checkMapped(w http.ResponseWriter, src int32) bool {
+	sm := g.cfg.ShardMap
+	if sm == nil {
+		return true
+	}
+	if _, ok := sm.ShardOf(src); !ok {
+		g.fail(w, http.StatusBadRequest, "vertex %d outside the shard map [0,%d)", src, sm.NumVertices())
+		return false
+	}
+	return true
 }
 
 // jittered spreads d by a uniform ±cfg.BackoffJitter fraction, so
@@ -486,6 +587,13 @@ func (g *Gateway) probeLoop() {
 // serving degraded — no spatial index — still answers /batch), and so
 // does a 429: a replica shedding its own probe is saturated, not dead,
 // and ejecting it would shrink the fleet mid-overload.
+//
+// In region mode the probe also discovers which geo-shard the replica
+// serves from the readiness body's model.shard block. A backend that
+// is not a shard replica, or that reports a different fleet topology
+// than the routing map, fails its probe: routing to it would serve the
+// wrong region's answers. A shed (429) probe can't carry the body, so
+// it keeps the previously discovered identity.
 func (g *Gateway) probe(b *backend) error {
 	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.BackendTimeout)
 	defer cancel()
@@ -497,10 +605,37 @@ func (g *Gateway) probe(b *backend) error {
 	if err != nil {
 		return err
 	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
 		return fmt.Errorf("readyz returned %d", resp.StatusCode)
+	}
+	sm := g.cfg.ShardMap
+	if sm == nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var ready struct {
+		Model struct {
+			Shard *struct {
+				ID     int `json:"id"`
+				Shards int `json:"shards"`
+			} `json:"shard"`
+		} `json:"model"`
+	}
+	if err := json.Unmarshal(body, &ready); err != nil {
+		return fmt.Errorf("readyz body unparseable in region mode: %w", err)
+	}
+	sh := ready.Model.Shard
+	if sh == nil {
+		return fmt.Errorf("backend is not a shard replica (no model.shard on /readyz) but the gateway routes by region")
+	}
+	if sh.Shards != sm.NumShards() || sh.ID < 0 || sh.ID >= sm.NumShards() {
+		return fmt.Errorf("backend serves shard %d of %d but the routing map has %d shards",
+			sh.ID, sh.Shards, sm.NumShards())
+	}
+	if prev := b.shardID.Swap(int32(sh.ID)); prev >= 0 && prev != int32(sh.ID) {
+		g.log.Warn("backend changed shard identity", "backend", b.id, "from", prev, "to", sh.ID)
 	}
 	return nil
 }
@@ -518,12 +653,28 @@ func (g *Gateway) fail(w http.ResponseWriter, status int, format string, args ..
 func (g *Gateway) backendStates() []map[string]any {
 	out := make([]map[string]any, len(g.backends))
 	for i, b := range g.backends {
-		out[i] = map[string]any{
+		st := map[string]any{
 			"backend": b.id,
 			"healthy": b.healthy.Load(),
 		}
+		if g.cfg.ShardMap != nil {
+			st["shard"] = b.shardID.Load() // -1 until discovered
+		}
+		out[i] = st
 	}
 	return out
+}
+
+// shardCoverage reports, per geo-shard, how many healthy replicas
+// currently serve it (region mode only).
+func (g *Gateway) shardCoverage() []int {
+	cover := make([]int, g.cfg.ShardMap.NumShards())
+	for _, b := range g.backends {
+		if sid := b.shardID.Load(); b.healthy.Load() && sid >= 0 && int(sid) < len(cover) {
+			cover[sid]++
+		}
+	}
+	return cover
 }
 
 func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -537,8 +688,15 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // handleReady is what an upstream load balancer gates on: the gateway
 // is ready while at least one backend is routed to, and answers 503
-// once the whole fleet is ejected.
+// once the whole fleet is ejected. In region mode readiness is
+// per-shard: ready when every shard has a routed replica, degraded
+// (still 200 — the surviving regions serve) when some shards are
+// uncovered, 503 only when no shard is routable at all.
 func (g *Gateway) handleReady(w http.ResponseWriter, r *http.Request) {
+	if g.cfg.ShardMap != nil {
+		g.handleReadyShards(w)
+		return
+	}
 	healthy := g.HealthyBackends()
 	status := http.StatusOK
 	state := "ready"
@@ -555,6 +713,39 @@ func (g *Gateway) handleReady(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (g *Gateway) handleReadyShards(w http.ResponseWriter) {
+	cover := g.shardCoverage()
+	var down []int
+	covered := 0
+	for sid, n := range cover {
+		if n == 0 {
+			down = append(down, sid)
+		} else {
+			covered++
+		}
+	}
+	status := http.StatusOK
+	state := "ready"
+	switch {
+	case covered == 0:
+		status = http.StatusServiceUnavailable
+		state = "unavailable"
+	case len(down) > 0:
+		state = "degraded"
+	}
+	out := map[string]any{
+		"status":   state,
+		"shards":   len(cover),
+		"covered":  covered,
+		"healthy":  g.HealthyBackends(),
+		"backends": g.backendStates(),
+	}
+	if len(down) > 0 {
+		out["shards_down"] = down
+	}
+	g.writeJSON(w, status, out)
+}
+
 // relay writes a backend response through verbatim.
 func relay(w http.ResponseWriter, status int, body []byte, ct string) {
 	if ct != "" {
@@ -565,16 +756,20 @@ func relay(w http.ResponseWriter, status int, body []byte, ct string) {
 }
 
 // handleDistance proxies the single-pair query to the source vertex's
-// ring owner, falling over to the next healthy backend (and recording
-// the failure) if the owner errors. Retries spend retry-budget tokens;
-// when the budget is empty the gateway answers with whatever the
-// backend said (relayed backpressure) or sheds with 429 itself rather
-// than amplifying load. With cfg.Hedge, a slow primary call is hedged
-// to the next ring owner and the first answer wins.
+// owner (ring or region replica), falling over to the next healthy
+// candidate (and recording the failure) if the owner errors. Retries
+// spend retry-budget tokens; when the budget is empty the gateway
+// answers with whatever the backend said (relayed backpressure) or
+// sheds with 429 itself rather than amplifying load. With cfg.Hedge, a
+// slow primary call is hedged to the next owner and the first answer
+// wins.
 func (g *Gateway) handleDistance(w http.ResponseWriter, r *http.Request) {
 	src, err := sourceParam(r)
 	if err != nil {
 		g.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !g.checkMapped(w, src) {
 		return
 	}
 	g.retryTokens.onRequest()
@@ -582,11 +777,46 @@ func (g *Gateway) handleDistance(w http.ResponseWriter, r *http.Request) {
 		g.handleDistanceHedged(w, r, src)
 		return
 	}
+	g.proxyBySource(w, r, src, "/distance")
+}
+
+// handleKNN and handleRange proxy the spatial queries to the source
+// vertex's owner exactly like /distance (no hedging — result sets can
+// be large). In region mode shard replicas carry no spatial index and
+// answer 501, which is relayed with its body intact, so clients get a
+// clear "not implemented on this deployment" rather than a routing
+// error.
+func (g *Gateway) handleKNN(w http.ResponseWriter, r *http.Request) {
+	g.proxySpatial(w, r, "/knn")
+}
+
+func (g *Gateway) handleRange(w http.ResponseWriter, r *http.Request) {
+	g.proxySpatial(w, r, "/range")
+}
+
+func (g *Gateway) proxySpatial(w http.ResponseWriter, r *http.Request, route string) {
+	src, err := sourceParam(r)
+	if err != nil {
+		g.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !g.checkMapped(w, src) {
+		return
+	}
+	g.retryTokens.onRequest()
+	g.proxyBySource(w, r, src, route)
+}
+
+// proxyBySource is the shared single-source proxy loop behind
+// /distance, /knn and /range: route to src's owner, forward, retry
+// once elsewhere on failure (budget permitting), degrade honestly
+// when no one can answer.
+func (g *Gateway) proxyBySource(w http.ResponseWriter, r *http.Request, src int32, route string) {
 	exclude := make(map[*backend]bool)
 	var lastBP *backpressureError
 	denied := false
 	for attempt := 0; attempt < 2; attempt++ {
-		b := g.pick(src, exclude)
+		b := g.route(src, exclude)
 		if b == nil {
 			break
 		}
@@ -601,7 +831,7 @@ func (g *Gateway) handleDistance(w http.ResponseWriter, r *http.Request) {
 			kind = "retry"
 		}
 		status, body, ct, err := g.forward(r.Context(), b, http.MethodGet,
-			"/distance?"+r.URL.RawQuery, nil, kind)
+			route+"?"+r.URL.RawQuery, nil, kind)
 		if err != nil {
 			if r.Context().Err() != nil {
 				// The client hung up or its deadline expired mid-proxy:
@@ -646,7 +876,7 @@ func (g *Gateway) handleDistance(w http.ResponseWriter, r *http.Request) {
 		g.fail(w, http.StatusTooManyRequests, "retry budget exhausted for vertex %d; back off", src)
 		return
 	}
-	g.fail(w, http.StatusBadGateway, "no healthy backend for vertex %d", src)
+	g.noBackendFor(w, src)
 }
 
 // handleDistanceHedged races a primary backend call against a hedged
@@ -655,9 +885,9 @@ func (g *Gateway) handleDistance(w http.ResponseWriter, r *http.Request) {
 // wins; the straggler's response is discarded. Only the receive loop
 // touches health bookkeeping — the launched goroutines just forward.
 func (g *Gateway) handleDistanceHedged(w http.ResponseWriter, r *http.Request, src int32) {
-	primary := g.pick(src, nil)
+	primary := g.route(src, nil)
 	if primary == nil {
-		g.fail(w, http.StatusBadGateway, "no healthy backend for vertex %d", src)
+		g.noBackendFor(w, src)
 		return
 	}
 	type attempt struct {
@@ -694,7 +924,7 @@ func (g *Gateway) handleDistanceHedged(w http.ResponseWriter, r *http.Request, s
 			return
 		}
 		hedged = true
-		b := g.pick(src, map[*backend]bool{primary: true})
+		b := g.route(src, map[*backend]bool{primary: true})
 		if b == nil {
 			return
 		}
@@ -762,7 +992,7 @@ func (g *Gateway) handleDistanceHedged(w http.ResponseWriter, r *http.Request, s
 		g.fail(w, http.StatusGatewayTimeout, "deadline budget exhausted before backend call")
 		return
 	}
-	g.fail(w, http.StatusBadGateway, "no healthy backend for vertex %d", src)
+	g.noBackendFor(w, src)
 }
 
 // sourceParam pulls the source vertex out of a /distance query; full
@@ -875,7 +1105,21 @@ func (g *Gateway) forward(ctx context.Context, b *backend, method, path string, 
 			ct:         resp.Header.Get("Content-Type"),
 			retryAfter: resp.Header.Get("Retry-After"),
 		}
-	case resp.StatusCode >= 500 && resp.StatusCode != http.StatusGatewayTimeout:
+	case resp.StatusCode == http.StatusMisdirectedRequest:
+		// The replica disowned a vertex this gateway routed to it: the
+		// routing map and the fleet disagree (stale map or mid-rollout
+		// topology change). Counted for alerting, then relayed with the
+		// replica's Rne-Shard-Owner hint — the backend is healthy, the
+		// route was wrong.
+		g.staleRoutes.Inc()
+		span.Event("stale-route", "backend disowned the routed vertex (421)")
+	case resp.StatusCode >= 500 &&
+		resp.StatusCode != http.StatusGatewayTimeout &&
+		resp.StatusCode != http.StatusNotImplemented:
+		// 501 is a capability statement (e.g. a shard replica with no
+		// spatial index answering /knn), relayed verbatim rather than
+		// treated as a replica failure — ejecting a healthy fleet
+		// because a route is unimplemented would be self-inflicted.
 		err := fmt.Errorf("%s %s returned %d", method, path, resp.StatusCode)
 		span.SetError(err)
 		return 0, nil, "", err
@@ -945,9 +1189,17 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	groups := make(map[*backend]*backendBatch)
 	var errs []pairError
 	for i, p := range req.Pairs {
-		b := g.pick(p[0], nil)
+		b := g.route(p[0], nil)
 		if b == nil {
-			errs = append(errs, pairError{Index: i, Error: "no healthy backend"})
+			msg := "no healthy backend"
+			if sm := g.cfg.ShardMap; sm != nil {
+				if owner, ok := sm.ShardOf(p[0]); ok {
+					msg = fmt.Sprintf("shard %d has no healthy replica", owner)
+				} else {
+					msg = fmt.Sprintf("vertex %d outside the shard map", p[0])
+				}
+			}
+			errs = append(errs, pairError{Index: i, Error: msg})
 			continue
 		}
 		gr := groups[b]
@@ -1139,9 +1391,10 @@ func (g *Gateway) sendBatch(ctx context.Context, gr *backendBatch) (batchReply, 
 				g.markFailure(b, err)
 			}
 			exclude[b] = true
-			// Re-pick by the slice's first source so the retry lands on
-			// the ring's next owner for this shard.
-			b = g.pick(gr.pairs[0][0], exclude)
+			// Re-route by the slice's first source so the retry lands on
+			// the next owner: the ring's next backend in hash mode, a
+			// sibling replica of the same geo-shard in region mode.
+			b = g.route(gr.pairs[0][0], exclude)
 			continue
 		}
 		g.markSuccess(b)

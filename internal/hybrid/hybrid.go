@@ -159,5 +159,9 @@ func (e *Estimator) IndexBytes() int64 {
 	return e.m.IndexBytes() + e.lt.IndexBytes()
 }
 
+// LandmarkBytes reports the guard's own label-matrix footprint, for
+// per-component memory accounting (rne_model_bytes{component=guard}).
+func (e *Estimator) LandmarkBytes() int64 { return e.lt.IndexBytes() }
+
 // NumVertices returns the vertex count both components cover.
 func (e *Estimator) NumVertices() int { return e.m.NumVertices() }

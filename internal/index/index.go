@@ -141,6 +141,19 @@ func (t *Tree) computeRadii(slot int32) float64 {
 // Size returns the number of indexed targets.
 func (t *Tree) Size() int { return t.size }
 
+// IndexBytes reports the tree's own resident size (vectors, radii,
+// child and vertex lists), excluding the model it references, for
+// per-component memory accounting.
+func (t *Tree) IndexBytes() int64 {
+	var b int64
+	for slot := range t.children {
+		b += int64(len(t.children[slot]))*4 +
+			int64(len(t.vectors[slot]))*8 +
+			int64(len(t.verts[slot]))*4 + 8 // radius entry
+	}
+	return b + 64
+}
+
 // QueryStats counts the work one tree traversal did, for query
 // explainability: how much of the index the triangle-inequality
 // pruning actually skipped.

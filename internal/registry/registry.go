@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fsx"
 	"repro/internal/index"
+	"repro/internal/shard"
 )
 
 // Artifact file names within a version directory.
@@ -48,7 +49,22 @@ const (
 	CompactFile = "model.compact.rne"
 	ALTFile     = "alt.rnealt"
 	SpatialFile = "spatial.rneidx"
+	// ShardMapFile is the vertex→shard routing map of a sharded
+	// version, under the shards/ subdirectory next to the per-shard
+	// artifact directories.
+	ShardMapFile = "shards/shardmap.rnemap"
 )
+
+// ShardDir returns the version-relative directory of shard k's
+// artifacts.
+func ShardDir(k int) string { return filepath.Join("shards", strconv.Itoa(k)) }
+
+// ShardModelFile returns the version-relative path of shard k's model.
+func ShardModelFile(k int) string { return filepath.Join(ShardDir(k), "shard.rne") }
+
+// ShardALTFile returns the version-relative path of shard k's
+// region-restricted guard index.
+func ShardALTFile(k int) string { return filepath.Join(ShardDir(k), "alt.rnealt") }
 
 const manifestFile = "MANIFEST.json"
 
@@ -91,6 +107,12 @@ type Artifacts struct {
 	// Index, when non-nil, stores the spatial index (requires the full
 	// model to load, so compact-only replicas skip it).
 	Index *index.Tree
+	// Shards, when non-nil, additionally publishes the version as a
+	// sharded cut (shard.Cut output): the routing map plus one
+	// directory per shard under shards/, each holding the shard model
+	// and its region-restricted guard. The same manifest-last staging
+	// covers them, so a torn sharded publish never surfaces.
+	Shards *shard.Split
 }
 
 // Set is one fully-loaded version: the unit a server hot-swaps.
@@ -102,6 +124,12 @@ type Set struct {
 	Compact *core.CompactModel // nil unless published with Artifacts.Compact
 	ALT     *alt.Index
 	Index   *index.Tree
+	// Shard and ShardMap are set only by LoadShard/LoadLatestShard:
+	// one shard's model (Model/Compact stay nil) plus the version's
+	// routing map, cross-checked against it. ALT then holds the
+	// shard's region-restricted guard rather than the full one.
+	Shard    *shard.Model
+	ShardMap *shard.Map
 }
 
 // LoadOpts tunes version loading.
@@ -266,6 +294,13 @@ func (s *Store) Publish(name string, art Artifacts) (string, error) {
 		}
 		files = append(files, SpatialFile)
 	}
+	if art.Shards != nil {
+		sf, err := stageShards(stage, art)
+		if err != nil {
+			return "", err
+		}
+		files = append(files, sf...)
+	}
 
 	if err := os.Rename(stage, s.Path(name, version)); err != nil {
 		return "", fmt.Errorf("registry: committing %s: %w", version, err)
@@ -281,6 +316,53 @@ func (s *Store) Publish(name string, art Artifacts) (string, error) {
 		return "", err
 	}
 	return version, nil
+}
+
+// stageShards writes a sharded cut into the staging directory,
+// validating the cut against the full model first. Returns the
+// version-relative file names staged.
+func stageShards(stage string, art Artifacts) ([]string, error) {
+	sp := art.Shards
+	if sp.Map == nil || len(sp.Shards) == 0 {
+		return nil, fmt.Errorf("registry: sharded publish needs a map and at least one shard")
+	}
+	if sp.Map.NumVertices() != art.Model.NumVertices() {
+		return nil, fmt.Errorf("registry: shard map covers %d vertices but model covers %d",
+			sp.Map.NumVertices(), art.Model.NumVertices())
+	}
+	if len(sp.Shards) != sp.Map.NumShards() {
+		return nil, fmt.Errorf("registry: %d shard models for a %d-shard map",
+			len(sp.Shards), sp.Map.NumShards())
+	}
+	if sp.Guards != nil && len(sp.Guards) != len(sp.Shards) {
+		return nil, fmt.Errorf("registry: %d shard guards for %d shards", len(sp.Guards), len(sp.Shards))
+	}
+	if err := os.MkdirAll(filepath.Dir(filepath.Join(stage, ShardMapFile)), 0o755); err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	if err := sp.Map.SaveMapFile(filepath.Join(stage, ShardMapFile)); err != nil {
+		return nil, fmt.Errorf("registry: staging shard map: %w", err)
+	}
+	files := []string{ShardMapFile}
+	for k, sm := range sp.Shards {
+		if sm == nil || sm.ShardID() != k {
+			return nil, fmt.Errorf("registry: shard %d artifact missing or misnumbered", k)
+		}
+		if err := os.MkdirAll(filepath.Join(stage, ShardDir(k)), 0o755); err != nil {
+			return nil, fmt.Errorf("registry: %w", err)
+		}
+		if err := sm.SaveFile(filepath.Join(stage, ShardModelFile(k))); err != nil {
+			return nil, fmt.Errorf("registry: staging shard %d model: %w", k, err)
+		}
+		files = append(files, ShardModelFile(k))
+		if sp.Guards != nil && sp.Guards[k] != nil {
+			if err := sp.Guards[k].SaveFile(filepath.Join(stage, ShardALTFile(k))); err != nil {
+				return nil, fmt.Errorf("registry: staging shard %d guard: %w", k, err)
+			}
+			files = append(files, ShardALTFile(k))
+		}
+	}
+	return files, nil
 }
 
 // Versions lists the manifest entries for name, oldest first.
@@ -506,6 +588,81 @@ func (s *Store) LoadLatest(name string, opts LoadOpts) (*Set, error) {
 			return nil, err
 		}
 		set, err := s.loadVersion(name, version, opts)
+		if err == nil {
+			return set, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if qerr := s.Quarantine(name, version); qerr != nil {
+			return nil, fmt.Errorf("registry: loading %s failed (%v) and quarantine failed: %w", version, err, qerr)
+		}
+	}
+}
+
+// LoadShard loads shard k of one specific version: the shard model,
+// the version's routing map (cross-checked against it) and, when
+// present, the shard's region-restricted guard. Like LoadVersion it
+// never quarantines — that policy lives in LoadLatestShard.
+func (s *Store) LoadShard(name, version string, k int) (*Set, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	return s.loadShard(name, version, k)
+}
+
+func (s *Store) loadShard(name, version string, k int) (*Set, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("registry: shard id must be >= 0, got %d", k)
+	}
+	dir := s.Path(name, version)
+	sm, err := shard.LoadMapFile(filepath.Join(dir, ShardMapFile))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("registry: %s/%s is not a sharded version (no %s)", name, version, ShardMapFile)
+		}
+		return nil, fmt.Errorf("registry: %s/%s shard map: %w", name, version, err)
+	}
+	if k >= sm.NumShards() {
+		return nil, fmt.Errorf("registry: %s/%s has %d shards, no shard %d", name, version, sm.NumShards(), k)
+	}
+	mdl, err := shard.LoadModelFile(filepath.Join(dir, ShardModelFile(k)))
+	if err != nil {
+		return nil, fmt.Errorf("registry: %s/%s shard %d model: %w", name, version, k, err)
+	}
+	if mdl.ShardID() != k || mdl.NumShards() != sm.NumShards() ||
+		mdl.NumVertices() != sm.NumVertices() || mdl.CutLevel() != sm.CutLevel() {
+		return nil, fmt.Errorf("registry: %s/%s shard %d disagrees with the shard map (shard %d/%d over %d vertices at cut %d vs map %d shards over %d at cut %d)",
+			name, version, k, mdl.ShardID(), mdl.NumShards(), mdl.NumVertices(), mdl.CutLevel(),
+			sm.NumShards(), sm.NumVertices(), sm.CutLevel())
+	}
+	set := &Set{Name: name, Version: version, Shard: mdl, ShardMap: sm}
+	if lt, err := alt.LoadFile(filepath.Join(dir, ShardALTFile(k))); err == nil {
+		set.ALT = lt
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("registry: %s/%s shard %d guard: %w", name, version, k, err)
+	}
+	return set, nil
+}
+
+// LoadLatestShard resolves the latest version and loads shard k of it,
+// with the same quarantine-and-fall-back policy as LoadLatest: a
+// version whose shard artifacts are corrupt (or that is not sharded at
+// all) is quarantined and the next-newest version is tried.
+func (s *Store) LoadLatestShard(name string, k int) (*Set, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	var firstErr error
+	for {
+		version, err := s.Latest(name)
+		if err != nil {
+			if firstErr != nil {
+				return nil, fmt.Errorf("%w (after quarantining corrupt versions, first failure: %v)", err, firstErr)
+			}
+			return nil, err
+		}
+		set, err := s.loadShard(name, version, k)
 		if err == nil {
 			return set, nil
 		}

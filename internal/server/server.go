@@ -153,6 +153,7 @@ func NewFromSet(set ModelSet, cfg Config) (*Server, error) {
 	}
 	s.active.Store(sn)
 	s.setVersionGauge(sn.version)
+	s.setModelGauges(sn)
 	if cfg.QueryLog.Path != "" {
 		// Chain the /metrics counters in front of any caller-supplied
 		// callbacks so drops are observable even on an unattended server.
@@ -343,15 +344,26 @@ func modelMeta(sn *snapshot) map[string]any {
 			levels = h.MaxDepth() + 1
 		}
 	}
-	return map[string]any{
+	out := map[string]any{
 		"version":  sn.version,
 		"vertices": sn.view.NumVertices(),
 		"dim":      sn.view.Dim(),
 		"levels":   levels,
 		"spatial":  sn.idx != nil,
 		"guard":    sn.guard != nil,
-		"compact":  sn.view.full == nil,
+		"compact":  sn.view.full == nil && sn.view.shard == nil,
 	}
+	// Shard identity, so the gateway's probes (and operators) can tell
+	// which region a replica owns without a separate discovery call.
+	if sv := sn.view.shard; sv != nil {
+		out["shard"] = map[string]any{
+			"id":        sv.ShardID(),
+			"shards":    sv.NumShards(),
+			"cut_level": sv.CutLevel(),
+			"owned":     sv.OwnedVertices(),
+		}
+	}
+	return out
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -464,6 +476,23 @@ func (s *Server) logQuery(r *http.Request, route string, src, dst int32, est flo
 	s.qlog.Observe(s.queryRecord(r, route, src, dst, est, g, start))
 }
 
+// misdirect answers an out-of-region request on a shard replica: 421
+// Misdirected Request with the owning shard in the Rne-Shard-Owner
+// header and the body, so a stale-mapped gateway can re-route instead
+// of serving the wrong region's upper-level approximation as exact.
+func (s *Server) misdirect(w http.ResponseWriter, sn *snapshot, src int32) {
+	sv := sn.view.shard
+	owner := sv.Owner(src)
+	sn.misdirected.Inc()
+	w.Header().Set("Rne-Shard-Owner", strconv.Itoa(owner))
+	s.writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+		"error": fmt.Sprintf("vertex %d belongs to shard %d, this replica serves shard %d",
+			src, owner, sv.ShardID()),
+		"owner_shard": owner,
+		"shard":       sv.ShardID(),
+	})
+}
+
 func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sn := s.active.Load()
@@ -477,10 +506,17 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if sv := sn.view.shard; sv != nil && !sv.Owns(src) {
+		s.misdirect(w, sn, src)
+		return
+	}
 	explain := wantExplain(r)
 	if sn.guard != nil {
 		var g hybrid.GuardResult
 		out := map[string]any{"s": src, "t": dst}
+		if sv := sn.view.shard; sv != nil && sv.CrossShard(src, dst) {
+			out["cross_shard"] = true
+		}
 		_, gspan := telemetry.StartChild(r.Context(), "guard")
 		if explain {
 			var ge guardExplanation
@@ -506,6 +542,9 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	est := sn.view.Estimate(src, dst)
 	kspan.End()
 	out := map[string]any{"s": src, "t": dst, "distance": est}
+	if sv := sn.view.shard; sv != nil && sv.CrossShard(src, dst) {
+		out["cross_shard"] = true
+	}
 	if explain && sn.view.full != nil {
 		out["model"] = sn.view.full.ExplainEstimate(src, dst)
 	}
@@ -520,6 +559,11 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	sn := s.active.Load()
 	if sn.view.full == nil {
+		if sv := sn.view.shard; sv != nil {
+			s.fail(w, http.StatusNotImplemented,
+				"explain requires the full per-level model (this replica serves geo-shard %d)", sv.ShardID())
+			return
+		}
 		s.fail(w, http.StatusNotImplemented, "explain requires the full model (this replica serves the compact variant)")
 		return
 	}
@@ -628,6 +672,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		ss[i], ts[i] = p[0], p[1]
 	}
+	// A shard replica owns a batch only if it owns every source: one
+	// misdirected pair fails the whole batch with the redirect hint
+	// (the gateway splits per-shard, so a mixed batch means its map is
+	// stale) — answering the rest would mislabel upper-level numbers
+	// as exact. Cross-shard *targets* are fine and counted below.
+	crossCount := 0
+	if sv := sn.view.shard; sv != nil {
+		for i := range ss {
+			if !sv.Owns(ss[i]) {
+				s.misdirect(w, sn, ss[i])
+				return
+			}
+			if sv.CrossShard(ss[i], ts[i]) {
+				crossCount++
+			}
+		}
+	}
 	explain := wantExplain(r)
 	var explanations []batchExplanation
 	if explain {
@@ -689,6 +750,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp := map[string]any{
 			"distances": out, "lo": lo, "hi": hi, "clamped_count": clamped,
 		}
+		if sn.view.shard != nil {
+			resp["cross_count"] = crossCount
+		}
 		if explain {
 			resp["explain"] = explanations
 		}
@@ -724,6 +788,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.logQuery(r, "/batch", ss[i], ts[i], out[i], nil, start)
 	}
 	resp := map[string]any{"distances": out}
+	if sn.view.shard != nil {
+		resp["cross_count"] = crossCount
+	}
 	if explain {
 		resp["explain"] = explanations
 	}

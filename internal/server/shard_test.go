@@ -1,0 +1,315 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/alt"
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+	"repro/internal/shard"
+)
+
+// cutFleet trains a model over g and cuts it into two level-1 shards
+// with region-restricted guards.
+func cutFleet(t *testing.T, g *graph.Graph, seed int64) *shard.Split {
+	t.Helper()
+	m := buildOn(t, g, seed)
+	lt, err := alt.Build(g, 8, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := shard.Cut(m, lt, shard.Config{CutLevel: 1, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func shardSet(t *testing.T, sp *shard.Split, k int, version string) ModelSet {
+	t.Helper()
+	guard, err := hybrid.New(sp.Shards[k], sp.Guards[k])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ModelSet{Shard: sp.Shards[k], Guard: guard, Version: version}
+}
+
+// ownedBy returns one vertex owned and one not owned by shard k.
+func ownedBy(t *testing.T, sp *shard.Split, k int) (in, out int32) {
+	t.Helper()
+	in, out = -1, -1
+	for v := int32(0); int(v) < sp.Map.NumVertices(); v++ {
+		if sp.Shards[k].Owns(v) {
+			if in < 0 {
+				in = v
+			}
+		} else if out < 0 {
+			out = v
+		}
+	}
+	if in < 0 || out < 0 {
+		t.Fatal("cut did not split vertices across shards")
+	}
+	return in, out
+}
+
+func TestShardServesOwnedAndRejectsMisdirected(t *testing.T) {
+	g := swapGraph(t)
+	sp := cutFleet(t, g, 1)
+	srv, err := NewFromSet(shardSet(t, sp, 0, "v1"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	in, out := ownedBy(t, sp, 0)
+
+	// Intra-shard: the guarded answer must use the exact rows.
+	var other int32 = -1
+	for v := in + 1; int(v) < sp.Map.NumVertices(); v++ {
+		if sp.Shards[0].Owns(v) {
+			other = v
+			break
+		}
+	}
+	if other < 0 {
+		t.Fatal("shard 0 owns a single vertex")
+	}
+	resp := getJSON(t, ts.URL+"/distance?s="+itoa(in)+"&t="+itoa(other), http.StatusOK)
+	if _, flagged := resp["cross_shard"]; flagged {
+		t.Fatalf("intra-shard pair flagged cross_shard: %v", resp)
+	}
+
+	// Cross-shard target: served from the upper levels, flagged, and
+	// clamped into the certified interval.
+	resp = getJSON(t, ts.URL+"/distance?s="+itoa(in)+"&t="+itoa(out), http.StatusOK)
+	if resp["cross_shard"] != true {
+		t.Fatalf("cross-shard pair not flagged: %v", resp)
+	}
+	d := resp["distance"].(float64)
+	lo, hi := resp["lo"].(float64), resp["hi"].(float64)
+	if d < lo || d > hi {
+		t.Fatalf("cross-shard answer %v outside certified [%v,%v]", d, lo, hi)
+	}
+
+	// Misdirected source: 421 plus the owner hint.
+	r, err := http.Get(ts.URL + "/distance?s=" + itoa(out) + "&t=" + itoa(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("misdirected source got %d, want 421", r.StatusCode)
+	}
+	if got := r.Header.Get("Rne-Shard-Owner"); got != itoa(int32(sp.Shards[0].Owner(out))) {
+		t.Fatalf("Rne-Shard-Owner = %q, want %d", got, sp.Shards[0].Owner(out))
+	}
+	var body map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["owner_shard"].(float64) != float64(sp.Shards[0].Owner(out)) || body["shard"].(float64) != 0 {
+		t.Fatalf("421 body lacks routing hint: %v", body)
+	}
+}
+
+func TestShardHealthReportsIdentity(t *testing.T) {
+	g := swapGraph(t)
+	sp := cutFleet(t, g, 1)
+	srv, err := NewFromSet(shardSet(t, sp, 1, "v1"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		out := getJSON(t, ts.URL+ep, http.StatusOK)
+		// /healthz flattens the model metadata; /readyz nests it.
+		meta := out
+		if model, ok := out["model"].(map[string]any); ok {
+			meta = model
+		}
+		sh, ok := meta["shard"].(map[string]any)
+		if !ok {
+			t.Fatalf("%s has no shard identity: %v", ep, out)
+		}
+		if sh["id"].(float64) != 1 || sh["shards"].(float64) != 2 || sh["cut_level"].(float64) != 1 {
+			t.Fatalf("%s shard identity wrong: %v", ep, sh)
+		}
+		if sh["owned"].(float64) != float64(sp.Shards[1].OwnedVertices()) {
+			t.Fatalf("%s owned count wrong: %v", ep, sh)
+		}
+	}
+
+	if v := metricValue(t, ts, "rne_shard_id"); v != 1 {
+		t.Fatalf("rne_shard_id = %v, want 1", v)
+	}
+	emb := metricValue(t, ts, `rne_model_bytes{component="embeddings"}`)
+	if emb != float64(sp.Shards[1].EmbeddingBytes()) {
+		t.Fatalf("embeddings bytes gauge %v, want %d", emb, sp.Shards[1].EmbeddingBytes())
+	}
+	upper := metricValue(t, ts, `rne_model_bytes{component="upper"}`)
+	if upper != float64(sp.Shards[1].UpperBytes()) {
+		t.Fatalf("upper bytes gauge %v, want %d", upper, sp.Shards[1].UpperBytes())
+	}
+	if g := metricValue(t, ts, `rne_model_bytes{component="guard"}`); g <= 0 {
+		t.Fatalf("guard bytes gauge %v, want > 0", g)
+	}
+}
+
+// The full-replica gauge: embeddings bytes match the whole matrix, and
+// a shard's embedding gauge must come in strictly below it.
+func TestModelBytesGaugeFullVersusShard(t *testing.T) {
+	g := swapGraph(t)
+	m := buildOn(t, g, 1)
+	full, err := NewFromSet(ModelSet{Model: m, Version: "v1"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullTS := httptest.NewServer(full.Handler())
+	defer fullTS.Close()
+	fullBytes := metricValue(t, fullTS, `rne_model_bytes{component="embeddings"}`)
+	if fullBytes != float64(m.IndexBytes()) {
+		t.Fatalf("full embeddings gauge %v, want %d", fullBytes, m.IndexBytes())
+	}
+
+	sp := cutFleet(t, g, 2)
+	for k := range sp.Shards {
+		srv, err := NewFromSet(shardSet(t, sp, k, "v1"), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		shardBytes := metricValue(t, ts, `rne_model_bytes{component="embeddings"}`)
+		ts.Close()
+		if shardBytes >= fullBytes {
+			t.Fatalf("shard %d embeddings gauge %v not below full %v", k, shardBytes, fullBytes)
+		}
+	}
+}
+
+func TestShardBatchMisdirectAndCrossCount(t *testing.T) {
+	g := swapGraph(t)
+	sp := cutFleet(t, g, 1)
+	srv, err := NewFromSet(shardSet(t, sp, 0, "v1"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	in, out := ownedBy(t, sp, 0)
+
+	// All sources owned, one cross-shard target: 200 with cross_count.
+	req := map[string]any{"pairs": [][]int32{{in, in}, {in, out}}}
+	buf, _ := json.Marshal(req)
+	r, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %v", r.StatusCode, resp)
+	}
+	if resp["cross_count"].(float64) != 1 {
+		t.Fatalf("cross_count = %v, want 1", resp["cross_count"])
+	}
+
+	// A misdirected source fails the whole batch with 421 — the gateway
+	// splits per shard, so a mixed batch means its map is stale.
+	req = map[string]any{"pairs": [][]int32{{out, in}}}
+	buf, _ = json.Marshal(req)
+	r, err = http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("misdirected batch got %d, want 421", r.StatusCode)
+	}
+
+	if v := metricValue(t, ts, "rne_shard_misdirected_total"); v < 1 {
+		t.Fatalf("misdirected counter %v, want >= 1", v)
+	}
+}
+
+func TestShardSwapRegionContinuity(t *testing.T) {
+	g := swapGraph(t)
+	sp1 := cutFleet(t, g, 1)
+	sp2 := cutFleet(t, g, 2)
+	srv, err := NewFromSet(shardSet(t, sp1, 0, "v1"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same shard id, newer cut: accepted.
+	if err := srv.Swap(shardSet(t, sp2, 0, "v2")); err != nil {
+		t.Fatalf("same-region swap rejected: %v", err)
+	}
+	if srv.ActiveVersion() != "v2" {
+		t.Fatalf("active %s, want v2", srv.ActiveVersion())
+	}
+
+	// A different shard id must be refused: the gateway's routing map
+	// still points this replica's region here.
+	err = srv.Swap(shardSet(t, sp2, 1, "v3"))
+	if err == nil || !strings.Contains(err.Error(), "refusing swap") {
+		t.Fatalf("cross-region swap not refused: %v", err)
+	}
+	if srv.ActiveVersion() != "v2" {
+		t.Fatalf("failed swap changed active version to %s", srv.ActiveVersion())
+	}
+
+	// Swapping a shard replica to a full model mid-serve is refused too.
+	m := buildOn(t, g, 3)
+	err = srv.Swap(ModelSet{Model: m, Version: "v4"})
+	if err == nil || !strings.Contains(err.Error(), "shard mode") {
+		t.Fatalf("shard→full swap not refused: %v", err)
+	}
+}
+
+func TestShardExplainAndSpatialAnswer501(t *testing.T) {
+	g := swapGraph(t)
+	sp := cutFleet(t, g, 1)
+	srv, err := NewFromSet(shardSet(t, sp, 0, "v1"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	in, _ := ownedBy(t, sp, 0)
+	for _, path := range []string{
+		"/explain?s=" + itoa(in) + "&t=" + itoa(in),
+		"/knn?s=" + itoa(in) + "&k=3",
+		"/range?s=" + itoa(in) + "&tau=10",
+	} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotImplemented {
+			t.Fatalf("GET %s: status %d, want 501", path, r.StatusCode)
+		}
+	}
+}
+
+func itoa(v int32) string {
+	return strconv.Itoa(int(v))
+}

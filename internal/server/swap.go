@@ -8,43 +8,55 @@ import (
 	"repro/internal/core"
 	"repro/internal/hybrid"
 	"repro/internal/index"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
 
-// ModelSet is the unit of hot swapping: a model (full or compact, or
-// both), its optional spatial index and ALT guard, and the version tag
-// reported on /healthz and the rne_model_version metric. The set is
-// installed atomically — a request is served entirely by one set, never
-// by a mix of old model and new guard.
+// ModelSet is the unit of hot swapping: a model (full, compact or one
+// geo-shard), its optional spatial index and ALT guard, and the
+// version tag reported on /healthz and the rne_model_version metric.
+// The set is installed atomically — a request is served entirely by
+// one set, never by a mix of old model and new guard.
 type ModelSet struct {
 	// Model is the full float64 model; Compact the float32 deployment
-	// variant (half the resident memory). At least one is required.
-	// When only Compact is present the server serves /distance and
-	// /batch (plus guard mode) but not the explain surfaces, which need
-	// the full per-level decomposition.
+	// variant (half the resident memory). At least one of Model,
+	// Compact or Shard is required. When only Compact is present the
+	// server serves /distance and /batch (plus guard mode) but not the
+	// explain surfaces, which need the full per-level decomposition.
 	Model   *core.Model
 	Compact *core.CompactModel
+	// Shard is one geo-shard of a split model (mutually exclusive with
+	// Model/Compact): the replica serves only its region's sources —
+	// out-of-region s gets a 421 redirect hint — answering intra-shard
+	// pairs exactly and cross-shard pairs from the shared upper levels.
+	Shard *shard.Model
 	// Index enables /knn and /range; it requires the full model.
 	Index *index.Tree
-	// Guard enables ALT-backed clamping and the drift monitor.
+	// Guard enables ALT-backed clamping and the drift monitor. In
+	// shard mode this is the region-restricted guard.
 	Guard *hybrid.Estimator
 	// Version labels this set ("v3", "boot", ...); empty defaults to
 	// "unversioned".
 	Version string
 }
 
-// modelView is the serving-side selector over full vs compact storage:
-// the hot query path costs one nil check beyond the estimate itself.
+// modelView is the serving-side selector over full vs compact vs shard
+// storage: the hot query path costs one nil check beyond the estimate
+// itself.
 type modelView struct {
 	full    *core.Model
 	compact *core.CompactModel
+	shard   *shard.Model
 }
 
-func (v modelView) ok() bool { return v.full != nil || v.compact != nil }
+func (v modelView) ok() bool { return v.full != nil || v.compact != nil || v.shard != nil }
 
 func (v modelView) Estimate(s, t int32) float64 {
 	if v.full != nil {
 		return v.full.Estimate(s, t)
+	}
+	if v.shard != nil {
+		return v.shard.Estimate(s, t)
 	}
 	return v.compact.Estimate(s, t)
 }
@@ -53,12 +65,18 @@ func (v modelView) NumVertices() int {
 	if v.full != nil {
 		return v.full.NumVertices()
 	}
+	if v.shard != nil {
+		return v.shard.NumVertices()
+	}
 	return v.compact.NumVertices()
 }
 
 func (v modelView) Dim() int {
 	if v.full != nil {
 		return v.full.Dim()
+	}
+	if v.shard != nil {
+		return v.shard.Dim()
 	}
 	return v.compact.Dim()
 }
@@ -67,12 +85,18 @@ func (v modelView) Scale() float64 {
 	if v.full != nil {
 		return v.full.Scale()
 	}
+	if v.shard != nil {
+		return v.shard.Scale()
+	}
 	return v.compact.Scale()
 }
 
 func (v modelView) EstimateBatch(ss, ts []int32, out []float64) error {
 	if v.full != nil {
 		return v.full.EstimateBatch(ss, ts, out, 0)
+	}
+	if v.shard != nil {
+		return v.shard.EstimateBatch(ss, ts, out)
 	}
 	if len(ss) != len(ts) || len(ss) != len(out) {
 		return fmt.Errorf("server: batch slices must share a length")
@@ -100,6 +124,10 @@ type snapshot struct {
 	guardChecked     *telemetry.Counter
 	guardClampedLow  *telemetry.Counter
 	guardClampedHigh *telemetry.Counter
+
+	// misdirected counts out-of-region requests answered 421; registered
+	// only in shard mode (same frozen-/statz-shape reasoning as above).
+	misdirected *telemetry.Counter
 }
 
 // buildSnapshot validates a ModelSet and assembles the serving state,
@@ -107,9 +135,27 @@ type snapshot struct {
 // stale monitor would band and score drift against the old model's
 // diameter, silently corrupting the drift signal after every swap).
 func (s *Server) buildSnapshot(set ModelSet) (*snapshot, error) {
-	view := modelView{full: set.Model, compact: set.Compact}
+	view := modelView{full: set.Model, compact: set.Compact, shard: set.Shard}
 	if !view.ok() {
 		return nil, fmt.Errorf("server: nil model")
+	}
+	if set.Shard != nil && (set.Model != nil || set.Compact != nil) {
+		return nil, fmt.Errorf("server: a set is either a shard or a whole model, not both")
+	}
+	// Region continuity: a shard replica must keep serving the same
+	// region across swaps — a reload that lands shard 2's artifact on
+	// shard 0's replica (or changes the fleet topology under the
+	// gateway's routing map) is rejected like any other bad set.
+	if prev := s.active.Load(); prev != nil {
+		switch {
+		case (prev.view.shard != nil) != (set.Shard != nil):
+			return nil, fmt.Errorf("server: swap cannot change shard mode mid-serve")
+		case prev.view.shard != nil && (prev.view.shard.ShardID() != set.Shard.ShardID() ||
+			prev.view.shard.NumShards() != set.Shard.NumShards()):
+			return nil, fmt.Errorf("server: replica serves shard %d/%d, refusing swap to shard %d/%d",
+				prev.view.shard.ShardID(), prev.view.shard.NumShards(),
+				set.Shard.ShardID(), set.Shard.NumShards())
+		}
 	}
 	n := view.NumVertices()
 	if n <= 0 {
@@ -140,6 +186,9 @@ func (s *Server) buildSnapshot(set ModelSet) (*snapshot, error) {
 	}
 	if sn.version == "" {
 		sn.version = "unversioned"
+	}
+	if set.Shard != nil {
+		sn.misdirected = s.stats.Counter("shard_misdirected")
 	}
 	if set.Guard != nil {
 		sn.guardChecked = s.stats.Counter("guard_checked")
@@ -205,6 +254,7 @@ func (s *Server) Swap(set ModelSet) error {
 	s.active.Store(sn)
 	s.swaps.Inc()
 	s.setVersionGauge(sn.version)
+	s.setModelGauges(sn)
 	s.swapMu.Unlock()
 	if prev != nil {
 		telemetry.OrNop(s.cfg.Logger).Info("model swapped",
@@ -228,6 +278,45 @@ func (s *Server) setVersionGauge(version string) {
 	}
 	g.Set(1)
 	s.versionGauge = g
+}
+
+// setModelGauges publishes per-component resident-bytes gauges for the
+// active set — rne_model_bytes{component=embeddings|upper|guard|index}
+// — so "shards actually shrink replicas" is measurable, plus
+// rne_shard_id on shard replicas. Callers hold swapMu.
+func (s *Server) setModelGauges(sn *snapshot) {
+	reg := s.stats.Registry()
+	const help = "Resident bytes of the active model set, by component (embeddings = exact rows held locally, upper = shared upper-level state, guard = ALT label matrix, index = spatial tree)."
+	set := func(component string, v int64) {
+		reg.Gauge("rne_model_bytes", help, "component", component).Set(float64(v))
+	}
+	var embBytes, upperBytes int64
+	switch {
+	case sn.view.shard != nil:
+		embBytes = sn.view.shard.EmbeddingBytes()
+		upperBytes = sn.view.shard.UpperBytes()
+	case sn.view.full != nil:
+		embBytes = sn.view.full.IndexBytes()
+	default:
+		embBytes = sn.view.compact.IndexBytes()
+	}
+	set("embeddings", embBytes)
+	set("upper", upperBytes)
+	var guardBytes int64
+	if sn.guard != nil {
+		guardBytes = sn.guard.LandmarkBytes()
+	}
+	set("guard", guardBytes)
+	var idxBytes int64
+	if sn.idx != nil {
+		idxBytes = sn.idx.IndexBytes()
+	}
+	set("index", idxBytes)
+	if sn.view.shard != nil {
+		reg.Gauge("rne_shard_id",
+			"Geo-shard this replica serves (absent on unsharded replicas).").
+			Set(float64(sn.view.shard.ShardID()))
+	}
 }
 
 // ActiveVersion reports the version label of the currently-serving set.

@@ -30,6 +30,7 @@ import (
 	"repro/internal/hybrid"
 	"repro/internal/index"
 	"repro/internal/registry"
+	"repro/internal/shard"
 )
 
 // Graph is a weighted road network: vertices with planar coordinates,
@@ -262,3 +263,43 @@ type GuardProvenance = hybrid.Provenance
 // (SpatialIndex.KNNStats / RangeStats): how much of the tree the
 // triangle-inequality pruning skipped.
 type IndexQueryStats = index.QueryStats
+
+// ShardConfig controls how CutShards splits a model: the hierarchy
+// cut level and the shard count K.
+type ShardConfig = shard.Config
+
+// ShardSplit is the output of one CutShards: the vertex→shard routing
+// map, K shard models, and (when cut with a guard) their
+// region-restricted ALT indexes. Publish it via RegistryArtifacts.
+type ShardSplit = shard.Split
+
+// ShardModel is one region shard of a trained model: exact embedding
+// rows for its region, shared upper-level embeddings for cross-shard
+// estimates, and the owner table for redirect hints.
+type ShardModel = shard.Model
+
+// ShardMap is the compact vertex→shard routing table the gateway
+// loads to route requests by region.
+type ShardMap = shard.Map
+
+// CutShards splits a freshly built hierarchical model into region
+// shards at cfg.CutLevel. lt, when non-nil, is the full ALT guard to
+// restrict per region (a region holding no landmarks keeps the full
+// set — valid bounds, just not memory-reduced). Loaded models do not
+// retain the partition tree, so cut in the same process as Build.
+func CutShards(m *Model, lt *ALTIndex, cfg ShardConfig) (*ShardSplit, error) {
+	return shard.Cut(m, lt, cfg)
+}
+
+// LoadShardMap reads a vertex→shard routing map published inside a
+// sharded registry version (models/<name>/<vN>/shards/shardmap.rnemap),
+// for rnegate -shard-map region routing.
+func LoadShardMap(path string) (*ShardMap, error) { return shard.LoadMapFile(path) }
+
+// NewShardBoundedEstimator combines a region shard with a (typically
+// region-restricted) landmark index, so shard replicas serve guard
+// mode too: cross-shard upper-level estimates are clamped into
+// certified bounds.
+func NewShardBoundedEstimator(m *ShardModel, lt *ALTIndex) (*BoundedEstimator, error) {
+	return hybrid.New(m, lt)
+}

@@ -1,0 +1,217 @@
+#!/bin/sh
+# shard-smoke: geo-sharded serving end to end through the real binaries.
+#
+# Publish a bj-mini model cut into two level-1 region shards, boot one
+# rneserver -shard replica per shard plus a full replica, put rnegate
+# in region-routing mode (-shard-map) in front, and assert:
+#
+#   1. intra-shard /distance answers through the gateway are
+#      bit-identical to the full replica (whenever the full replica's
+#      answer is unclamped — the shard's restricted guard is never
+#      tighter, so an unclamped full answer must come back verbatim);
+#   2. cross-shard answers are flagged and sit inside their certified
+#      [lo, hi] guard interval;
+#   3. every shard replica's resident embedding bytes
+#      (rne_model_bytes{component="embeddings"}) are strictly below
+#      the full replica's;
+#   4. killing one shard's replica degrades exactly that region: its
+#      vertices answer 503, the other region keeps answering 200, and
+#      /readyz reports degraded with the dead shard listed;
+#   5. a short rneload ramp against the full replica and the sharded
+#      gateway lands in one BENCH_shard.json (full vs sharded
+#      latency + per-replica heap from the /metrics join).
+#
+# SHARD_BENCH_OUT copies the resulting BENCH_shard.json out of the
+# scratch directory.
+set -eu
+
+GO=${GO:-go}
+PF=${SHARD_SMOKE_PORT_F:-18380}
+P0=${SHARD_SMOKE_PORT_0:-18381}
+P1=${SHARD_SMOKE_PORT_1:-18382}
+PG=${SHARD_SMOKE_PORT_G:-18383}
+BENCH_OUT=${SHARD_BENCH_OUT:-}
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$TMP/rnebuild" ./cmd/rnebuild
+$GO build -o "$TMP/rneserver" ./cmd/rneserver
+$GO build -o "$TMP/rnegate" ./cmd/rnegate
+$GO build -o "$TMP/rneload" ./cmd/rneload
+
+# One build, one publish: the version carries the full model, the ALT
+# guard, and the two shard artifacts cut at level 1.
+"$TMP/rnebuild" -preset bj-mini -dim 16 -epochs 2 -seed 1 -report "" \
+    -alt-out "$TMP/alt.idx" -alt-landmarks 16 \
+    -registry "$TMP/models" -publish bj \
+    -publish-shards -shard-level 1 -shard-count 2 \
+    -o "$TMP/m.rne" >"$TMP/build.log" 2>&1 \
+    || { echo "shard-smoke: sharded publish failed"; cat "$TMP/build.log"; exit 1; }
+
+SHARDMAP="$TMP/models/bj/v1/shards/shardmap.rnemap"
+[ -f "$SHARDMAP" ] || { echo "shard-smoke: $SHARDMAP not published"; exit 1; }
+
+"$TMP/rneserver" -registry "$TMP/models" -name bj -addr "127.0.0.1:$PF" \
+    >"$TMP/full.log" 2>&1 &
+PIDS="$PIDS $!"
+"$TMP/rneserver" -registry "$TMP/models" -name bj -shard 0 -addr "127.0.0.1:$P0" \
+    >"$TMP/s0.log" 2>&1 &
+PIDS="$PIDS $!"
+"$TMP/rneserver" -registry "$TMP/models" -name bj -shard 1 -addr "127.0.0.1:$P1" \
+    >"$TMP/s1.log" 2>&1 &
+S1_PID=$!
+PIDS="$PIDS $S1_PID"
+"$TMP/rnegate" -addr "127.0.0.1:$PG" \
+    -backends "http://127.0.0.1:$P0,http://127.0.0.1:$P1" \
+    -shard-map "$SHARDMAP" \
+    -health-interval 100ms -eject-after 1 -backoff-base 100ms \
+    >"$TMP/gate.log" 2>&1 &
+PIDS="$PIDS $!"
+
+full="http://127.0.0.1:$PF"
+gate="http://127.0.0.1:$PG"
+wait_200() {
+    i=0
+    until curl -sf "$1" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ $i -gt 200 ] && return 1
+        sleep 0.1
+    done
+}
+wait_200 "$full/healthz" || { echo "shard-smoke: full replica never came up"; cat "$TMP/full.log"; exit 1; }
+wait_200 "http://127.0.0.1:$P0/healthz" || { echo "shard-smoke: shard 0 never came up"; cat "$TMP/s0.log"; exit 1; }
+wait_200 "http://127.0.0.1:$P1/healthz" || { echo "shard-smoke: shard 1 never came up"; cat "$TMP/s1.log"; exit 1; }
+wait_200 "$gate/readyz" || { echo "shard-smoke: gateway never became ready"; cat "$TMP/gate.log"; exit 1; }
+
+field() { # field <json> <key> -> bare value or empty
+    printf '%s' "$1" | sed -n "s/.*\"$2\":\([^,}]*\).*/\1/p"
+}
+
+# 1 + 2: walk a seeded workload through the gateway; classify each
+# answer by its own cross_shard flag so both regimes are exercised.
+intra=0
+cross=0
+for s in 0 7 123 512 1024 2048 3000 4095 5000 6000 7000 8097; do
+    for t in 3 4050 8001 8096; do
+        g_resp=$(curl -sf "$gate/distance?s=$s&t=$t") \
+            || { echo "shard-smoke: gateway /distance s=$s t=$t failed"; cat "$TMP/gate.log"; exit 1; }
+        d=$(field "$g_resp" distance)
+        lo=$(field "$g_resp" lo)
+        hi=$(field "$g_resp" hi)
+        [ -n "$d" ] && [ -n "$lo" ] && [ -n "$hi" ] \
+            || { echo "shard-smoke: unguarded gateway answer: $g_resp"; exit 1; }
+        if ! awk -v d="$d" -v lo="$lo" -v hi="$hi" 'BEGIN{exit !(lo<=d && d<=hi)}'; then
+            echo "shard-smoke: s=$s t=$t answer $d outside certified [$lo,$hi]"
+            exit 1
+        fi
+        case "$g_resp" in
+        *'"cross_shard":true'*)
+            cross=$((cross + 1))
+            ;;
+        *)
+            f_resp=$(curl -sf "$full/distance?s=$s&t=$t") \
+                || { echo "shard-smoke: full replica /distance s=$s t=$t failed"; exit 1; }
+            if [ "$(field "$f_resp" clamped)" = "false" ]; then
+                intra=$((intra + 1))
+                fd=$(field "$f_resp" distance)
+                if [ "$d" != "$fd" ]; then
+                    echo "shard-smoke: intra-shard s=$s t=$t: gateway $d != full replica $fd (must be bit-identical)"
+                    exit 1
+                fi
+            fi
+            ;;
+        esac
+    done
+done
+if [ "$intra" -lt 1 ] || [ "$cross" -lt 1 ]; then
+    echo "shard-smoke: workload did not exercise both regimes (intra=$intra cross=$cross)"
+    exit 1
+fi
+
+# 3: each shard's resident embedding rows are strictly below the full
+# replica's.
+emb_bytes() {
+    curl -sf "$1/metrics" | sed -n 's/^rne_model_bytes{component="embeddings"} //p'
+}
+fb=$(emb_bytes "$full")
+b0=$(emb_bytes "http://127.0.0.1:$P0")
+b1=$(emb_bytes "http://127.0.0.1:$P1")
+[ -n "$fb" ] && [ -n "$b0" ] && [ -n "$b1" ] \
+    || { echo "shard-smoke: rne_model_bytes{component=\"embeddings\"} missing (full=$fb s0=$b0 s1=$b1)"; exit 1; }
+for b in "$b0" "$b1"; do
+    if ! awk -v s="$b" -v f="$fb" 'BEGIN{exit !(s<f)}'; then
+        echo "shard-smoke: shard embeddings $b not below full $fb"
+        exit 1
+    fi
+done
+
+# 5 (before the kill): full-vs-sharded comparison in one report.
+BENCH="$TMP/BENCH_shard.json"
+"$TMP/rneload" -target "$full" \
+    -steps 'c=2,qps=0,d=1s,w=300ms' -mix distance=1 \
+    -name full -tags mode=full -out "$BENCH" \
+    >"$TMP/load-full.log" 2>&1 || { echo "shard-smoke: full-replica load run failed"; cat "$TMP/load-full.log"; exit 1; }
+"$TMP/rneload" -target "$gate" -vertices 8098 \
+    -steps 'c=2,qps=0,d=1s,w=300ms' -mix distance=1 \
+    -scrape "gate=$gate,s0=http://127.0.0.1:$P0,s1=http://127.0.0.1:$P1" \
+    -name sharded -tags mode=sharded,shards=2 -append -out "$BENCH" \
+    >"$TMP/load-sharded.log" 2>&1 || { echo "shard-smoke: sharded load run failed"; cat "$TMP/load-sharded.log"; exit 1; }
+for want in '"name": "full"' '"name": "sharded"' '"class": "2xx"' 'rne_go_heap_bytes'; do
+    grep -q "$want" "$BENCH" || { echo "shard-smoke: BENCH_shard.json missing $want"; cat "$BENCH"; exit 1; }
+done
+
+# 4: kill shard 1's only replica — its region degrades, shard 0's
+# region keeps serving, and the gateway names the dead shard.
+kill "$S1_PID" 2>/dev/null || true
+wait "$S1_PID" 2>/dev/null || true
+
+dead=""
+alive=""
+i=0
+while [ -z "$dead" ] || [ -z "$alive" ]; do
+    i=$((i + 1))
+    if [ $i -gt 100 ]; then
+        echo "shard-smoke: regions never split into dead/alive after the kill (dead=$dead alive=$alive)"
+        cat "$TMP/gate.log"
+        exit 1
+    fi
+    for s in 0 7 123 512 1024 2048 3000 4095 5000 6000 7000 8097; do
+        code=$(curl -s -o /dev/null -w '%{http_code}' "$gate/distance?s=$s&t=$s")
+        case "$code" in
+        200) alive=$s ;;
+        503) dead=$s ;;
+        esac
+        [ -n "$dead" ] && [ -n "$alive" ] && break
+    done
+    sleep 0.1
+done
+if ! curl -s "$gate/distance?s=$dead&t=$alive" | grep -q 'degraded'; then
+    echo "shard-smoke: dead region's 503 does not say degraded"
+    exit 1
+fi
+i=0
+until curl -s "$gate/readyz" | grep -q '"shards_down":\[1\]'; do
+    i=$((i + 1))
+    if [ $i -gt 100 ]; then
+        echo "shard-smoke: /readyz never listed shard 1 down"
+        curl -s "$gate/readyz"
+        exit 1
+    fi
+    sleep 0.1
+done
+code=$(curl -s -o /dev/null -w '%{http_code}' "$gate/distance?s=$alive&t=$dead")
+if [ "$code" != 200 ]; then
+    echo "shard-smoke: surviving region answered $code after the kill"
+    exit 1
+fi
+
+if [ -n "$BENCH_OUT" ]; then
+    cp "$BENCH" "$BENCH_OUT"
+    echo "shard-smoke: wrote $BENCH_OUT"
+fi
+echo "shard-smoke: 2-shard fleet served intra bit-identical ($intra pairs), cross in bounds ($cross pairs), shed only the dead region"
